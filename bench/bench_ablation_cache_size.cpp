@@ -1,0 +1,76 @@
+// Ablation A3 — the paper's stated future work: the effect of event cache
+// size on reconnecting subscribers. Sweeps the SHB istream cache span and
+// measures where catchup traffic is served from: the local istream cache vs
+// nacks that travel to the PHB.
+#include "bench/bench_common.hpp"
+
+namespace gryphon::bench {
+namespace {
+
+struct Result {
+  std::uint64_t served_from_istream;
+  std::uint64_t nacks_to_phb;
+  std::uint64_t phb_nack_events;
+  double catchup_seconds;
+};
+
+Result run(Tick cache_span_ticks) {
+  auto config = paper_config();
+  config.num_shbs = 1;
+  config.broker.costs.cache_span_ticks = cache_span_ticks;
+  harness::System system(config);
+  auto wl = paper_workload();
+  wl.input_rate_eps = 400;
+  harness::start_paper_publishers(system, wl);
+  auto subs = harness::add_group_subscribers(system, 0, 8, 4, 1);
+
+  double catchup_s = 0;
+  system.on_shb_ready(0, [&](core::SubscriberHostingBroker& shb) {
+    shb.on_catchup_complete = [&](SubscriberId, SimTime from, SimTime to) {
+      catchup_s = to_seconds(to - from);
+    };
+  });
+
+  system.run_for(sec(5));
+  subs[0]->disconnect();
+  system.run_for(sec(20));
+  const auto nacks_before = system.phb().stats().nacks_received;
+  const auto nack_events_before = system.phb().stats().nack_response_events;
+  const auto istream_before = system.shb().stats().catchup_events_served_from_istream;
+  subs[0]->connect();
+  system.run_for(sec(60));
+  system.verify_exactly_once();
+
+  return {system.shb().stats().catchup_events_served_from_istream - istream_before,
+          system.phb().stats().nacks_received - nacks_before,
+          system.phb().stats().nack_response_events - nack_events_before, catchup_s};
+}
+
+}  // namespace
+}  // namespace gryphon::bench
+
+int main() {
+  using namespace gryphon;
+  using namespace gryphon::bench;
+
+  print_header(
+      "Ablation: SHB event-cache span vs catchup traffic reaching the PHB\n"
+      "(one subscriber reconnects after missing 20s @ 100 matching ev/s;\n"
+      "the paper lists cache-size effects as future work)");
+
+  print_row({"cache span (s)", "served from cache", "nacks to PHB",
+             "events from PHB", "catchup (s)"},
+            20);
+  for (const Tick span_s : {Tick{30}, Tick{20}, Tick{10}, Tick{5}, Tick{1}}) {
+    const auto r = run(span_s * 1000);
+    print_row({std::to_string(span_s), std::to_string(r.served_from_istream),
+               std::to_string(r.nacks_to_phb), std::to_string(r.phb_nack_events),
+               fmt(r.catchup_seconds, 1)},
+              20);
+  }
+  std::printf(
+      "\nshape: with a cache covering the disconnection, recovery is local to\n"
+      "the SHB; as the span shrinks, recovery load shifts to the PHB —\n"
+      "correctness is unaffected either way (caches are an optimization).\n");
+  return 0;
+}

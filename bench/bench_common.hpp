@@ -1,0 +1,65 @@
+// Shared scaffolding for the figure/table reproduction benchmarks: the
+// paper-default system configuration (§5's testbed translated through the
+// DESIGN.md §4 substitutions) and small table/series printers.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/system.hpp"
+#include "harness/workload.hpp"
+
+namespace gryphon::bench {
+
+/// §5 defaults: RS/6000 F80-class brokers (6 cores), event logging at the
+/// PHB dominating end-to-end latency at ~44 ms, SSA-class SHB disks, 1 ms
+/// broker links, 4 pubends.
+inline harness::SystemConfig paper_config() {
+  harness::SystemConfig config;
+  config.num_pubends = 4;
+  config.broker.cores = 6;
+  config.broker.costs.publish_base = usec(2000);
+  config.phb_disk.sync_latency = msec(43);
+  config.phb_disk.write_bandwidth_bytes_per_sec = 40e6;
+  config.shb_disk.sync_latency = msec(4);
+  config.shb_disk.read_seek_latency = msec(6);
+  return config;
+}
+
+inline harness::PaperWorkloadConfig paper_workload() {
+  harness::PaperWorkloadConfig wl;
+  wl.input_rate_eps = 800.0;  // over 4 pubends
+  wl.groups = 4;              // each subscriber matches 200 ev/s
+  wl.payload_bytes = 250;     // 418 bytes with headers
+  return wl;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_row(const std::vector<std::string>& cells, int width = 18) {
+  for (const auto& cell : cells) std::printf("%-*s", width, cell.c_str());
+  std::printf("\n");
+}
+
+inline std::string fmt(double v, int precision = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+/// Prints a (time, value) series as aligned columns.
+inline void print_series(const std::string& name,
+                         const std::vector<TimeSeries::Point>& points,
+                         double scale = 1.0, int precision = 1) {
+  std::printf("\n-- %s --\n%-12s%s\n", name.c_str(), "t(s)", "value");
+  for (const auto& p : points) {
+    std::printf("%-12.1f%.*f\n", to_seconds(p.time), precision, p.value * scale);
+  }
+}
+
+}  // namespace gryphon::bench

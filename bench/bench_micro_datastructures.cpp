@@ -1,0 +1,120 @@
+// google-benchmark microbenchmarks for the hot data structures: knowledge
+// stream (TickMap) accumulation and horizon queries, interval sets,
+// content-based matching, selector parsing, and PFS record codecs. These
+// run on real wall-clock time (unlike the figure benches, which measure
+// simulated time).
+#include <benchmark/benchmark.h>
+
+#include "matching/parser.hpp"
+#include "matching/subscription_index.hpp"
+#include "routing/tick_map.hpp"
+#include "util/interval_set.hpp"
+#include "util/rng.hpp"
+
+namespace gryphon {
+namespace {
+
+matching::EventDataPtr make_event(int g) {
+  return std::make_shared<matching::EventData>(
+      std::map<std::string, matching::Value>{{"g", matching::Value(g)}}, "", 250);
+}
+
+void BM_TickMapAppendStream(benchmark::State& state) {
+  auto event = make_event(0);
+  for (auto _ : state) {
+    routing::TickMap map(0);
+    for (Tick t = 1; t <= state.range(0); ++t) {
+      if (t % 4 == 0) {
+        map.set_data(t, event);
+      } else {
+        map.set_silence(t, t);
+      }
+    }
+    benchmark::DoNotOptimize(map.head());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TickMapAppendStream)->Arg(1000)->Arg(10000);
+
+void BM_TickMapDoubtHorizon(benchmark::State& state) {
+  routing::TickMap map(0);
+  auto event = make_event(0);
+  for (Tick t = 1; t <= 10000; ++t) {
+    if (t % 4 == 0) map.set_data(t, event);
+    else map.set_silence(t, t);
+  }
+  Tick base = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.doubt_horizon(base));
+    base = (base + 97) % 9000;
+  }
+}
+BENCHMARK(BM_TickMapDoubtHorizon);
+
+void BM_TickMapItemsExtraction(benchmark::State& state) {
+  routing::TickMap map(0);
+  auto event = make_event(0);
+  for (Tick t = 1; t <= 10000; ++t) {
+    if (t % 4 == 0) map.set_data(t, event);
+    else map.set_silence(t, t);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.items(4000, 6000));
+  }
+}
+BENCHMARK(BM_TickMapItemsExtraction);
+
+void BM_IntervalSetChurn(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state) {
+    IntervalSet s;
+    for (int i = 0; i < state.range(0); ++i) {
+      const Tick a = rng.next_in(0, 100000);
+      const Tick b = a + rng.next_in(0, 50);
+      if (rng.next_bool(0.7)) s.add(a, b);
+      else s.subtract(a, b);
+    }
+    benchmark::DoNotOptimize(s.interval_count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IntervalSetChurn)->Arg(1000);
+
+void BM_SubscriptionMatch(benchmark::State& state) {
+  matching::SubscriptionIndex index;
+  const auto n = state.range(0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    index.add(SubscriberId{static_cast<std::uint32_t>(i)},
+              matching::parse_predicate("g == " + std::to_string(i % 4)));
+  }
+  const auto e = make_event(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.match(*e));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SubscriptionMatch)->Arg(100)->Arg(400);
+
+void BM_PredicateParse(benchmark::State& state) {
+  const std::string text =
+      "(symbol == 'IBM' && price > 100.5) || (side = 'SELL' and quantity >= "
+      "1000 and not test)";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matching::parse_predicate(text));
+  }
+}
+BENCHMARK(BM_PredicateParse);
+
+void BM_PredicateEval(benchmark::State& state) {
+  auto p = matching::parse_predicate("g == 1 && exists(g)");
+  const auto e = make_event(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p->matches(*e));
+  }
+}
+BENCHMARK(BM_PredicateEval);
+
+}  // namespace
+}  // namespace gryphon
+
+BENCHMARK_MAIN();

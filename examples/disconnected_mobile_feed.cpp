@@ -1,0 +1,82 @@
+// Disconnected mobile feed — durable subscriptions for intermittently
+// connected clients (the Elvin-style disconnected-operation scenario the
+// related-work section contrasts against, done with broker-side durability
+// instead of per-client proxies).
+//
+// A news-alert feed publishes continuously; mobile clients connect for
+// short windows (push sync), then vanish. Each reconnect presents the
+// client's Checkpoint Token and replays exactly the alerts that matched its
+// interests while it was away — logged once at the PHB, located via the
+// PFS, never refiltered.
+#include <cstdio>
+
+#include "harness/system.hpp"
+#include "util/rng.hpp"
+
+using namespace gryphon;
+
+namespace {
+
+const char* kTopics[] = {"sports", "markets", "weather", "politics"};
+
+}  // namespace
+
+int main() {
+  harness::SystemConfig config;
+  config.num_pubends = 1;
+  config.num_shbs = 1;
+  harness::System system(config);
+
+  // The alert feed: 50 alerts/s across four topics with a priority level.
+  auto& feed = system.add_publisher(PubendId{1}, msec(20), [](std::uint64_t seq) {
+    return std::make_shared<matching::EventData>(
+        std::map<std::string, matching::Value>{
+            {"topic", matching::Value(kTopics[seq % 4])},
+            {"priority", matching::Value(static_cast<std::int64_t>(seq % 3))}},
+        "alert-body", 120);
+  });
+  feed.start();
+
+  // Eight phones with different interests. Note high-priority-only filters:
+  // the broker filters on their behalf while they sleep.
+  std::vector<core::DurableSubscriber*> phones;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    core::DurableSubscriber::Options opts;
+    opts.id = SubscriberId{i + 1};
+    opts.predicate = std::string("topic == '") + kTopics[i % 4] +
+                     "' && priority >= " + std::to_string(i % 2 + 1);
+    opts.auto_reconnect = false;  // the "device" decides when to sync
+    auto& phone = system.add_subscriber(opts, 0, static_cast<int>(i));
+    phone.connect();
+    phones.push_back(&phone);
+  }
+  system.run_for(sec(2));
+
+  // A day of patchy connectivity: each phone syncs briefly, then sleeps.
+  Rng rng(2026);
+  for (int round = 0; round < 6; ++round) {
+    for (auto* phone : phones) {
+      if (rng.next_bool(0.7)) phone->disconnect();
+    }
+    system.run_for(sec(5 + static_cast<SimDuration>(rng.next_below(5))));
+    for (auto* phone : phones) {
+      if (!phone->connected()) phone->connect();
+    }
+    system.run_for(sec(3));  // sync window: catch up on missed alerts
+  }
+  system.run_for(sec(10));
+
+  std::printf("phone  selector                                alerts  gaps\n");
+  for (auto* phone : phones) {
+    std::printf("%-6u %-38s  %-6llu  %llu\n", phone->id().value(), "(durable filter)",
+                (unsigned long long)phone->events_received(),
+                (unsigned long long)phone->gaps_received());
+  }
+
+  system.verify_exactly_once();
+  std::printf(
+      "\nall %llu published alerts accounted for: every phone received exactly\n"
+      "the matching alerts for its connected+disconnected lifetime, exactly once.\n",
+      (unsigned long long)system.oracle().published_count());
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Early release — administratively bounding persistent storage against
+// misbehaving durable subscribers (paper §3).
+//
+// Without early release, one subscriber that disconnects and never returns
+// pins every event since its departure in the PHB's log forever. The
+// maxRetain(p) policy discards events after a retention window, and the
+// protocol guarantees two things demonstrated here:
+//   * connected, caught-up subscribers NEVER see a gap (no tick beyond
+//     Td(p) is ever released early),
+//   * a reconnecting laggard gets explicit gap notifications for the
+//     discarded span — silent loss is impossible.
+#include <cstdio>
+
+#include "harness/system.hpp"
+
+using namespace gryphon;
+
+namespace {
+
+std::size_t retained_events(harness::System& system) {
+  std::size_t total = 0;
+  for (PubendId p : system.pubends()) {
+    total += system.phb().pubend(p).retained_events();
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  harness::SystemConfig config;
+  config.num_pubends = 1;
+  config.num_shbs = 1;
+  // Retain at most 5 seconds of stream beyond what every constream has
+  // delivered.
+  config.policy = std::make_shared<core::MaxRetainPolicy>(5000);
+  // A small SHB cache, so recovery really depends on PHB retention.
+  config.broker.costs.cache_span_ticks = 2000;
+  harness::System system(config);
+
+  auto& pub = system.add_publisher(PubendId{1}, msec(5), [](std::uint64_t seq) {
+    return std::make_shared<matching::EventData>(
+        std::map<std::string, matching::Value>{
+            {"seq", matching::Value(static_cast<std::int64_t>(seq))}},
+        "tick", 100);
+  });
+  pub.start();
+
+  core::DurableSubscriber::Options good_opts;
+  good_opts.id = SubscriberId{1};
+  good_opts.predicate = "true";
+  auto& good = system.add_subscriber(good_opts);
+  good.connect();
+
+  core::DurableSubscriber::Options rogue_opts;
+  rogue_opts.id = SubscriberId{2};
+  rogue_opts.predicate = "true";
+  auto& rogue = system.add_subscriber(rogue_opts);
+  rogue.connect();
+
+  system.run_for(sec(5));
+  std::printf("t=5s   both connected;        PHB retains %zu events\n",
+              retained_events(system));
+
+  // The rogue disconnects... and stays away far beyond maxRetain.
+  rogue.disconnect();
+  system.run_for(sec(30));
+  std::printf("t=35s  rogue gone for 30s;    PHB retains %zu events "
+              "(bounded by maxRetain=5s, NOT 30s of stream)\n",
+              retained_events(system));
+  std::printf("       well-behaved subscriber: %llu events, %llu gaps "
+              "(the constream never sees L ticks)\n",
+              (unsigned long long)good.events_received(),
+              (unsigned long long)good.gaps_received());
+
+  // The rogue returns: it gets the retained suffix as events and an
+  // explicit gap notification for the released span.
+  rogue.connect();
+  system.run_for(sec(15));
+  std::printf("t=50s  rogue reconnected:     %llu events, %llu gap "
+              "notification(s) covering the released span\n",
+              (unsigned long long)rogue.events_received(),
+              (unsigned long long)rogue.gaps_received());
+
+  system.verify_exactly_once();
+  std::printf("\ncontract verified: every matching event was delivered or "
+              "explicitly gapped — nothing was lost silently.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Quickstart — the smallest useful deployment:
+//   one PHB, one SHB, one publisher, two durable subscribers with
+//   content-based selectors, one disconnect/reconnect cycle.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "harness/system.hpp"
+
+using namespace gryphon;
+
+int main() {
+  // A System owns the simulator, the network and the broker topology:
+  // publishers host at the PHB, durable subscribers at the SHB.
+  harness::SystemConfig config;
+  config.num_pubends = 1;
+  config.num_shbs = 1;
+  harness::System system(config);
+
+  // A publisher emitting one event every 10ms (100 ev/s). Events carry
+  // typed attributes; the payload is opaque.
+  auto& publisher = system.add_publisher(
+      PubendId{1}, msec(10),
+      [](std::uint64_t seq) {
+        return std::make_shared<matching::EventData>(
+            std::map<std::string, matching::Value>{
+                {"category", matching::Value(seq % 2 == 0 ? "even" : "odd")},
+                {"seq", matching::Value(static_cast<std::int64_t>(seq))}},
+            "payload#" + std::to_string(seq));
+      });
+  publisher.start();
+
+  // Durable subscriptions are created with a selector (a JMS-style
+  // predicate over event attributes) and survive disconnections.
+  core::DurableSubscriber::Options even_opts;
+  even_opts.id = SubscriberId{1};
+  even_opts.predicate = "category == 'even'";
+  auto& even_sub = system.add_subscriber(even_opts);
+  even_sub.connect();
+
+  core::DurableSubscriber::Options all_opts;
+  all_opts.id = SubscriberId{2};
+  all_opts.predicate = "true";
+  auto& all_sub = system.add_subscriber(all_opts);
+  all_sub.connect();
+
+  // Run 5 simulated seconds of steady delivery.
+  system.run_for(sec(5));
+  std::printf("after 5s:   even-subscriber=%llu events, all-subscriber=%llu events\n",
+              static_cast<unsigned long long>(even_sub.events_received()),
+              static_cast<unsigned long long>(all_sub.events_received()));
+
+  // Disconnect one subscriber for 3 seconds. Its subscription is durable:
+  // the broker keeps filtering on its behalf (into the PFS) while it is
+  // away, and replays exactly the missed events on reconnection.
+  even_sub.disconnect();
+  system.run_for(sec(3));
+  std::printf("while away: even-subscriber=%llu (disconnected, missing ~150)\n",
+              static_cast<unsigned long long>(even_sub.events_received()));
+
+  even_sub.connect();
+  system.run_for(sec(4));
+  std::printf("caught up:  even-subscriber=%llu events, gaps=%llu\n",
+              static_cast<unsigned long long>(even_sub.events_received()),
+              static_cast<unsigned long long>(even_sub.gaps_received()));
+
+  // The delivery oracle has been watching everything: assert the
+  // exactly-once contract held for both subscribers.
+  system.verify_exactly_once();
+  std::printf("exactly-once contract verified. published=%llu delivered=%llu\n",
+              static_cast<unsigned long long>(system.oracle().published_count()),
+              static_cast<unsigned long long>(system.oracle().delivered_count()));
+  return 0;
+}

@@ -1,0 +1,41 @@
+#include "core/baseline_event_log.hpp"
+
+#include "core/event_codec.hpp"
+#include "util/assert.hpp"
+
+namespace gryphon::core {
+
+void PerSubscriberEventLog::register_subscriber(SubscriberId s) {
+  GRYPHON_CHECK(!subs_.contains(s));
+  subs_.emplace(
+      s, PerSub{volume_.open_stream("sublog:" + std::to_string(s.value())), {}});
+}
+
+void PerSubscriberEventLog::log_event(Tick tick, const matching::EventDataPtr& event,
+                                      const std::vector<SubscriberId>& matching) {
+  // The full event (headers + payload) is written once per matching
+  // subscriber — the redundancy the PFS design eliminates.
+  const auto record = encode_logged_event({tick, PublisherId{0}, 0, event});
+  for (SubscriberId s : matching) {
+    auto it = subs_.find(s);
+    GRYPHON_CHECK_MSG(it != subs_.end(), "unregistered subscriber " << s);
+    const auto idx = volume_.append(it->second.stream, record);
+    it->second.retained.emplace_back(tick, idx);
+    ++records_;
+    bytes_ += record.size();
+  }
+}
+
+void PerSubscriberEventLog::ack(SubscriberId s, Tick tick) {
+  auto it = subs_.find(s);
+  GRYPHON_CHECK(it != subs_.end());
+  storage::LogIndex chop_to = storage::kNoIndex;
+  auto& retained = it->second.retained;
+  while (!retained.empty() && retained.front().first <= tick) {
+    chop_to = retained.front().second;
+    retained.pop_front();
+  }
+  if (chop_to != storage::kNoIndex) volume_.chop(it->second.stream, chop_to);
+}
+
+}  // namespace gryphon::core

@@ -1,0 +1,50 @@
+// Baseline comparator (paper §1's "obvious, but undesirable" design, typical
+// of store-and-forward message queuing products): the SHB keeps a persistent
+// event log *per durable subscriber* and appends the full event to every
+// matching subscriber's log. Exists to reproduce the PFS microbenchmark
+// (§5.1.2: PFS logs ~25x less data and finishes >5x faster).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+
+#include "matching/event.hpp"
+#include "storage/log_volume.hpp"
+#include "util/ids.hpp"
+#include "util/time.hpp"
+
+namespace gryphon::core {
+
+class PerSubscriberEventLog {
+ public:
+  explicit PerSubscriberEventLog(storage::LogVolume& volume) : volume_(volume) {}
+
+  void register_subscriber(SubscriberId s);
+
+  /// Appends the serialized event to every matching subscriber's log.
+  void log_event(Tick tick, const matching::EventDataPtr& event,
+                 const std::vector<SubscriberId>& matching);
+
+  /// Group-commits everything appended so far.
+  void sync(std::function<void()> on_durable) { volume_.sync(std::move(on_durable)); }
+
+  /// Subscriber consumed everything <= tick: discard its log prefix.
+  void ack(SubscriberId s, Tick tick);
+
+  [[nodiscard]] std::uint64_t records_written() const { return records_; }
+  [[nodiscard]] std::uint64_t payload_bytes_written() const { return bytes_; }
+
+ private:
+  struct PerSub {
+    storage::LogStreamId stream;
+    std::deque<std::pair<Tick, storage::LogIndex>> retained;
+  };
+
+  storage::LogVolume& volume_;
+  std::map<SubscriberId, PerSub> subs_;
+  std::uint64_t records_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace gryphon::core

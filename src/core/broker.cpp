@@ -1,0 +1,49 @@
+#include "core/broker.hpp"
+
+#include <variant>
+
+namespace gryphon::core {
+
+Broker::Broker(NodeResources& resources, BrokerConfig config)
+    : res_(resources), config_(config), alive_(std::make_shared<std::monostate>()) {
+  res_.current_broker = this;
+}
+
+Broker::~Broker() {
+  if (res_.current_broker == this) res_.current_broker = nullptr;
+}
+
+void NodeResources::route(sim::EndpointId from, sim::MessagePtr msg) {
+  if (current_broker != nullptr) current_broker->deliver(from, std::move(msg));
+}
+
+void Broker::deliver(sim::EndpointId from, sim::MessagePtr msg) {
+  auto m = std::static_pointer_cast<const Msg>(std::move(msg));
+  res_.cpu.execute(cost_of(*m), guarded([this, from, m] { handle(from, *m); }));
+}
+
+SimDuration Broker::cost_of(const Msg&) const { return config_.costs.control_process; }
+
+void Broker::defer(SimDuration delay, std::function<void()> fn) {
+  res_.sim.schedule_after(delay, guarded(std::move(fn)));
+}
+
+void Broker::every(SimDuration period, std::function<void()> fn) {
+  GRYPHON_CHECK(period > 0);
+  defer(period, [this, period, fn = std::move(fn)]() mutable {
+    fn();
+    every(period, std::move(fn));
+  });
+}
+
+std::function<void()> Broker::guarded(std::function<void()> fn) {
+  return [weak = std::weak_ptr<std::monostate>(alive_), fn = std::move(fn)] {
+    if (weak.lock()) fn();
+  };
+}
+
+void Broker::cpu_then(SimDuration cost, std::function<void()> fn) {
+  res_.cpu.execute(cost, guarded(std::move(fn)));
+}
+
+}  // namespace gryphon::core

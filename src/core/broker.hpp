@@ -1,0 +1,80 @@
+// Broker base: message dispatch through the CPU model, crash-safe timers and
+// callbacks.
+//
+// Lifetime rules: a Broker is destroyed on crash while its NodeResources
+// live on. Anything asynchronous a broker schedules — simulator timers, disk
+// completions, DB commit callbacks — must not touch the dead object, so all
+// of them go through defer()/guarded(), which hold a weak alive token.
+// (CPU-queued work is additionally cleared by Cpu::clear(), and disk/DB
+// completions by their generation bumps; the guard makes destruction safe
+// even for paths that bypass those.)
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/config.hpp"
+#include "core/messages.hpp"
+#include "core/node_resources.hpp"
+
+namespace gryphon::core {
+
+class Broker {
+ public:
+  Broker(NodeResources& resources, BrokerConfig config);
+  virtual ~Broker();
+
+  Broker(const Broker&) = delete;
+  Broker& operator=(const Broker&) = delete;
+
+  [[nodiscard]] sim::EndpointId endpoint() const { return res_.endpoint; }
+  [[nodiscard]] const std::string& name() const { return res_.name; }
+  [[nodiscard]] NodeResources& resources() { return res_; }
+
+  /// Network entry point: charges CPU for the message, then handles it.
+  void deliver(sim::EndpointId from, sim::MessagePtr msg);
+
+ protected:
+  /// Per-message CPU cost; default covers control messages.
+  [[nodiscard]] virtual SimDuration cost_of(const Msg& msg) const;
+
+  virtual void handle(sim::EndpointId from, const Msg& msg) = 0;
+
+  /// Schedules fn after `delay`; dropped if this broker dies first.
+  void defer(SimDuration delay, std::function<void()> fn);
+
+  /// Repeats fn every `period` until the broker dies.
+  void every(SimDuration period, std::function<void()> fn);
+
+  /// Wraps an async completion so it is a no-op after this broker dies.
+  [[nodiscard]] std::function<void()> guarded(std::function<void()> fn);
+
+  /// Argument-taking variant of guarded().
+  template <typename F>
+  [[nodiscard]] auto guarded_fn(F fn) {
+    return [weak = std::weak_ptr<std::monostate>(alive_),
+            fn = std::move(fn)](auto&&... args) {
+      if (weak.lock()) fn(std::forward<decltype(args)>(args)...);
+    };
+  }
+
+  /// Runs `fn` after charging `cost` of CPU (serialized behind prior work).
+  void cpu_then(SimDuration cost, std::function<void()> fn);
+
+  void send(sim::EndpointId to, sim::MessagePtr msg) {
+    res_.network.send(res_.endpoint, to, std::move(msg));
+  }
+
+  sim::Simulator& sim() { return res_.sim; }
+  [[nodiscard]] SimTime now() const { return res_.sim.now(); }
+
+  NodeResources& res_;
+  BrokerConfig config_;
+
+ private:
+  friend class PersistentFilteringSubsystem;
+  std::shared_ptr<std::monostate> alive_;
+};
+
+}  // namespace gryphon::core

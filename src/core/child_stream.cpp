@@ -1,0 +1,81 @@
+#include "core/child_stream.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace gryphon::core {
+
+using routing::KnowledgeItem;
+using routing::TickValue;
+
+std::vector<KnowledgeItem> filter_items(const std::vector<KnowledgeItem>& items,
+                                        const matching::SubscriptionIndex* filter) {
+  std::vector<KnowledgeItem> out;
+  out.reserve(items.size());
+  auto push = [&out](KnowledgeItem item) {
+    if (!out.empty() && item.value != TickValue::kD &&
+        out.back().value == item.value && out.back().range.to + 1 == item.range.from) {
+      out.back().range.to = item.range.to;  // merge adjacent S/S or L/L
+      return;
+    }
+    out.push_back(std::move(item));
+  };
+  for (const auto& item : items) {
+    if (item.value == TickValue::kD && filter != nullptr &&
+        !filter->matches_any(*item.event)) {
+      push({TickValue::kS, item.range, nullptr});
+    } else {
+      push(item);
+    }
+  }
+  return out;
+}
+
+std::vector<KnowledgeItem> ChildStream::on_items(
+    const std::vector<KnowledgeItem>& items) {
+  std::vector<KnowledgeItem> out;
+  Tick max_end = sent_upto_;
+  for (const auto& item : items) {
+    const TickRange r = item.range;
+    max_end = std::max(max_end, r.to);
+    if (item.value == TickValue::kD) {
+      if (r.from > sent_upto_ || pending_nacks_.contains(r.from)) {
+        out.push_back(item);
+        pending_nacks_.subtract(r);
+      }
+      continue;
+    }
+    // S/L range: the child wants the pending sub-ranges plus the fresh tail.
+    IntervalSet wanted;
+    for (const TickRange& p : pending_nacks_.intersection(r.from, r.to)) wanted.add(p);
+    if (r.to > sent_upto_) wanted.add(std::max(r.from, sent_upto_ + 1), r.to);
+    for (const TickRange& w : wanted.ranges()) {
+      out.push_back({item.value, w, nullptr});
+      pending_nacks_.subtract(w);
+    }
+  }
+  sent_upto_ = max_end;
+  return out;
+}
+
+ChildStream::NackOutcome ChildStream::on_nack(const std::vector<TickRange>& ranges,
+                                              const routing::TickMap& cache) {
+  NackOutcome outcome;
+  for (const TickRange& r : ranges) {
+    GRYPHON_CHECK(r.from <= r.to);
+    // Serve the parts the cache knows; everything else becomes pending.
+    IntervalSet known;
+    for (const auto& item : cache.items(r.from, r.to)) {
+      outcome.respond.push_back(item);
+      known.add(item.range);
+    }
+    for (const TickRange& q : known.complement_within(r.from, r.to)) {
+      pending_nacks_.add(q);
+      outcome.unknown.push_back(q);
+    }
+  }
+  return outcome;
+}
+
+}  // namespace gryphon::core

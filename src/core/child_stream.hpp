@@ -1,0 +1,73 @@
+// Per-(child link, pubend) downstream stream state, shared by the PHB and
+// intermediate brokers.
+//
+// Two flows reach a child: the fresh in-order stream (everything past
+// sent_upto) and responses to the child's nacks (pending_nacks). on_items()
+// routes incoming/locally-generated knowledge into both, so a nack response
+// fetched from upstream for one child is forwarded to every child that is
+// curious about it — the nack-consolidation fan-out of paper §3.
+#pragma once
+
+#include <vector>
+
+#include "matching/subscription_index.hpp"
+#include "routing/tick_map.hpp"
+#include "util/interval_set.hpp"
+#include "util/time.hpp"
+
+namespace gryphon::core {
+
+/// Converts items for a downstream link: D events that match no subscription
+/// in `filter` become S (content filtering at interior nodes); adjacent
+/// S/S and L/L ranges are merged. A null filter forwards everything.
+[[nodiscard]] std::vector<routing::KnowledgeItem> filter_items(
+    const std::vector<routing::KnowledgeItem>& items,
+    const matching::SubscriptionIndex* filter);
+
+class ChildStream {
+ public:
+  explicit ChildStream(Tick start = kTickZero) : sent_upto_(start) {}
+
+  [[nodiscard]] Tick sent_upto() const { return sent_upto_; }
+
+  /// Child (re)connected: resume the fresh stream from `resume`, dropping
+  /// stale curiosity.
+  void reset(Tick resume) {
+    sent_upto_ = resume;
+    pending_nacks_.clear();
+  }
+
+  /// Routes knowledge (tick-ordered items) to this child: returns the parts
+  /// it should receive — nack responses plus fresh stream past sent_upto —
+  /// and advances sent_upto/pending accordingly.
+  [[nodiscard]] std::vector<routing::KnowledgeItem> on_items(
+      const std::vector<routing::KnowledgeItem>& items);
+
+  struct NackOutcome {
+    /// Items servable right now from the local cache.
+    std::vector<routing::KnowledgeItem> respond;
+    /// Ranges unknown locally; recorded pending here, to be consolidated
+    /// upstream by the caller.
+    std::vector<TickRange> unknown;
+  };
+
+  /// Child nacked `ranges`; serve what `cache` knows, remember the rest.
+  [[nodiscard]] NackOutcome on_nack(const std::vector<TickRange>& ranges,
+                                    const routing::TickMap& cache);
+
+  /// Records curiosity without serving (authoritative-only nacks passing
+  /// through: the response from upstream will be routed here).
+  void add_pending(TickRange r) { pending_nacks_.add(r); }
+
+  [[nodiscard]] const IntervalSet& pending_nacks() const { return pending_nacks_; }
+
+  /// Release-protocol values last reported by this child.
+  Tick released = kTickZero;
+  Tick latest_delivered = kTickZero;
+
+ private:
+  Tick sent_upto_;
+  IntervalSet pending_nacks_;
+};
+
+}  // namespace gryphon::core

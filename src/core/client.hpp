@@ -1,0 +1,68 @@
+// Light base for client endpoints (publishers, durable subscribers).
+//
+// Clients are simulated as free network endpoints: unlike brokers they have
+// no CPU/disk model (the paper's experiments use enough client machines that
+// clients are never the bottleneck) and they do not crash in-process —
+// subscriber "failure" is modeled as disconnection, which is exactly the
+// paper's durable-subscription model.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/messages.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace gryphon::core {
+
+class Client {
+ public:
+  Client(sim::Simulator& simulator, sim::Network& network, std::string name)
+      : sim_(simulator), network_(network), alive_(std::make_shared<std::monostate>()) {
+    endpoint_ = network_.add_endpoint(
+        std::move(name), [this](sim::EndpointId from, sim::MessagePtr msg) {
+          handle(from, static_cast<const Msg&>(*msg));
+        });
+  }
+
+  virtual ~Client() = default;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  [[nodiscard]] sim::EndpointId endpoint() const { return endpoint_; }
+
+ protected:
+  virtual void handle(sim::EndpointId from, const Msg& msg) = 0;
+
+  void send(sim::EndpointId to, sim::MessagePtr msg) {
+    network_.send(endpoint_, to, std::move(msg));
+  }
+
+  void defer(SimDuration delay, std::function<void()> fn) {
+    sim_.schedule_after(delay,
+                        [weak = std::weak_ptr<std::monostate>(alive_),
+                         fn = std::move(fn)] {
+                          if (weak.lock()) fn();
+                        });
+  }
+
+  void every(SimDuration period, std::function<void()> fn) {
+    defer(period, [this, period, fn = std::move(fn)]() mutable {
+      fn();
+      every(period, std::move(fn));
+    });
+  }
+
+  [[nodiscard]] SimTime now() const { return sim_.now(); }
+
+  sim::Simulator& sim_;
+  sim::Network& network_;
+
+ private:
+  sim::EndpointId endpoint_ = 0;
+  std::shared_ptr<std::monostate> alive_;
+};
+
+}  // namespace gryphon::core

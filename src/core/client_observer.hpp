@@ -1,0 +1,31 @@
+// Observation hooks for clients: the experiment harness (oracle, metrics)
+// implements these to validate exactly-once delivery and to record rates
+// and latencies without the core protocols knowing about it.
+#pragma once
+
+#include "matching/event.hpp"
+#include "util/ids.hpp"
+#include "util/interval_set.hpp"
+#include "util/time.hpp"
+
+namespace gryphon::core {
+
+class SubscriberObserver {
+ public:
+  virtual ~SubscriberObserver() = default;
+  virtual void on_event(SubscriberId, PubendId, Tick, const matching::EventDataPtr&,
+                        bool /*catchup*/, SimTime) {}
+  virtual void on_silence(SubscriberId, PubendId, Tick, SimTime) {}
+  virtual void on_gap(SubscriberId, PubendId, TickRange, SimTime) {}
+  virtual void on_connected(SubscriberId, SimTime) {}
+};
+
+class PublisherObserver {
+ public:
+  virtual ~PublisherObserver() = default;
+  virtual void on_published(PublisherId, PubendId, Tick,
+                            const matching::EventDataPtr&, SimTime /*publish time*/,
+                            SimTime /*ack time*/) {}
+};
+
+}  // namespace gryphon::core

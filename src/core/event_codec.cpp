@@ -1,0 +1,94 @@
+#include "core/event_codec.hpp"
+
+#include "util/assert.hpp"
+
+namespace gryphon::core {
+
+namespace {
+
+enum class ValueTag : std::uint8_t { kInt = 0, kDouble = 1, kBool = 2, kString = 3 };
+
+void encode_value(BufWriter& w, const matching::Value& v) {
+  if (v.is_string()) {
+    w.put_u8(static_cast<std::uint8_t>(ValueTag::kString));
+    w.put_string(v.as_string());
+  } else if (v.is_bool()) {
+    w.put_u8(static_cast<std::uint8_t>(ValueTag::kBool));
+    w.put_u8(v.as_bool() ? 1 : 0);
+  } else {
+    // Both int64 and double attributes round-trip as double here; the
+    // matching layer compares numerics numerically, so this is lossless for
+    // protocol purposes (int64 attrs beyond 2^53 are not used by workloads).
+    w.put_u8(static_cast<std::uint8_t>(ValueTag::kDouble));
+    const double d = v.as_double();
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof d);
+    std::memcpy(&bits, &d, sizeof bits);
+    w.put_u64(bits);
+  }
+}
+
+matching::Value decode_value(BufReader& r) {
+  switch (static_cast<ValueTag>(r.get_u8())) {
+    case ValueTag::kString:
+      return matching::Value(r.get_string());
+    case ValueTag::kBool:
+      return matching::Value(r.get_u8() != 0);
+    case ValueTag::kDouble: {
+      const std::uint64_t bits = r.get_u64();
+      double d;
+      std::memcpy(&d, &bits, sizeof d);
+      return matching::Value(d);
+    }
+    case ValueTag::kInt:
+      return matching::Value(static_cast<std::int64_t>(r.get_u64()));
+  }
+  GRYPHON_CHECK_MSG(false, "corrupt value tag");
+  return {};
+}
+
+}  // namespace
+
+std::vector<std::byte> encode_logged_event(const LoggedEvent& e) {
+  GRYPHON_CHECK(e.event != nullptr);
+  BufWriter w;
+  w.put_i64(e.tick);
+  w.put_u32(e.publisher.value());
+  w.put_u64(e.seq);
+  w.put_u32(static_cast<std::uint32_t>(e.event->attributes().size()));
+  for (const auto& [name, value] : e.event->attributes()) {
+    w.put_string(name);
+    encode_value(w, value);
+  }
+  // The record carries the full application payload: payload_size() bytes
+  // on disk (workload generators pad without materializing, but the log —
+  // and its byte accounting — must store the real size).
+  w.put_string(e.event->payload());
+  const auto padded = static_cast<std::uint32_t>(e.event->payload_size());
+  w.put_u32(padded);
+  for (std::size_t i = e.event->payload().size(); i < padded; ++i) w.put_u8(0);
+  return w.take();
+}
+
+LoggedEvent decode_logged_event(std::span<const std::byte> bytes) {
+  BufReader r(bytes);
+  LoggedEvent e;
+  e.tick = r.get_i64();
+  e.publisher = PublisherId{r.get_u32()};
+  e.seq = r.get_u64();
+  const auto n_attrs = r.get_u32();
+  std::map<std::string, matching::Value> attrs;
+  for (std::uint32_t i = 0; i < n_attrs; ++i) {
+    std::string name = r.get_string();
+    attrs.emplace(std::move(name), decode_value(r));
+  }
+  std::string payload = r.get_string();
+  const auto padded = r.get_u32();
+  if (padded > payload.size()) r.get_bytes(padded - payload.size());
+  e.event = std::make_shared<matching::EventData>(std::move(attrs), std::move(payload),
+                                                  padded);
+  GRYPHON_CHECK_MSG(r.done(), "trailing bytes in event record");
+  return e;
+}
+
+}  // namespace gryphon::core

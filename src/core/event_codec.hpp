@@ -1,0 +1,28 @@
+// Serialization of events for the PHB's persistent event log.
+//
+// A log record is {tick, publisher, seq, attributes, payload, padded size};
+// recovery replays records to rebuild the pubend's D ladder and the
+// per-publisher dedup table.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "matching/event.hpp"
+#include "util/byte_buffer.hpp"
+#include "util/ids.hpp"
+#include "util/time.hpp"
+
+namespace gryphon::core {
+
+struct LoggedEvent {
+  Tick tick = kTickZero;
+  PublisherId publisher;
+  std::uint64_t seq = 0;
+  matching::EventDataPtr event;
+};
+
+[[nodiscard]] std::vector<std::byte> encode_logged_event(const LoggedEvent& e);
+[[nodiscard]] LoggedEvent decode_logged_event(std::span<const std::byte> bytes);
+
+}  // namespace gryphon::core

@@ -1,0 +1,80 @@
+// The "machine" a broker process runs on: CPU, disk, log volume, database
+// and network address. These survive a broker *process* crash — the broker
+// object is destroyed and a fresh one is constructed over the same
+// NodeResources, finding exactly the durable state a real restart would
+// find on disk.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/config.hpp"
+#include "sim/cpu.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "storage/database.hpp"
+#include "storage/log_volume.hpp"
+#include "storage/sim_disk.hpp"
+#include "util/logging.hpp"
+
+namespace gryphon::core {
+
+class Broker;
+
+class NodeResources {
+ public:
+  NodeResources(sim::Simulator& simulator, sim::Network& network, std::string name,
+                const BrokerConfig& broker_config, storage::DiskConfig disk_config,
+                int db_connections = 1)
+      : sim(simulator),
+        network(network),
+        name(std::move(name)),
+        cpu(simulator, this->name + ".cpu", broker_config.cores),
+        disk(simulator, this->name + ".disk", disk_config),
+        log_volume(disk),
+        database(disk, db_connections) {
+    endpoint = network.add_endpoint(this->name, [this](sim::EndpointId from,
+                                                       sim::MessagePtr msg) {
+      route(from, std::move(msg));
+    });
+  }
+
+  NodeResources(const NodeResources&) = delete;
+  NodeResources& operator=(const NodeResources&) = delete;
+
+  /// Process crash: the network address goes dark, queued CPU work and all
+  /// unsynced storage state are lost. Call before destroying the Broker.
+  void crash() {
+    GRYPHON_LOG(kWarn, name, "broker process crashed (volatile state lost)");
+    network.set_down(endpoint, true);
+    cpu.clear();
+    disk.crash();
+    log_volume.crash();
+    database.crash();
+    current_broker = nullptr;
+  }
+
+  /// Bring the address back up for a restarted broker (set current_broker
+  /// first).
+  void restart() {
+    GRYPHON_LOG(kInfo, name, "broker restarted over surviving durable state");
+    network.set_down(endpoint, false);
+  }
+
+  sim::Simulator& sim;
+  sim::Network& network;
+  std::string name;
+  sim::Cpu cpu;
+  storage::SimDisk disk;
+  storage::LogVolume log_volume;
+  storage::Database database;
+  sim::EndpointId endpoint = 0;
+
+  /// The live broker process, or nullptr while crashed.
+  Broker* current_broker = nullptr;
+
+ private:
+  void route(sim::EndpointId from, sim::MessagePtr msg);
+};
+
+}  // namespace gryphon::core

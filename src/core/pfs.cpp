@@ -1,0 +1,352 @@
+#include "core/pfs.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/byte_buffer.hpp"
+
+namespace gryphon::core {
+
+namespace {
+
+constexpr const char* kMetaTable = "pfs_meta";
+constexpr const char* kSubTable = "pfs_sub";
+
+std::string meta_key(PubendId p, const char* what) {
+  return std::to_string(p.value()) + ':' + what;
+}
+
+std::string sub_key(PubendId p, SubscriberId s) {
+  return std::to_string(p.value()) + ':' + std::to_string(s.value());
+}
+
+std::vector<std::byte> encode_i64(std::int64_t v) {
+  BufWriter w;
+  w.put_i64(v);
+  return w.take();
+}
+
+std::int64_t decode_i64(const std::vector<std::byte>& bytes) {
+  BufReader r(bytes);
+  return r.get_i64();
+}
+
+}  // namespace
+
+PersistentFilteringSubsystem::PersistentFilteringSubsystem(NodeResources& resources,
+                                                           const CostModel& costs)
+    : res_(resources), costs_(costs) {
+  GRYPHON_CHECK(costs_.pfs_imprecise_batch >= 1);
+}
+
+std::vector<std::byte> PersistentFilteringSubsystem::encode(const Record& r) {
+  BufWriter w;
+  w.put_i64(r.range.from);
+  w.put_i64(r.range.to);
+  w.put_u32(static_cast<std::uint32_t>(r.entries.size()));
+  for (const auto& [sub, prev] : r.entries) {
+    w.put_u32(sub.value());
+    w.put_u64(prev);
+  }
+  return w.take();
+}
+
+PersistentFilteringSubsystem::Record PersistentFilteringSubsystem::decode(
+    const std::vector<std::byte>& bytes) {
+  BufReader r(bytes);
+  Record rec;
+  rec.range.from = r.get_i64();
+  rec.range.to = r.get_i64();
+  const auto n = r.get_u32();
+  rec.entries.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const SubscriberId sub{r.get_u32()};
+    const storage::LogIndex prev = r.get_u64();
+    rec.entries.emplace_back(sub, prev);
+  }
+  return rec;
+}
+
+PersistentFilteringSubsystem::PerPubend& PersistentFilteringSubsystem::per(PubendId p) {
+  auto it = pubends_.find(p);
+  GRYPHON_CHECK_MSG(it != pubends_.end(), "unknown pubend " << p);
+  return it->second;
+}
+
+const PersistentFilteringSubsystem::PerPubend& PersistentFilteringSubsystem::per(
+    PubendId p) const {
+  auto it = pubends_.find(p);
+  GRYPHON_CHECK_MSG(it != pubends_.end(), "unknown pubend " << p);
+  return it->second;
+}
+
+void PersistentFilteringSubsystem::open(const std::vector<PubendId>& pubends) {
+  auto& db = res_.database;
+  auto& volume = res_.log_volume;
+
+  for (PubendId p : pubends) {
+    PerPubend state;
+    state.id = p;
+    state.stream = volume.open_stream("pfs:" + std::to_string(p.value()));
+
+    // Last committed metadata snapshot (may lag the durable log).
+    if (auto v = db.get(kMetaTable, meta_key(p, "last_ts"))) {
+      state.durable_timestamp = decode_i64(*v);
+    }
+    if (auto v = db.get(kMetaTable, meta_key(p, "scan"))) {
+      state.durable_scan_index = static_cast<storage::LogIndex>(decode_i64(*v));
+    }
+    if (auto v = db.get(kMetaTable, meta_key(p, "chopped"))) {
+      state.chopped_upto = decode_i64(*v);
+    }
+    pubends_.emplace(p, std::move(state));
+  }
+
+  // Per-subscriber lastIndex rows.
+  for (const auto& [key, value] : db.scan(kSubTable)) {
+    const auto colon = key.find(':');
+    GRYPHON_CHECK(colon != std::string::npos);
+    const PubendId p{static_cast<std::uint32_t>(std::stoul(key.substr(0, colon)))};
+    const SubscriberId s{static_cast<std::uint32_t>(std::stoul(key.substr(colon + 1)))};
+    auto it = pubends_.find(p);
+    if (it == pubends_.end()) continue;  // pubend no longer configured
+    it->second.durable_last_index[s] = static_cast<storage::LogIndex>(decode_i64(value));
+  }
+
+  // Repair: forward-scan the durable log suffix that postdates the metadata
+  // snapshot, rebuilding lastTimestamp and lastIndex(s).
+  for (auto& [p, state] : pubends_) {
+    state.last_index = state.durable_last_index;
+    state.last_timestamp = state.durable_timestamp;
+    const storage::LogIndex durable = volume.durable_index(state.stream);
+    storage::LogIndex from = std::max<storage::LogIndex>(state.durable_scan_index + 1,
+                                                         volume.first_index(state.stream));
+    for (storage::LogIndex i = from; i <= durable; ++i) {
+      const auto* bytes = volume.read(state.stream, i);
+      if (bytes == nullptr) continue;  // chopped
+      Record rec = decode(*bytes);
+      GRYPHON_CHECK(rec.range.to > state.last_timestamp);
+      state.last_timestamp = rec.range.to;
+      for (const auto& [sub, prev] : rec.entries) state.last_index[sub] = i;
+    }
+    state.durable_scan_index = std::max(state.durable_scan_index, durable);
+    state.durable_timestamp = state.last_timestamp;
+    state.durable_last_index = state.last_index;
+    state.last_accepted = state.last_timestamp;
+    state.meta_dirty = true;
+  }
+}
+
+void PersistentFilteringSubsystem::write_record(PerPubend& state, TickRange range,
+                                                const std::vector<SubscriberId>& matching) {
+  Record rec;
+  rec.range = range;
+  rec.entries.reserve(matching.size());
+  for (SubscriberId s : matching) {
+    auto it = state.last_index.find(s);
+    rec.entries.emplace_back(s, it == state.last_index.end() ? storage::kNoIndex
+                                                             : it->second);
+  }
+  const storage::LogIndex idx = res_.log_volume.append(state.stream, encode(rec));
+  for (SubscriberId s : matching) state.last_index[s] = idx;
+  state.last_timestamp = range.to;
+  ++records_written_;
+  bytes_written_ += range_record_bytes(matching.size(), range.from != range.to);
+}
+
+void PersistentFilteringSubsystem::flush_batch(PerPubend& state) {
+  if (state.batch_count == 0) return;
+  std::vector<SubscriberId> matching(state.batch_union.begin(), state.batch_union.end());
+  write_record(state, {state.batch_first, state.batch_last}, matching);
+  state.batch_count = 0;
+  state.batch_union.clear();
+}
+
+void PersistentFilteringSubsystem::append(PubendId pubend, Tick tick,
+                                          const std::vector<SubscriberId>& matching) {
+  GRYPHON_CHECK_MSG(!matching.empty(), "PFS records require >= 1 subscriber");
+  PerPubend& state = per(pubend);
+  GRYPHON_CHECK_MSG(tick > state.last_accepted,
+                    "non-monotonic PFS write " << tick << " after "
+                                               << state.last_accepted);
+  state.last_accepted = tick;
+
+  if (costs_.pfs_imprecise_batch <= 1) {
+    write_record(state, {tick, tick}, matching);
+    return;
+  }
+
+  // Imprecise mode: coalesce consecutive matched timestamps into one record
+  // covering their range with the union of their subscriber lists.
+  if (state.batch_count == 0) state.batch_first = tick;
+  state.batch_last = tick;
+  state.batch_union.insert(matching.begin(), matching.end());
+  if (++state.batch_count >= costs_.pfs_imprecise_batch) flush_batch(state);
+}
+
+void PersistentFilteringSubsystem::sync(std::function<void()> on_durable) {
+  for (auto& [p, state] : pubends_) flush_batch(state);
+
+  // Capture the state the barrier will cover; it becomes the durable
+  // snapshot (and thus DB-committable metadata) at completion.
+  struct Snapshot {
+    PubendId pubend;
+    Tick last_timestamp;
+    storage::LogIndex scan_index;
+    std::unordered_map<SubscriberId, storage::LogIndex> last_index;
+  };
+  std::vector<Snapshot> snaps;
+  snaps.reserve(pubends_.size());
+  for (auto& [p, state] : pubends_) {
+    snaps.push_back({p, state.last_timestamp,
+                     res_.log_volume.next_index(state.stream) - 1, state.last_index});
+  }
+  res_.log_volume.sync(
+      [this, snaps = std::move(snaps), on_durable = std::move(on_durable)] {
+        for (const auto& snap : snaps) {
+          PerPubend& state = per(snap.pubend);
+          if (snap.last_timestamp > state.durable_timestamp) {
+            state.durable_timestamp = snap.last_timestamp;
+            state.durable_scan_index = snap.scan_index;
+            state.durable_last_index = snap.last_index;
+            state.meta_dirty = true;
+          }
+        }
+        if (on_durable) on_durable();
+      });
+}
+
+Tick PersistentFilteringSubsystem::last_accepted(PubendId pubend) const {
+  return per(pubend).last_accepted;
+}
+
+Tick PersistentFilteringSubsystem::last_timestamp(PubendId pubend) const {
+  return per(pubend).last_timestamp;
+}
+
+Tick PersistentFilteringSubsystem::durable_timestamp(PubendId pubend) const {
+  return per(pubend).durable_timestamp;
+}
+
+Tick PersistentFilteringSubsystem::read_coverage_limit(PubendId pubend) const {
+  const PerPubend& state = per(pubend);
+  return state.batch_count == 0 ? kTickInfinity : state.batch_first - 1;
+}
+
+void PersistentFilteringSubsystem::read(PubendId pubend, SubscriberId subscriber,
+                                        Tick from, std::size_t max_positions,
+                                        std::function<void(ReadResult)> done) {
+  GRYPHON_CHECK(max_positions > 0);
+  PerPubend& state = per(pubend);
+  ReadResult result;
+  result.covered_upto = state.last_timestamp;
+  result.complete_from = from;
+  result.reached_last = true;
+  result.safe_extension_upto = read_coverage_limit(pubend);
+
+  // Walk the subscriber's back-pointer chain, newest to oldest.
+  bool truncated_by_chop = false;
+  storage::LogIndex cur = storage::kNoIndex;
+  if (auto it = state.last_index.find(subscriber); it != state.last_index.end()) {
+    cur = it->second;
+  }
+  std::vector<TickRange> descending;
+  while (cur != storage::kNoIndex) {
+    const auto* bytes = res_.log_volume.read(state.stream, cur);
+    if (bytes == nullptr) {
+      truncated_by_chop = true;
+      break;
+    }
+    ++result.records_traversed;
+    result.bytes_read += bytes->size() + storage::kLogRecordHeaderBytes;
+    Record rec = decode(*bytes);
+    if (rec.range.to <= from) break;
+    descending.push_back({std::max(rec.range.from, from + 1), rec.range.to});
+    storage::LogIndex prev = storage::kNoIndex;
+    bool found = false;
+    for (const auto& [sub, p] : rec.entries) {
+      if (sub == subscriber) {
+        prev = p;
+        found = true;
+        break;
+      }
+    }
+    GRYPHON_CHECK_MSG(found, "back-pointer chain visited foreign record");
+    cur = prev;
+  }
+
+  if (truncated_by_chop) {
+    // Records below the chop are gone; the region (from, chopped_upto] is
+    // unknown to the PFS (the caller leaves it Q and lets the network — and
+    // ultimately the pubend's L ladder — resolve it).
+    result.complete_from = std::max(from, state.chopped_upto);
+  }
+
+  std::reverse(descending.begin(), descending.end());
+  // Buffer limit: keep the oldest max_positions covered ticks (splitting
+  // the last range if needed); coverage stops where the buffer does.
+  std::size_t kept_positions = 0;
+  std::vector<TickRange> kept;
+  for (const TickRange& r : descending) {
+    if (kept_positions >= max_positions) {
+      result.reached_last = false;
+      break;
+    }
+    const auto room = static_cast<Tick>(max_positions - kept_positions);
+    if (r.length() > room) {
+      kept.push_back({r.from, r.from + room - 1});
+      kept_positions += static_cast<std::size_t>(room);
+      result.reached_last = false;
+      break;
+    }
+    kept.push_back(r);
+    kept_positions += static_cast<std::size_t>(r.length());
+  }
+  if (!result.reached_last && !kept.empty()) result.covered_upto = kept.back().to;
+  if (!result.reached_last && kept.empty()) result.covered_upto = from;
+  result.q_ranges = std::move(kept);
+
+  ++reads_;
+  if (result.reached_last) ++reads_reached_last_;
+
+  // One seek + sequential transfer of the traversed records.
+  const std::size_t io_bytes = std::max<std::size_t>(result.bytes_read, 512);
+  res_.disk.read(io_bytes, [result = std::move(result), done = std::move(done)] {
+    done(result);
+  });
+}
+
+void PersistentFilteringSubsystem::chop_upto(PubendId pubend, Tick upto) {
+  PerPubend& state = per(pubend);
+  if (upto <= state.chopped_upto) return;
+  auto& volume = res_.log_volume;
+  while (volume.first_index(state.stream) < volume.next_index(state.stream)) {
+    const storage::LogIndex first = volume.first_index(state.stream);
+    const auto* bytes = volume.read(state.stream, first);
+    GRYPHON_CHECK(bytes != nullptr);
+    if (decode(*bytes).range.to > upto) break;
+    volume.chop(state.stream, first);
+  }
+  state.chopped_upto = upto;
+  state.meta_dirty = true;
+}
+
+std::vector<storage::Database::Put> PersistentFilteringSubsystem::dirty_metadata() {
+  std::vector<storage::Database::Put> puts;
+  for (auto& [p, state] : pubends_) {
+    if (!state.meta_dirty) continue;
+    puts.push_back({kMetaTable, meta_key(p, "last_ts"),
+                    encode_i64(state.durable_timestamp)});
+    puts.push_back({kMetaTable, meta_key(p, "scan"),
+                    encode_i64(static_cast<std::int64_t>(state.durable_scan_index))});
+    puts.push_back({kMetaTable, meta_key(p, "chopped"), encode_i64(state.chopped_upto)});
+    for (const auto& [s, idx] : state.durable_last_index) {
+      puts.push_back(
+          {kSubTable, sub_key(p, s), encode_i64(static_cast<std::int64_t>(idx))});
+    }
+    state.meta_dirty = false;
+  }
+  return puts;
+}
+
+}  // namespace gryphon::core

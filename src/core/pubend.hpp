@@ -1,0 +1,107 @@
+// Pubend — a publishing endpoint at the PHB (paper §2, §3).
+//
+// Owns the authoritative, persistent, ordered event stream: assigns strictly
+// monotonic tick timestamps, logs each event exactly once (in the PHB's Log
+// Volume), maintains the Q/S/D/L ladder rooted at this node, dedups
+// publisher retries, and runs the release protocol that converts an
+// ever-growing prefix of the ladder to L and chops the log.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <set>
+#include <unordered_map>
+
+#include "core/event_codec.hpp"
+#include "core/node_resources.hpp"
+#include "core/release_policy.hpp"
+#include "routing/tick_map.hpp"
+#include "util/ids.hpp"
+#include "util/time.hpp"
+
+namespace gryphon::core {
+
+class Pubend {
+ public:
+  Pubend(PubendId id, NodeResources& resources, ReleasePolicyPtr policy);
+
+  /// Rebuilds the ladder, dedup table and release boundary from the durable
+  /// log + database metadata (PHB restart).
+  void recover();
+
+  [[nodiscard]] PubendId id() const { return id_; }
+
+  /// Result of accepting a publish: `duplicate` is a retry the log already
+  /// holds (re-ack with the previously assigned tick).
+  struct Accepted {
+    bool duplicate = false;
+    Tick tick = kTickZero;
+  };
+
+  /// Assigns a tick (or detects a duplicate) and appends the event to the
+  /// log. Volatile until the volume syncs; announce via announce_data() once
+  /// durable.
+  Accepted accept_publish(PublisherId publisher, std::uint64_t seq,
+                          const matching::EventDataPtr& event, SimTime now);
+
+  /// Marks `tick` D in the ladder (and the ticks since the previous
+  /// announcement S). Returns the newly announced contiguous region.
+  TickRange announce_data(Tick tick, matching::EventDataPtr event);
+
+  /// Advances the announced silence horizon toward the current time,
+  /// stopping short of any accepted-but-not-yet-durable event. Returns the
+  /// announced region, if it advanced.
+  std::optional<TickRange> announce_silence(SimTime now);
+
+  /// The ladder (authoritative; L prefix + S/D suffix).
+  [[nodiscard]] const routing::TickMap& ticks() const { return ticks_; }
+
+  /// T(p): the latest announced tick.
+  [[nodiscard]] Tick head() const { return announced_upto_; }
+
+  /// Release protocol: new mins of (released, latestDelivered) across all
+  /// downstream SHBs.
+  void update_mins(Tick released_min, Tick delivered_min);
+
+  /// Applies the release policy: converts the releasable prefix to L, chops
+  /// the event log, persists the boundary. Returns the newly lost range.
+  std::optional<TickRange> apply_release(SimTime now);
+
+  [[nodiscard]] Tick released_min() const { return released_min_; }
+  [[nodiscard]] Tick delivered_min() const { return delivered_min_; }
+  [[nodiscard]] Tick lost_upto() const { return lost_upto_; }
+
+  [[nodiscard]] std::uint64_t events_logged() const { return events_logged_; }
+  [[nodiscard]] std::size_t retained_events() const { return ticks_.retained_events(); }
+
+ private:
+  [[nodiscard]] std::string meta_key(const char* what) const;
+
+  PubendId id_;
+  NodeResources& res_;
+  ReleasePolicyPtr policy_;
+  storage::LogStreamId log_stream_;
+
+  routing::TickMap ticks_{kTickZero};
+  Tick last_assigned_ = kTickZero;   // highest tick handed to an event
+  Tick announced_upto_ = kTickZero;  // S/D ladder is complete up to here
+  std::set<Tick> pending_durable_;   // accepted events not yet announced
+
+  Tick released_min_ = kTickZero;   // Tr(p)
+  Tick delivered_min_ = kTickZero;  // Td(p)
+  Tick lost_upto_ = kTickZero;
+
+  /// (publisher -> last seq/tick) for retry dedup.
+  struct LastPub {
+    std::uint64_t seq;
+    Tick tick;
+  };
+  std::unordered_map<PublisherId, LastPub> last_pub_;
+
+  /// Retained (tick, log index) pairs for chopping by tick.
+  std::deque<std::pair<Tick, storage::LogIndex>> retained_records_;
+
+  std::uint64_t events_logged_ = 0;
+};
+
+}  // namespace gryphon::core

@@ -1,0 +1,58 @@
+#include "core/publisher_client.hpp"
+
+namespace gryphon::core {
+
+Publisher::Publisher(sim::Simulator& simulator, sim::Network& network, Options options,
+                     sim::EndpointId phb, EventFactory factory,
+                     PublisherObserver* observer)
+    : Client(simulator, network, "pub-" + std::to_string(options.id.value())),
+      options_(std::move(options)),
+      phb_(phb),
+      factory_(std::move(factory)),
+      observer_(observer) {
+  every(options_.retry_timeout, [this] { retry_pending(); });
+}
+
+void Publisher::start() {
+  GRYPHON_CHECK_MSG(options_.interval > 0, "start() requires a publish interval");
+  if (running_) return;
+  running_ = true;
+  defer(options_.start_offset, [this] { tick(); });
+}
+
+void Publisher::tick() {
+  if (!running_) return;
+  publish(factory_(next_seq_));
+  defer(options_.interval, [this] { tick(); });
+}
+
+void Publisher::publish(matching::EventDataPtr event) {
+  GRYPHON_CHECK(event != nullptr);
+  const std::uint64_t seq = next_seq_++;
+  pending_.emplace(seq, Pending{event, now(), now()});
+  send(phb_, std::make_shared<PublishMsg>(options_.id, seq, options_.pubend,
+                                          std::move(event)));
+}
+
+void Publisher::retry_pending() {
+  for (auto& [seq, p] : pending_) {
+    if (now() - p.last_sent < options_.retry_timeout) continue;
+    p.last_sent = now();
+    send(phb_, std::make_shared<PublishMsg>(options_.id, seq, options_.pubend, p.event));
+  }
+}
+
+void Publisher::handle(sim::EndpointId /*from*/, const Msg& msg) {
+  GRYPHON_CHECK(msg.kind() == MsgKind::kPublishAck);
+  const auto& m = static_cast<const PublishAckMsg&>(msg);
+  auto it = pending_.find(m.seq);
+  if (it == pending_.end()) return;  // duplicate ack
+  ++acked_;
+  if (observer_ != nullptr) {
+    observer_->on_published(options_.id, options_.pubend, m.assigned_tick,
+                            it->second.event, it->second.first_sent, now());
+  }
+  pending_.erase(it);
+}
+
+}  // namespace gryphon::core

@@ -1,0 +1,69 @@
+// Publisher client: publishes at a configured rate with at-least-once
+// delivery to the PHB (retry until acknowledged); the pubend's seq-based
+// dedup turns that into exactly-once logging.
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "core/client.hpp"
+#include "core/client_observer.hpp"
+
+namespace gryphon::core {
+
+class Publisher final : public Client {
+ public:
+  /// Builds the event for the publisher's `seq`-th publish.
+  using EventFactory = std::function<matching::EventDataPtr(std::uint64_t seq)>;
+
+  struct Options {
+    PublisherId id;
+    PubendId pubend;
+    /// Interval between publishes; <= 0 means manual publishing only.
+    SimDuration interval = kManualOnly;
+    /// Phase offset of the first timed publish.
+    SimDuration start_offset = 0;
+    SimDuration retry_timeout = msec(500);
+
+    static constexpr SimDuration kManualOnly = 0;
+  };
+
+  Publisher(sim::Simulator& simulator, sim::Network& network, Options options,
+            sim::EndpointId phb, EventFactory factory,
+            PublisherObserver* observer = nullptr);
+
+  /// Starts / stops the timed publishing loop.
+  void start();
+  void stop() { running_ = false; }
+
+  /// Publishes one event immediately (manual mode or extra traffic).
+  void publish(matching::EventDataPtr event);
+
+  [[nodiscard]] std::uint64_t published() const { return next_seq_ - 1; }
+  [[nodiscard]] std::uint64_t acked() const { return acked_; }
+  [[nodiscard]] std::size_t unacked() const { return pending_.size(); }
+
+ protected:
+  void handle(sim::EndpointId from, const Msg& msg) override;
+
+ private:
+  void tick();
+  void retry_pending();
+
+  Options options_;
+  sim::EndpointId phb_;
+  EventFactory factory_;
+  PublisherObserver* observer_;
+  bool running_ = false;
+
+  struct Pending {
+    matching::EventDataPtr event;
+    SimTime first_sent;
+    SimTime last_sent;
+  };
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t acked_ = 0;
+  std::map<std::uint64_t, Pending> pending_;
+};
+
+}  // namespace gryphon::core

@@ -1,0 +1,55 @@
+// Early-release policies (paper §3).
+//
+// The release protocol gives the pubend two aggregated timestamps:
+//   Tr(p) = min released over all SHBs   — everyone has acknowledged
+//   Td(p) = min latestDelivered over all SHBs — every constream has passed
+// Ticks <= Tr are always releasable. A policy may additionally release
+// ticks in (Tr, Td] — never beyond Td, so connected non-catchup subscribers
+// never receive gap messages.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+
+#include "util/time.hpp"
+
+namespace gryphon::core {
+
+class ReleasePolicy {
+ public:
+  virtual ~ReleasePolicy() = default;
+
+  /// Highest tick that may be converted to L, given Tr, Td and the pubend's
+  /// current time T. Must return a value <= Td and >= Tr.
+  [[nodiscard]] virtual Tick release_upto(Tick tr, Tick td, Tick t) const = 0;
+};
+
+/// No early release: only fully acknowledged ticks are discarded. A
+/// misbehaving disconnected subscriber pins storage forever.
+class NoEarlyReleasePolicy final : public ReleasePolicy {
+ public:
+  [[nodiscard]] Tick release_upto(Tick tr, Tick /*td*/, Tick /*t*/) const override {
+    return tr;
+  }
+};
+
+/// The paper's example policy: the pubend retains at most maxRetain(p) worth
+/// of ticks beyond what every constream has delivered. Formally a tick t' is
+/// released when  t' <= Tr  or  (t' <= Td and T - t' > maxRetain).
+class MaxRetainPolicy final : public ReleasePolicy {
+ public:
+  explicit MaxRetainPolicy(Tick max_retain_ticks) : max_retain_(max_retain_ticks) {}
+
+  [[nodiscard]] Tick release_upto(Tick tr, Tick td, Tick t) const override {
+    return std::max(tr, std::min(td, t - max_retain_ - 1));
+  }
+
+  [[nodiscard]] Tick max_retain() const { return max_retain_; }
+
+ private:
+  Tick max_retain_;
+};
+
+using ReleasePolicyPtr = std::shared_ptr<const ReleasePolicy>;
+
+}  // namespace gryphon::core

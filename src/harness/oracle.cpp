@@ -1,0 +1,163 @@
+#include "harness/oracle.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace gryphon::harness {
+
+void DeliveryOracle::register_subscriber(const core::DurableSubscriber* client,
+                                         matching::PredicatePtr predicate, int machine) {
+  GRYPHON_CHECK(client != nullptr && predicate != nullptr);
+  SubState state;
+  state.client = client;
+  state.predicate = std::move(predicate);
+  state.machine = machine;
+  subs_.emplace(client->id(), std::move(state));
+  machine_rates_.try_emplace(machine, sec(1));
+}
+
+void DeliveryOracle::on_published(PublisherId, PubendId pubend, Tick tick,
+                                  const matching::EventDataPtr& event,
+                                  SimTime publish_time, SimTime ack_time) {
+  auto [it, inserted] = published_[pubend].emplace(tick, event);
+  if (!inserted) return;  // duplicate ack of a retried publish
+  publish_times_[pubend].emplace(tick, publish_time);
+  publish_latency_.add(to_millis(ack_time - publish_time));
+  ++published_count_;
+}
+
+void DeliveryOracle::on_event(SubscriberId s, PubendId p, Tick t,
+                              const matching::EventDataPtr& event, bool catchup,
+                              SimTime now) {
+  auto it = subs_.find(s);
+  GRYPHON_CHECK_MSG(it != subs_.end(), "delivery to unregistered subscriber " << s);
+  SubState& state = it->second;
+
+  GRYPHON_CHECK_MSG(state.predicate->matches(*event),
+                    "spurious delivery: event at " << p << ':' << t
+                                                   << " does not match subscriber " << s);
+  const bool fresh = state.delivered[p].insert(t).second;
+  GRYPHON_CHECK_MSG(fresh, "duplicate delivery " << p << ':' << t << " to " << s);
+
+  ++delivered_count_;
+  delivery_rate_.record(now);
+  machine_rates_.at(state.machine).record(now);
+  if (catchup) {
+    ++catchup_delivered_count_;
+  } else if (auto pt = publish_times_.find(p); pt != publish_times_.end()) {
+    if (auto tick_it = pt->second.find(t); tick_it != pt->second.end()) {
+      e2e_latency_.add(to_millis(now - tick_it->second));
+    }
+  }
+}
+
+void DeliveryOracle::on_silence(SubscriberId, PubendId, Tick, SimTime) {}
+
+void DeliveryOracle::on_gap(SubscriberId s, PubendId p, TickRange range, SimTime) {
+  auto it = subs_.find(s);
+  GRYPHON_CHECK(it != subs_.end());
+  it->second.gaps[p].add(range);
+  ++gap_count_;
+}
+
+void DeliveryOracle::on_connected(SubscriberId s, SimTime) {
+  auto it = subs_.find(s);
+  GRYPHON_CHECK(it != subs_.end());
+  SubState& state = it->second;
+  if (!state.saw_first_connect) {
+    state.saw_first_connect = true;
+    state.start_ct = state.client->checkpoint();
+    return;
+  }
+  // Reconnection with a CT behind what we saw delivered: the acknowledgment
+  // was lost (e.g. a JMS auto-ack CT commit dying with the SHB), so the
+  // suffix past the CT is legitimately re-deliverable. Forget it; the
+  // exactly-once check then requires it to be delivered again.
+  const core::CheckpointToken& ct = state.client->checkpoint();
+  for (auto& [p, ticks] : state.delivered) {
+    ticks.erase(ticks.upper_bound(ct.of(p)), ticks.end());
+  }
+  for (auto& [p, gaps] : state.gaps) {
+    if (!gaps.empty()) gaps.subtract(ct.of(p) + 1, kTickInfinity - 1);
+  }
+}
+
+void DeliveryOracle::reset_subscriber(SubscriberId s) {
+  auto it = subs_.find(s);
+  GRYPHON_CHECK(it != subs_.end());
+  it->second.delivered.clear();
+  it->second.gaps.clear();
+  it->second.saw_first_connect = false;
+}
+
+std::vector<std::string> DeliveryOracle::verify(SubscriberId s) const {
+  auto it = subs_.find(s);
+  GRYPHON_CHECK_MSG(it != subs_.end(), "unregistered subscriber " << s);
+  const SubState& state = it->second;
+  std::vector<std::string> violations;
+  if (!state.saw_first_connect) return violations;  // never joined: vacuous
+
+  const core::CheckpointToken& horizon = state.client->checkpoint();
+  for (const auto& [p, events] : published_) {
+    const Tick start = state.start_ct.of(p);
+    const Tick upto = horizon.of(p);
+    const auto delivered_it = state.delivered.find(p);
+    const auto gaps_it = state.gaps.find(p);
+    for (const auto& [t, event] : events) {
+      if (t <= start || t > upto) continue;
+      if (!state.predicate->matches(*event)) continue;
+      const bool got = delivered_it != state.delivered.end() &&
+                       delivered_it->second.contains(t);
+      const bool gapped = gaps_it != state.gaps.end() && gaps_it->second.contains(t);
+      if (!got && !gapped) {
+        std::ostringstream os;
+        os << "subscriber " << s << " missed matching event " << p << ':' << t
+           << " (horizon " << upto << ", no gap notification)";
+        violations.push_back(os.str());
+      }
+    }
+    // Deliveries must correspond to known published events.
+    if (delivered_it != state.delivered.end()) {
+      for (Tick t : delivered_it->second) {
+        if (!events.contains(t)) {
+          std::ostringstream os;
+          os << "subscriber " << s << " received unknown event " << p << ':' << t;
+          violations.push_back(os.str());
+        }
+      }
+    }
+  }
+  return violations;
+}
+
+std::vector<std::string> DeliveryOracle::verify_all() const {
+  std::vector<std::string> all;
+  for (const auto& [s, state] : subs_) {
+    auto v = verify(s);
+    all.insert(all.end(), v.begin(), v.end());
+  }
+  return all;
+}
+
+const RateMeter& DeliveryOracle::machine_rate(int machine) const {
+  auto it = machine_rates_.find(machine);
+  GRYPHON_CHECK_MSG(it != machine_rates_.end(), "unknown machine " << machine);
+  return it->second;
+}
+
+std::vector<int> DeliveryOracle::machines() const {
+  std::vector<int> out;
+  out.reserve(machine_rates_.size());
+  for (const auto& [m, meter] : machine_rates_) out.push_back(m);
+  return out;
+}
+
+const std::map<Tick, matching::EventDataPtr>& DeliveryOracle::published(
+    PubendId p) const {
+  static const std::map<Tick, matching::EventDataPtr> kEmpty;
+  auto it = published_.find(p);
+  return it == published_.end() ? kEmpty : it->second;
+}
+
+}  // namespace gryphon::harness

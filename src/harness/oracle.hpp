@@ -1,0 +1,108 @@
+// DeliveryOracle — global ground truth for every experiment.
+//
+// Observes every publish acknowledgment and every client-side delivery, and
+// can then verify the paper's delivery contract per subscriber:
+//   * no duplicates / ordering violations (also enforced on the wire by
+//     DurableSubscriber),
+//   * no spurious deliveries (event must match the predicate),
+//   * exactly-once: every published event that matches the subscription,
+//     with a timestamp within the subscriber's consumed horizon, was either
+//     delivered or covered by an explicit gap notification (early release)
+//     or predates the subscription.
+//
+// Doubles as the metrics sink: end-to-end latency summary, aggregate and
+// per-machine delivery rate meters (the paper's client machines), and gap /
+// catchup counters.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/client_observer.hpp"
+#include "core/subscriber_client.hpp"
+#include "matching/predicate.hpp"
+#include "util/stats.hpp"
+
+namespace gryphon::harness {
+
+class DeliveryOracle final : public core::SubscriberObserver,
+                             public core::PublisherObserver {
+ public:
+  explicit DeliveryOracle(sim::Simulator& simulator) : sim_(simulator) {}
+
+  /// Registers a subscriber for verification. `machine` groups delivery
+  /// rates the way the paper groups subscribers onto client machines.
+  void register_subscriber(const core::DurableSubscriber* client,
+                           matching::PredicatePtr predicate, int machine = 0);
+
+  // --- PublisherObserver ---
+  void on_published(PublisherId publisher, PubendId pubend, Tick tick,
+                    const matching::EventDataPtr& event, SimTime publish_time,
+                    SimTime ack_time) override;
+
+  // --- SubscriberObserver ---
+  void on_event(SubscriberId s, PubendId p, Tick t, const matching::EventDataPtr& e,
+                bool catchup, SimTime now) override;
+  void on_silence(SubscriberId s, PubendId p, Tick upto, SimTime now) override;
+  void on_gap(SubscriberId s, PubendId p, TickRange range, SimTime now) override;
+  void on_connected(SubscriberId s, SimTime now) override;
+
+  /// Forgets a subscriber's delivery history and start point. Call when the
+  /// experiment deliberately rewinds a subscriber's CT (paper §2's "older
+  /// CT" case): redelivery of previously seen events becomes legitimate.
+  void reset_subscriber(SubscriberId s);
+
+  /// Exactly-once verification for one subscriber against its current CT.
+  /// Returns human-readable violations (empty = contract held).
+  [[nodiscard]] std::vector<std::string> verify(SubscriberId s) const;
+
+  /// Verifies every registered subscriber.
+  [[nodiscard]] std::vector<std::string> verify_all() const;
+
+  // --- metrics ---
+  [[nodiscard]] const Summary& e2e_latency() const { return e2e_latency_; }
+  [[nodiscard]] const Summary& publish_log_latency() const { return publish_latency_; }
+  [[nodiscard]] const RateMeter& delivery_rate() const { return delivery_rate_; }
+  [[nodiscard]] const RateMeter& machine_rate(int machine) const;
+  [[nodiscard]] std::vector<int> machines() const;
+
+  [[nodiscard]] std::uint64_t published_count() const { return published_count_; }
+  [[nodiscard]] std::uint64_t delivered_count() const { return delivered_count_; }
+  [[nodiscard]] std::uint64_t catchup_delivered_count() const {
+    return catchup_delivered_count_;
+  }
+  [[nodiscard]] std::uint64_t gap_count() const { return gap_count_; }
+
+  /// Published events of one pubend (tick -> event), for custom assertions.
+  [[nodiscard]] const std::map<Tick, matching::EventDataPtr>& published(PubendId p) const;
+
+ private:
+  struct SubState {
+    const core::DurableSubscriber* client = nullptr;
+    matching::PredicatePtr predicate;
+    int machine = 0;
+    bool saw_first_connect = false;
+    core::CheckpointToken start_ct;  // captured at first successful connect
+    std::map<PubendId, std::set<Tick>> delivered;
+    std::map<PubendId, IntervalSet> gaps;
+  };
+
+  sim::Simulator& sim_;
+  std::map<PubendId, std::map<Tick, matching::EventDataPtr>> published_;
+  std::map<PubendId, std::map<Tick, SimTime>> publish_times_;
+  std::map<SubscriberId, SubState> subs_;
+  std::map<int, RateMeter> machine_rates_;
+
+  Summary e2e_latency_;      // publish() call -> non-catchup client delivery
+  Summary publish_latency_;  // publish() call -> PHB durable ack
+  RateMeter delivery_rate_{sec(1)};
+  std::uint64_t published_count_ = 0;
+  std::uint64_t delivered_count_ = 0;
+  std::uint64_t catchup_delivered_count_ = 0;
+  std::uint64_t gap_count_ = 0;
+};
+
+}  // namespace gryphon::harness

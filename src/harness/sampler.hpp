@@ -1,0 +1,51 @@
+// Periodic sampler: turns protocol getters (latestDelivered, released,
+// catchup-stream counts, ...) into TimeSeries for the figure benchmarks.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+
+namespace gryphon::harness {
+
+class Sampler {
+ public:
+  explicit Sampler(sim::Simulator& simulator, SimDuration period = msec(100))
+      : sim_(simulator), period_(period) {
+    GRYPHON_CHECK(period_ > 0);
+  }
+
+  /// Registers a sampled series; `getter` is polled every period. Getters
+  /// must tolerate being called at any simulation time (e.g. return the last
+  /// value while a broker is crashed). The returned reference is stable.
+  TimeSeries& add(std::string name, std::function<double()> getter) {
+    auto entry = std::make_unique<Entry>();
+    entry->series = std::make_unique<TimeSeries>(std::move(name));
+    entry->getter = std::move(getter);
+    Entry* raw = entry.get();
+    series_.push_back(std::move(entry));
+    poll(raw);
+    return *raw->series;
+  }
+
+ private:
+  struct Entry {
+    std::unique_ptr<TimeSeries> series;
+    std::function<double()> getter;
+  };
+
+  void poll(Entry* entry) {
+    entry->series->record(sim_.now(), entry->getter());
+    sim_.schedule_after(period_, [this, entry] { poll(entry); });
+  }
+
+  sim::Simulator& sim_;
+  SimDuration period_;
+  std::vector<std::unique_ptr<Entry>> series_;
+};
+
+}  // namespace gryphon::harness

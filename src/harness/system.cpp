@@ -1,0 +1,244 @@
+#include "harness/system.hpp"
+
+#include "matching/parser.hpp"
+
+namespace gryphon::harness {
+
+namespace {
+std::vector<PubendId> make_pubend_ids(int n) {
+  std::vector<PubendId> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out.emplace_back(static_cast<std::uint32_t>(i + 1));
+  return out;
+}
+}  // namespace
+
+System::System(SystemConfig config)
+    : config_(std::move(config)), net_(sim_), oracle_(sim_) {
+  // Log entries carry simulated time (the only meaningful clock here).
+  Logger::instance().set_clock([this] { return sim_.now(); });
+  GRYPHON_CHECK(config_.num_pubends >= 1);
+  GRYPHON_CHECK(config_.num_intermediates >= 0);
+  GRYPHON_CHECK(config_.num_shbs >= 1);
+
+  const auto pubend_ids = make_pubend_ids(config_.num_pubends);
+
+  phb_node_ = std::make_unique<core::NodeResources>(sim_, net_, "phb", config_.broker,
+                                                    config_.phb_disk);
+  phb_ = std::make_unique<core::PublisherHostingBroker>(*phb_node_, config_.broker,
+                                                        pubend_ids, config_.policy);
+
+  sim::EndpointId tail = phb_node_->endpoint;
+  for (int i = 0; i < config_.num_intermediates; ++i) {
+    auto node = std::make_unique<core::NodeResources>(
+        sim_, net_, "imb" + std::to_string(i), config_.broker, config_.shb_disk);
+    auto broker = std::make_unique<core::IntermediateBroker>(*node, config_.broker,
+                                                             pubend_ids);
+    net_.connect(tail, node->endpoint, config_.broker_link);
+    broker->set_parent(tail);
+    if (tail == phb_node_->endpoint) {
+      phb_->add_child(node->endpoint);
+    } else {
+      intermediates_.back()->add_child(node->endpoint);
+    }
+    tail = node->endpoint;
+    intermediate_nodes_.push_back(std::move(node));
+    intermediates_.push_back(std::move(broker));
+  }
+
+  for (int i = 0; i < config_.num_shbs; ++i) {
+    auto node = std::make_unique<core::NodeResources>(
+        sim_, net_, "shb" + std::to_string(i), config_.broker, config_.shb_disk,
+        config_.shb_db_connections);
+    node->database.set_per_txn_overhead(config_.shb_db_per_txn_overhead);
+    auto broker = std::make_unique<core::SubscriberHostingBroker>(*node, config_.broker,
+                                                                  pubend_ids);
+    net_.connect(tail, node->endpoint, config_.broker_link);
+    broker->set_parent(tail);
+    if (tail == phb_node_->endpoint) {
+      phb_->add_child(node->endpoint);
+    } else {
+      intermediates_.back()->add_child(node->endpoint);
+    }
+    shb_nodes_.push_back(std::move(node));
+    shbs_.push_back(std::move(broker));
+  }
+  shb_hooks_.resize(shbs_.size());
+
+  if (config_.shb_gc_period > 0) {
+    GRYPHON_CHECK(config_.shb_gc_pause > 0);
+    // Recurring JVM GC pause on each SHB machine, independent of broker
+    // restarts (the machine keeps collecting garbage either way).
+    for (auto& node : shb_nodes_) schedule_gc_tick(&node->cpu);
+  }
+
+  // Boot order: root first so resume handshakes find live parents.
+  phb_->start();
+  for (auto& imb : intermediates_) imb->start(/*fresh=*/true);
+  for (auto& shb : shbs_) shb->start();
+}
+
+void System::schedule_gc_tick(sim::Cpu* cpu) {
+  sim_.schedule_after(config_.shb_gc_period, [this, cpu] {
+    cpu->inject_stall(config_.shb_gc_pause);
+    schedule_gc_tick(cpu);
+  });
+}
+
+core::IntermediateBroker& System::intermediate(int i) {
+  GRYPHON_CHECK(i >= 0 && i < static_cast<int>(intermediates_.size()));
+  return *intermediates_[static_cast<std::size_t>(i)];
+}
+
+core::SubscriberHostingBroker& System::shb(int i) {
+  GRYPHON_CHECK(i >= 0 && i < static_cast<int>(shbs_.size()));
+  auto& ptr = shbs_[static_cast<std::size_t>(i)];
+  GRYPHON_CHECK_MSG(ptr != nullptr, "SHB " << i << " is crashed");
+  return *ptr;
+}
+
+std::vector<PubendId> System::pubends() const {
+  return make_pubend_ids(config_.num_pubends);
+}
+
+sim::Cpu& System::shb_cpu(int i) {
+  GRYPHON_CHECK(i >= 0 && i < static_cast<int>(shb_nodes_.size()));
+  return shb_nodes_[static_cast<std::size_t>(i)]->cpu;
+}
+
+core::Publisher& System::add_publisher(PubendId pubend, SimDuration interval,
+                                       core::Publisher::EventFactory factory,
+                                       SimDuration start_offset) {
+  core::Publisher::Options options;
+  options.id = PublisherId{static_cast<std::uint32_t>(publishers_.size() + 1)};
+  options.pubend = pubend;
+  options.interval = interval;
+  options.start_offset = start_offset;
+  auto pub = std::make_unique<core::Publisher>(sim_, net_, options,
+                                               phb_node_->endpoint, std::move(factory),
+                                               &oracle_);
+  net_.connect(pub->endpoint(), phb_node_->endpoint, config_.client_link);
+  publishers_.push_back(std::move(pub));
+  return *publishers_.back();
+}
+
+core::DurableSubscriber& System::add_subscriber(core::DurableSubscriber::Options options,
+                                                int shb_index, int machine) {
+  GRYPHON_CHECK(shb_index >= 0 && shb_index < static_cast<int>(shb_nodes_.size()));
+  auto predicate = matching::parse_predicate(options.predicate);
+  auto sub = std::make_unique<core::DurableSubscriber>(
+      sim_, net_, options, shb_nodes_[static_cast<std::size_t>(shb_index)]->endpoint,
+      &oracle_);
+  net_.connect(sub->endpoint(), shb_nodes_[static_cast<std::size_t>(shb_index)]->endpoint,
+               config_.client_link);
+  oracle_.register_subscriber(sub.get(), std::move(predicate), machine);
+  subscribers_.push_back({std::move(sub), shb_index});
+  return *subscribers_.back().client;
+}
+
+std::vector<core::DurableSubscriber*> System::subscribers() {
+  std::vector<core::DurableSubscriber*> out;
+  out.reserve(subscribers_.size());
+  for (auto& entry : subscribers_) out.push_back(entry.client.get());
+  return out;
+}
+
+void System::migrate_subscriber(core::DurableSubscriber& subscriber,
+                                int new_shb_index) {
+  GRYPHON_CHECK(new_shb_index >= 0 &&
+                new_shb_index < static_cast<int>(shb_nodes_.size()));
+  auto it = std::find_if(subscribers_.begin(), subscribers_.end(),
+                         [&](const SubEntry& e) { return e.client.get() == &subscriber; });
+  GRYPHON_CHECK_MSG(it != subscribers_.end(), "unknown subscriber client");
+  const auto new_endpoint =
+      shb_nodes_[static_cast<std::size_t>(new_shb_index)]->endpoint;
+  if (!net_.are_connected(subscriber.endpoint(), new_endpoint)) {
+    net_.connect(subscriber.endpoint(), new_endpoint, config_.client_link);
+  }
+  it->shb_index = new_shb_index;
+  subscriber.migrate(new_endpoint);
+}
+
+void System::crash_shb(int i) {
+  GRYPHON_CHECK(i >= 0 && i < static_cast<int>(shbs_.size()));
+  auto& ptr = shbs_[static_cast<std::size_t>(i)];
+  GRYPHON_CHECK_MSG(ptr != nullptr, "SHB " << i << " already crashed");
+  shb_nodes_[static_cast<std::size_t>(i)]->crash();
+  ptr.reset();
+  // TCP connections die with the broker: clients observe a reset.
+  for (auto& entry : subscribers_) {
+    if (entry.shb_index == i) entry.client->notify_connection_reset();
+  }
+}
+
+void System::restart_shb(int i) {
+  GRYPHON_CHECK(i >= 0 && i < static_cast<int>(shbs_.size()));
+  auto& ptr = shbs_[static_cast<std::size_t>(i)];
+  GRYPHON_CHECK_MSG(ptr == nullptr, "SHB " << i << " is not crashed");
+  auto& node = *shb_nodes_[static_cast<std::size_t>(i)];
+  ptr = std::make_unique<core::SubscriberHostingBroker>(node, config_.broker, pubends());
+  ptr->set_parent(intermediates_.empty() ? phb_node_->endpoint
+                                         : intermediate_nodes_.back()->endpoint);
+  node.restart();
+  ptr->recover();
+  for (auto& hook : shb_hooks_[static_cast<std::size_t>(i)]) hook(*ptr);
+}
+
+void System::crash_phb() {
+  phb_node_->crash();
+  phb_.reset();
+}
+
+void System::restart_phb() {
+  GRYPHON_CHECK(phb_ == nullptr);
+  phb_ = std::make_unique<core::PublisherHostingBroker>(*phb_node_, config_.broker,
+                                                        pubends(), config_.policy);
+  for (auto& node : intermediate_nodes_) phb_->add_child(node->endpoint);
+  if (intermediates_.empty()) {
+    for (auto& node : shb_nodes_) phb_->add_child(node->endpoint);
+  }
+  phb_node_->restart();
+  phb_->recover();
+  phb_->start();
+}
+
+void System::crash_intermediate(int i) {
+  GRYPHON_CHECK(i >= 0 && i < static_cast<int>(intermediates_.size()));
+  intermediate_nodes_[static_cast<std::size_t>(i)]->crash();
+  intermediates_[static_cast<std::size_t>(i)].reset();
+}
+
+void System::restart_intermediate(int i) {
+  GRYPHON_CHECK(i >= 0 && i < static_cast<int>(intermediates_.size()));
+  auto& ptr = intermediates_[static_cast<std::size_t>(i)];
+  GRYPHON_CHECK(ptr == nullptr);
+  auto& node = *intermediate_nodes_[static_cast<std::size_t>(i)];
+  ptr = std::make_unique<core::IntermediateBroker>(node, config_.broker, pubends());
+  const sim::EndpointId parent =
+      i == 0 ? phb_node_->endpoint : intermediate_nodes_[static_cast<std::size_t>(i - 1)]->endpoint;
+  ptr->set_parent(parent);
+  if (i + 1 < static_cast<int>(intermediate_nodes_.size())) {
+    ptr->add_child(intermediate_nodes_[static_cast<std::size_t>(i + 1)]->endpoint);
+  } else {
+    for (auto& node2 : shb_nodes_) ptr->add_child(node2->endpoint);
+  }
+  node.restart();
+  ptr->recover();
+  ptr->start(/*fresh=*/false);
+}
+
+void System::verify_exactly_once() {
+  const auto violations = oracle_.verify_all();
+  GRYPHON_CHECK_MSG(violations.empty(),
+                    violations.size() << " delivery violations; first: "
+                                      << violations.front());
+}
+
+void System::on_shb_ready(int i,
+                          std::function<void(core::SubscriberHostingBroker&)> hook) {
+  GRYPHON_CHECK(i >= 0 && i < static_cast<int>(shbs_.size()));
+  hook(shb(i));
+  shb_hooks_[static_cast<std::size_t>(i)].push_back(std::move(hook));
+}
+
+}  // namespace gryphon::harness

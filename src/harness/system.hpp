@@ -1,0 +1,131 @@
+// System — builds and operates a whole simulated deployment: broker
+// topology, links, clients, failure injection, and verification.
+//
+// Topology shape (paper Fig. 3): one PHB hosting all pubends, an optional
+// chain of intermediate brokers, and N SHBs fanning out from the chain tail.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/intermediate.hpp"
+#include "core/phb.hpp"
+#include "core/publisher_client.hpp"
+#include "core/shb.hpp"
+#include "core/subscriber_client.hpp"
+#include "harness/oracle.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace gryphon::harness {
+
+struct SystemConfig {
+  int num_pubends = 4;
+  int num_intermediates = 0;  // chain length between the PHB and the SHBs
+  int num_shbs = 1;
+  core::BrokerConfig broker{};
+  storage::DiskConfig phb_disk{};
+  storage::DiskConfig shb_disk{};
+  int shb_db_connections = 1;
+  /// Per-transaction DB-engine cost at the SHB (JMS auto-ack bottleneck).
+  SimDuration shb_db_per_txn_overhead = 0;
+  sim::LinkConfig broker_link{msec(1), 1e9};
+  sim::LinkConfig client_link{msec(1), 1e9};
+  /// Periodic whole-process stall at each SHB (the paper attributes the
+  /// periodic dips in latestDelivered's advance rate to JVM GC pauses).
+  /// Disabled when period == 0.
+  SimDuration shb_gc_period = 0;
+  SimDuration shb_gc_pause = 0;
+  core::ReleasePolicyPtr policy = std::make_shared<core::NoEarlyReleasePolicy>();
+};
+
+class System {
+ public:
+  explicit System(SystemConfig config);
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] sim::Network& network() { return net_; }
+  [[nodiscard]] DeliveryOracle& oracle() { return oracle_; }
+
+  [[nodiscard]] core::PublisherHostingBroker& phb() { return *phb_; }
+  [[nodiscard]] core::IntermediateBroker& intermediate(int i);
+  [[nodiscard]] core::SubscriberHostingBroker& shb(int i = 0);
+  [[nodiscard]] bool shb_alive(int i = 0) const {
+    return shbs_[static_cast<std::size_t>(i)] != nullptr;
+  }
+  [[nodiscard]] int num_shbs() const { return static_cast<int>(shbs_.size()); }
+  [[nodiscard]] std::vector<PubendId> pubends() const;
+
+  [[nodiscard]] sim::Cpu& phb_cpu() { return phb_node_->cpu; }
+  [[nodiscard]] sim::Cpu& shb_cpu(int i = 0);
+
+  /// Adds a publisher feeding `pubend` at fixed `interval` (manual-only if
+  /// interval <= 0), using `factory` to build events.
+  core::Publisher& add_publisher(PubendId pubend, SimDuration interval,
+                                 core::Publisher::EventFactory factory,
+                                 SimDuration start_offset = 0);
+
+  /// Adds a durable subscriber on SHB `shb_index` (machine groups delivery
+  /// rates per simulated client machine, as in the paper's figures). The
+  /// client is registered with the oracle but not yet connected.
+  core::DurableSubscriber& add_subscriber(core::DurableSubscriber::Options options,
+                                          int shb_index = 0, int machine = 0);
+
+  [[nodiscard]] std::vector<core::DurableSubscriber*> subscribers();
+
+  /// Reconnect-anywhere: moves a subscriber's durable subscription to
+  /// another SHB (creating the client link if needed).
+  void migrate_subscriber(core::DurableSubscriber& subscriber, int new_shb_index);
+
+  // --- failure injection ---
+  /// Kills SHB i: its address goes dark, volatile state is lost, connected
+  /// subscribers see a connection reset.
+  void crash_shb(int i);
+  /// Restarts SHB i over its surviving node resources and runs recovery.
+  void restart_shb(int i);
+  void crash_phb();
+  void restart_phb();
+  void crash_intermediate(int i);
+  void restart_intermediate(int i);
+
+  /// Runs the simulation for `d` of simulated time.
+  void run_for(SimDuration d) { sim_.run_until(sim_.now() + d); }
+
+  /// Checks the exactly-once contract for every subscriber; throws on
+  /// violation (callable repeatedly, e.g. at the end of every benchmark).
+  void verify_exactly_once();
+
+ private:
+  struct SubEntry {
+    std::unique_ptr<core::DurableSubscriber> client;
+    int shb_index;
+  };
+
+  void schedule_gc_tick(sim::Cpu* cpu);
+
+  SystemConfig config_;
+  sim::Simulator sim_;
+  sim::Network net_;
+  DeliveryOracle oracle_;
+
+  std::unique_ptr<core::NodeResources> phb_node_;
+  std::vector<std::unique_ptr<core::NodeResources>> intermediate_nodes_;
+  std::vector<std::unique_ptr<core::NodeResources>> shb_nodes_;
+
+  std::unique_ptr<core::PublisherHostingBroker> phb_;
+  std::vector<std::unique_ptr<core::IntermediateBroker>> intermediates_;
+  std::vector<std::unique_ptr<core::SubscriberHostingBroker>> shbs_;
+  std::vector<std::vector<std::function<void(core::SubscriberHostingBroker&)>>> shb_hooks_;
+
+  std::vector<std::unique_ptr<core::Publisher>> publishers_;
+  std::vector<SubEntry> subscribers_;
+
+ public:
+  /// Installs a hook run on every (re)constructed SHB i (e.g. to reattach
+  /// the catchup-completion callback after a restart).
+  void on_shb_ready(int i, std::function<void(core::SubscriberHostingBroker&)> hook);
+};
+
+}  // namespace gryphon::harness

@@ -1,0 +1,78 @@
+#include "harness/workload.hpp"
+
+#include <cmath>
+
+namespace gryphon::harness {
+
+core::Publisher::EventFactory group_event_factory(int groups,
+                                                  std::size_t payload_bytes) {
+  GRYPHON_CHECK(groups >= 1);
+  return [groups, payload_bytes](std::uint64_t seq) {
+    std::map<std::string, matching::Value> attrs;
+    attrs.emplace("g", matching::Value(static_cast<std::int64_t>(
+                           seq % static_cast<std::uint64_t>(groups))));
+    attrs.emplace("seq", matching::Value(static_cast<std::int64_t>(seq)));
+    return std::make_shared<matching::EventData>(std::move(attrs), std::string{},
+                                                 payload_bytes);
+  };
+}
+
+std::string group_predicate(int k) { return "g == " + std::to_string(k); }
+
+void start_paper_publishers(System& system, const PaperWorkloadConfig& config) {
+  const int n = static_cast<int>(system.pubends().size());
+  const double per_pubend = config.input_rate_eps / n;
+  const auto interval = static_cast<SimDuration>(std::llround(1e6 / per_pubend));
+  int i = 0;
+  for (PubendId p : system.pubends()) {
+    auto& pub = system.add_publisher(p, interval,
+                                     group_event_factory(config.groups,
+                                                         config.payload_bytes),
+                                     /*start_offset=*/interval * i / n);
+    pub.start();
+    ++i;
+  }
+}
+
+std::vector<core::DurableSubscriber*> add_group_subscribers(
+    System& system, int shb_index, int count, int groups, std::uint32_t first_id,
+    int machines, SimDuration ack_interval) {
+  std::vector<core::DurableSubscriber*> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    core::DurableSubscriber::Options options;
+    options.id = SubscriberId{first_id + static_cast<std::uint32_t>(i)};
+    options.predicate = group_predicate(i % groups);
+    options.ack_interval = ack_interval;
+    auto& sub = system.add_subscriber(options, shb_index, i % machines);
+    sub.connect();
+    out.push_back(&sub);
+  }
+  return out;
+}
+
+ChurnDriver::ChurnDriver(System& system, std::vector<core::DurableSubscriber*> subs,
+                         SimDuration period, SimDuration down_time)
+    : system_(system), subs_(std::move(subs)), period_(period), down_time_(down_time) {
+  GRYPHON_CHECK(period_ > down_time_ && down_time_ > 0);
+  for (std::size_t i = 0; i < subs_.size(); ++i) {
+    // Stagger first disconnects uniformly across the period.
+    schedule(i, period_ * static_cast<SimDuration>(i + 1) /
+                    static_cast<SimDuration>(subs_.size() + 1));
+  }
+}
+
+void ChurnDriver::schedule(std::size_t idx, SimDuration delay) {
+  system_.simulator().schedule_after(delay, [this, idx] {
+    if (stopped_) return;
+    core::DurableSubscriber* sub = subs_[idx];
+    if (sub->connected()) {
+      sub->disconnect();
+      ++disconnects_;
+      system_.simulator().schedule_after(down_time_, [sub] { sub->connect(); });
+    }
+    schedule(idx, period_);
+  });
+}
+
+}  // namespace gryphon::harness

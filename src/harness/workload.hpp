@@ -1,0 +1,71 @@
+// Workload builders for the paper's evaluation setup (§5):
+//   * events with a 250-byte payload (418 bytes on the wire with headers),
+//     partitioned into `groups` by a "g" attribute so that a subscriber of
+//     "g == k" receives exactly rate/groups events per second,
+//   * one publisher per pubend at a fixed rate,
+//   * per-subscriber periodic disconnect/reconnect churn (Fig. 4-6),
+//   * a deterministic default of 4 pubends x 200 ev/s = 800 ev/s input and
+//     200 ev/s per subscriber (groups = 4).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/publisher_client.hpp"
+#include "core/subscriber_client.hpp"
+#include "harness/system.hpp"
+#include "util/rng.hpp"
+
+namespace gryphon::harness {
+
+struct PaperWorkloadConfig {
+  double input_rate_eps = 800.0;  // aggregate over all pubends
+  int groups = 4;                 // subscriber matches input_rate / groups
+  std::size_t payload_bytes = 250;
+};
+
+/// Event factory: cycles the "g" attribute deterministically so every group
+/// receives exactly 1/groups of the stream.
+[[nodiscard]] core::Publisher::EventFactory group_event_factory(int groups,
+                                                                std::size_t payload_bytes);
+
+/// The predicate a group-`k` subscriber uses.
+[[nodiscard]] std::string group_predicate(int k);
+
+/// Starts one publisher per pubend at input_rate/num_pubends each, phase
+/// staggered so the aggregate stream is smooth.
+void start_paper_publishers(System& system, const PaperWorkloadConfig& config);
+
+/// Adds `count` subscribers to SHB `shb_index`, round-robining groups and
+/// client machines, and connects them. Ids must not collide across calls —
+/// pass a distinct `first_id` block per SHB.
+std::vector<core::DurableSubscriber*> add_group_subscribers(
+    System& system, int shb_index, int count, int groups, std::uint32_t first_id,
+    int machines = 1, SimDuration ack_interval = msec(250));
+
+/// Periodic churn (paper §5.1): each subscriber independently disconnects
+/// every `period`, stays down for `down_time`, then reconnects. Offsets are
+/// staggered deterministically across subscribers.
+class ChurnDriver {
+ public:
+  ChurnDriver(System& system, std::vector<core::DurableSubscriber*> subs,
+              SimDuration period, SimDuration down_time);
+
+  /// Stops scheduling further disconnects (already-down subscribers still
+  /// reconnect).
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] std::uint64_t disconnects() const { return disconnects_; }
+
+ private:
+  void schedule(std::size_t idx, SimDuration delay);
+
+  System& system_;
+  std::vector<core::DurableSubscriber*> subs_;
+  SimDuration period_;
+  SimDuration down_time_;
+  bool stopped_ = false;
+  std::uint64_t disconnects_ = 0;
+};
+
+}  // namespace gryphon::harness

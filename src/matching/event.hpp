@@ -1,0 +1,58 @@
+// Application events: a bag of typed attributes (matched by predicates) plus
+// an opaque payload (delivered, never inspected).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "matching/value.hpp"
+
+namespace gryphon::matching {
+
+class EventData {
+ public:
+  EventData() = default;
+  EventData(std::map<std::string, Value> attributes, std::string payload,
+            std::size_t padded_payload_size = 0)
+      : attributes_(std::move(attributes)),
+        payload_(std::move(payload)),
+        padded_payload_size_(padded_payload_size) {}
+
+  [[nodiscard]] const std::map<std::string, Value>& attributes() const {
+    return attributes_;
+  }
+  [[nodiscard]] const Value* attribute(const std::string& name) const {
+    auto it = attributes_.find(name);
+    return it == attributes_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] const std::string& payload() const { return payload_; }
+
+  /// Application payload size. Workload generators set a padded size (the
+  /// paper uses 250-byte payloads) without materializing the bytes.
+  [[nodiscard]] std::size_t payload_size() const {
+    return std::max(payload_.size(), padded_payload_size_);
+  }
+
+  /// Serialized event size: attributes + payload (headers are charged by the
+  /// enclosing protocol message).
+  [[nodiscard]] std::size_t encoded_size() const {
+    std::size_t n = payload_size();
+    for (const auto& [name, value] : attributes_) {
+      n += 4 + name.size() + value.encoded_size();
+    }
+    return n;
+  }
+
+ private:
+  std::map<std::string, Value> attributes_;
+  std::string payload_;
+  std::size_t padded_payload_size_ = 0;
+};
+
+using EventDataPtr = std::shared_ptr<const EventData>;
+
+}  // namespace gryphon::matching

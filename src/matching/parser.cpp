@@ -1,0 +1,283 @@
+#include "matching/parser.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <vector>
+
+namespace gryphon::matching {
+
+namespace {
+
+enum class TokKind {
+  kIdent,
+  kInt,
+  kFloat,
+  kString,
+  kOp,      // comparison operator text
+  kAnd,
+  kOr,
+  kNot,
+  kLParen,
+  kRParen,
+  kTrue,
+  kFalse,
+  kExists,
+  kEnd,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  std::int64_t int_value = 0;
+  double float_value = 0.0;
+  std::size_t pos = 0;
+};
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Token next() {
+    skip_ws();
+    const std::size_t pos = i_;
+    if (i_ >= text_.size()) return {TokKind::kEnd, "", 0, 0.0, pos};
+
+    const char c = text_[i_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') return ident(pos);
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i_ + 1 < text_.size() &&
+         std::isdigit(static_cast<unsigned char>(text_[i_ + 1])))) {
+      return number(pos);
+    }
+    if (c == '\'') return quoted(pos);
+
+    auto two = [&](std::string_view op) {
+      return text_.substr(i_, 2) == op;
+    };
+    if (two("&&")) { i_ += 2; return {TokKind::kAnd, "&&", 0, 0.0, pos}; }
+    if (two("||")) { i_ += 2; return {TokKind::kOr, "||", 0, 0.0, pos}; }
+    if (two("==")) { i_ += 2; return {TokKind::kOp, "==", 0, 0.0, pos}; }
+    if (two("!=")) { i_ += 2; return {TokKind::kOp, "!=", 0, 0.0, pos}; }
+    if (two("<>")) { i_ += 2; return {TokKind::kOp, "!=", 0, 0.0, pos}; }
+    if (two("<=")) { i_ += 2; return {TokKind::kOp, "<=", 0, 0.0, pos}; }
+    if (two(">=")) { i_ += 2; return {TokKind::kOp, ">=", 0, 0.0, pos}; }
+    switch (c) {
+      case '=': ++i_; return {TokKind::kOp, "==", 0, 0.0, pos};
+      case '<': ++i_; return {TokKind::kOp, "<", 0, 0.0, pos};
+      case '>': ++i_; return {TokKind::kOp, ">", 0, 0.0, pos};
+      case '!': ++i_; return {TokKind::kNot, "!", 0, 0.0, pos};
+      case '(': ++i_; return {TokKind::kLParen, "(", 0, 0.0, pos};
+      case ')': ++i_; return {TokKind::kRParen, ")", 0, 0.0, pos};
+      default: break;
+    }
+    throw ParseError(std::string("unexpected character '") + c + "'", pos);
+  }
+
+ private:
+  void skip_ws() {
+    while (i_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[i_]))) ++i_;
+  }
+
+  Token ident(std::size_t pos) {
+    std::size_t j = i_;
+    while (j < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[j])) || text_[j] == '_' ||
+            text_[j] == '.')) {
+      ++j;
+    }
+    std::string word(text_.substr(i_, j - i_));
+    i_ = j;
+    if (iequals(word, "and")) return {TokKind::kAnd, word, 0, 0.0, pos};
+    if (iequals(word, "or")) return {TokKind::kOr, word, 0, 0.0, pos};
+    if (iequals(word, "not")) return {TokKind::kNot, word, 0, 0.0, pos};
+    if (iequals(word, "true")) return {TokKind::kTrue, word, 0, 0.0, pos};
+    if (iequals(word, "false")) return {TokKind::kFalse, word, 0, 0.0, pos};
+    if (iequals(word, "exists")) return {TokKind::kExists, word, 0, 0.0, pos};
+    return {TokKind::kIdent, std::move(word), 0, 0.0, pos};
+  }
+
+  Token number(std::size_t pos) {
+    std::size_t j = i_;
+    if (text_[j] == '-') ++j;
+    bool is_float = false;
+    while (j < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[j])) || text_[j] == '.' ||
+            text_[j] == 'e' || text_[j] == 'E' ||
+            ((text_[j] == '+' || text_[j] == '-') && j > i_ &&
+             (text_[j - 1] == 'e' || text_[j - 1] == 'E')))) {
+      if (text_[j] == '.' || text_[j] == 'e' || text_[j] == 'E') is_float = true;
+      ++j;
+    }
+    const std::string_view s = text_.substr(i_, j - i_);
+    Token t{is_float ? TokKind::kFloat : TokKind::kInt, std::string(s), 0, 0.0, pos};
+    if (is_float) {
+      t.float_value = std::stod(t.text);
+    } else {
+      auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), t.int_value);
+      if (ec != std::errc{} || p != s.data() + s.size()) {
+        throw ParseError("malformed number '" + t.text + "'", pos);
+      }
+    }
+    i_ = j;
+    return t;
+  }
+
+  Token quoted(std::size_t pos) {
+    std::size_t j = i_ + 1;
+    std::string out;
+    while (j < text_.size()) {
+      if (text_[j] == '\'') {
+        // '' escapes a quote, SQL style.
+        if (j + 1 < text_.size() && text_[j + 1] == '\'') {
+          out += '\'';
+          j += 2;
+          continue;
+        }
+        i_ = j + 1;
+        return {TokKind::kString, std::move(out), 0, 0.0, pos};
+      }
+      out += text_[j++];
+    }
+    throw ParseError("unterminated string literal", pos);
+  }
+
+  std::string_view text_;
+  std::size_t i_ = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : lexer_(text) { advance(); }
+
+  PredicatePtr parse() {
+    PredicatePtr p = parse_or();
+    expect(TokKind::kEnd, "end of input");
+    return p;
+  }
+
+ private:
+  void advance() { cur_ = lexer_.next(); }
+
+  void expect(TokKind kind, const char* what) {
+    if (cur_.kind != kind) {
+      throw ParseError(std::string("expected ") + what + ", found '" + cur_.text + "'",
+                       cur_.pos);
+    }
+  }
+
+  PredicatePtr parse_or() {
+    std::vector<PredicatePtr> terms{parse_and()};
+    while (cur_.kind == TokKind::kOr) {
+      advance();
+      terms.push_back(parse_and());
+    }
+    return p_or(std::move(terms));
+  }
+
+  PredicatePtr parse_and() {
+    std::vector<PredicatePtr> terms{parse_unary()};
+    while (cur_.kind == TokKind::kAnd) {
+      advance();
+      terms.push_back(parse_unary());
+    }
+    return p_and(std::move(terms));
+  }
+
+  PredicatePtr parse_unary() {
+    if (cur_.kind == TokKind::kNot) {
+      advance();
+      return p_not(parse_unary());
+    }
+    return parse_primary();
+  }
+
+  PredicatePtr parse_primary() {
+    switch (cur_.kind) {
+      case TokKind::kLParen: {
+        advance();
+        PredicatePtr p = parse_or();
+        expect(TokKind::kRParen, "')'");
+        advance();
+        return p;
+      }
+      case TokKind::kTrue:
+        advance();
+        return match_all();
+      case TokKind::kFalse:
+        advance();
+        return p_not(match_all());
+      case TokKind::kExists: {
+        advance();
+        expect(TokKind::kLParen, "'(' after exists");
+        advance();
+        expect(TokKind::kIdent, "attribute name");
+        std::string attr = cur_.text;
+        advance();
+        expect(TokKind::kRParen, "')'");
+        advance();
+        return exists(std::move(attr));
+      }
+      case TokKind::kIdent:
+        return parse_comparison();
+      default:
+        throw ParseError("expected predicate, found '" + cur_.text + "'", cur_.pos);
+    }
+  }
+
+  PredicatePtr parse_comparison() {
+    std::string attr = cur_.text;
+    advance();
+    // A bare identifier is a boolean attribute test: `flag` == (flag == true).
+    if (cur_.kind != TokKind::kOp) {
+      return compare(std::move(attr), CompareOp::kEq, Value(true));
+    }
+    const std::string op_text = cur_.text;
+    const std::size_t op_pos = cur_.pos;
+    advance();
+    Value literal = parse_literal();
+    CompareOp op;
+    if (op_text == "==") op = CompareOp::kEq;
+    else if (op_text == "!=") op = CompareOp::kNe;
+    else if (op_text == "<") op = CompareOp::kLt;
+    else if (op_text == "<=") op = CompareOp::kLe;
+    else if (op_text == ">") op = CompareOp::kGt;
+    else if (op_text == ">=") op = CompareOp::kGe;
+    else throw ParseError("unknown operator '" + op_text + "'", op_pos);
+    return compare(std::move(attr), op, std::move(literal));
+  }
+
+  Value parse_literal() {
+    Value v;
+    switch (cur_.kind) {
+      case TokKind::kInt: v = Value(cur_.int_value); break;
+      case TokKind::kFloat: v = Value(cur_.float_value); break;
+      case TokKind::kString: v = Value(cur_.text); break;
+      case TokKind::kTrue: v = Value(true); break;
+      case TokKind::kFalse: v = Value(false); break;
+      default:
+        throw ParseError("expected literal, found '" + cur_.text + "'", cur_.pos);
+    }
+    advance();
+    return v;
+  }
+
+  Lexer lexer_;
+  Token cur_{TokKind::kEnd, "", 0, 0.0, 0};
+};
+
+}  // namespace
+
+PredicatePtr parse_predicate(std::string_view text) { return Parser(text).parse(); }
+
+}  // namespace gryphon::matching

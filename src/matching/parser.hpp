@@ -1,0 +1,42 @@
+// Textual predicate language (JMS-message-selector flavored).
+//
+// Grammar (case-insensitive keywords; whitespace insignificant):
+//   expr       := or
+//   or         := and   ( ("||" | "or")  and   )*
+//   and        := unary ( ("&&" | "and") unary )*
+//   unary      := ("!" | "not") unary | primary
+//   primary    := "(" expr ")" | "true" | "exists" "(" ident ")" | comparison
+//   comparison := ident op literal
+//   op         := "==" | "=" | "!=" | "<>" | "<=" | ">=" | "<" | ">"
+//   literal    := integer | float | 'single-quoted string' | true | false
+//
+// Examples:
+//   symbol == 'IBM' && price > 100
+//   (side = 'BUY' or side = 'SELL') and quantity >= 1000 and !test
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "matching/predicate.hpp"
+
+namespace gryphon::matching {
+
+/// Thrown on malformed predicate text, with position info in what().
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& message, std::size_t position)
+      : std::runtime_error(message + " at offset " + std::to_string(position)),
+        position_(position) {}
+
+  [[nodiscard]] std::size_t position() const { return position_; }
+
+ private:
+  std::size_t position_;
+};
+
+/// Parses predicate text. Throws ParseError on malformed input.
+[[nodiscard]] PredicatePtr parse_predicate(std::string_view text);
+
+}  // namespace gryphon::matching

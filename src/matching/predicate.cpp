@@ -1,0 +1,184 @@
+#include "matching/predicate.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace gryphon::matching {
+
+std::string to_string(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return "==";
+    case CompareOp::kNe: return "!=";
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+bool Predicate::equality_key(EqualityKey&) const { return false; }
+
+namespace {
+
+class MatchAll final : public Predicate {
+ public:
+  bool matches(const EventData&) const override { return true; }
+  std::string to_string() const override { return "true"; }
+};
+
+class Compare final : public Predicate {
+ public:
+  Compare(std::string attribute, CompareOp op, Value value)
+      : attribute_(std::move(attribute)), op_(op), value_(std::move(value)) {}
+
+  bool matches(const EventData& event) const override {
+    const Value* v = event.attribute(attribute_);
+    if (v == nullptr) return false;
+    switch (op_) {
+      case CompareOp::kEq: return *v == value_;
+      case CompareOp::kNe: return !(*v == value_);
+      case CompareOp::kLt: return v->orderable_with(value_) && v->less_than(value_);
+      case CompareOp::kLe:
+        return v->orderable_with(value_) && !value_.less_than(*v);
+      case CompareOp::kGt: return v->orderable_with(value_) && value_.less_than(*v);
+      case CompareOp::kGe:
+        return v->orderable_with(value_) && !v->less_than(value_);
+    }
+    return false;
+  }
+
+  std::string to_string() const override {
+    std::ostringstream os;
+    os << attribute_ << ' ' << matching::to_string(op_) << ' ' << value_;
+    return os.str();
+  }
+
+  bool equality_key(EqualityKey& out) const override {
+    if (op_ != CompareOp::kEq) return false;
+    out = {attribute_, value_};
+    return true;
+  }
+
+ private:
+  std::string attribute_;
+  CompareOp op_;
+  Value value_;
+};
+
+class Exists final : public Predicate {
+ public:
+  explicit Exists(std::string attribute) : attribute_(std::move(attribute)) {}
+
+  bool matches(const EventData& event) const override {
+    return event.attribute(attribute_) != nullptr;
+  }
+
+  std::string to_string() const override { return "exists(" + attribute_ + ")"; }
+
+ private:
+  std::string attribute_;
+};
+
+class And final : public Predicate {
+ public:
+  explicit And(std::vector<PredicatePtr> terms) : terms_(std::move(terms)) {}
+
+  bool matches(const EventData& event) const override {
+    for (const auto& t : terms_) {
+      if (!t->matches(event)) return false;
+    }
+    return true;
+  }
+
+  std::string to_string() const override {
+    std::string s = "(";
+    for (std::size_t i = 0; i < terms_.size(); ++i) {
+      if (i) s += " && ";
+      s += terms_[i]->to_string();
+    }
+    return s + ")";
+  }
+
+  bool equality_key(EqualityKey& out) const override {
+    for (const auto& t : terms_) {
+      if (t->equality_key(out)) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<PredicatePtr> terms_;
+};
+
+class Or final : public Predicate {
+ public:
+  explicit Or(std::vector<PredicatePtr> terms) : terms_(std::move(terms)) {}
+
+  bool matches(const EventData& event) const override {
+    for (const auto& t : terms_) {
+      if (t->matches(event)) return true;
+    }
+    return false;
+  }
+
+  std::string to_string() const override {
+    std::string s = "(";
+    for (std::size_t i = 0; i < terms_.size(); ++i) {
+      if (i) s += " || ";
+      s += terms_[i]->to_string();
+    }
+    return s + ")";
+  }
+
+ private:
+  std::vector<PredicatePtr> terms_;
+};
+
+class Not final : public Predicate {
+ public:
+  explicit Not(PredicatePtr term) : term_(std::move(term)) {}
+
+  bool matches(const EventData& event) const override {
+    return !term_->matches(event);
+  }
+
+  std::string to_string() const override { return "!" + term_->to_string(); }
+
+ private:
+  PredicatePtr term_;
+};
+
+}  // namespace
+
+PredicatePtr match_all() { return std::make_shared<MatchAll>(); }
+
+PredicatePtr compare(std::string attribute, CompareOp op, Value value) {
+  GRYPHON_CHECK(!attribute.empty());
+  return std::make_shared<Compare>(std::move(attribute), op, std::move(value));
+}
+
+PredicatePtr exists(std::string attribute) {
+  GRYPHON_CHECK(!attribute.empty());
+  return std::make_shared<Exists>(std::move(attribute));
+}
+
+PredicatePtr p_and(std::vector<PredicatePtr> terms) {
+  GRYPHON_CHECK(!terms.empty());
+  if (terms.size() == 1) return terms.front();
+  return std::make_shared<And>(std::move(terms));
+}
+
+PredicatePtr p_or(std::vector<PredicatePtr> terms) {
+  GRYPHON_CHECK(!terms.empty());
+  if (terms.size() == 1) return terms.front();
+  return std::make_shared<Or>(std::move(terms));
+}
+
+PredicatePtr p_not(PredicatePtr term) {
+  GRYPHON_CHECK(term != nullptr);
+  return std::make_shared<Not>(std::move(term));
+}
+
+}  // namespace gryphon::matching

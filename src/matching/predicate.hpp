@@ -1,0 +1,57 @@
+// Subscription predicates: a small boolean algebra over event attributes.
+//
+// Predicates are immutable trees shared by reference (a subscription's
+// predicate is held at its SHB and summarized at upstream brokers). Build
+// them with the factory functions below or parse_predicate() from a string.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "matching/event.hpp"
+
+namespace gryphon::matching {
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+[[nodiscard]] std::string to_string(CompareOp op);
+
+class Predicate;
+using PredicatePtr = std::shared_ptr<const Predicate>;
+
+class Predicate {
+ public:
+  virtual ~Predicate() = default;
+
+  /// True iff the event satisfies this predicate. A comparison on a missing
+  /// or non-orderable attribute is false (SQL-92-style semantics used by
+  /// JMS message selectors, minus ternary NULL logic).
+  [[nodiscard]] virtual bool matches(const EventData& event) const = 0;
+
+  [[nodiscard]] virtual std::string to_string() const = 0;
+
+  /// If this predicate is an equality test on an attribute, or a conjunction
+  /// containing one, expose (attribute, value) so the subscription index can
+  /// bucket it. Returns false otherwise.
+  struct EqualityKey {
+    std::string attribute;
+    Value value;
+  };
+  [[nodiscard]] virtual bool equality_key(EqualityKey& out) const;
+};
+
+/// Always true ("subscribe to everything on this stream").
+[[nodiscard]] PredicatePtr match_all();
+
+/// attribute <op> constant.
+[[nodiscard]] PredicatePtr compare(std::string attribute, CompareOp op, Value value);
+
+/// exists(attribute).
+[[nodiscard]] PredicatePtr exists(std::string attribute);
+
+[[nodiscard]] PredicatePtr p_and(std::vector<PredicatePtr> terms);
+[[nodiscard]] PredicatePtr p_or(std::vector<PredicatePtr> terms);
+[[nodiscard]] PredicatePtr p_not(PredicatePtr term);
+
+}  // namespace gryphon::matching

@@ -1,0 +1,87 @@
+#include "matching/subscription_index.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace gryphon::matching {
+
+void SubscriptionIndex::add(SubscriberId id, PredicatePtr predicate) {
+  GRYPHON_CHECK(predicate != nullptr);
+  remove(id);
+
+  Entry entry{std::move(predicate), false, {}};
+  Predicate::EqualityKey eq;
+  if (entry.predicate->equality_key(eq)) {
+    entry.bucketed = true;
+    entry.bucket = bucket_key(eq.attribute, eq.value);
+    buckets_[entry.bucket].push_back(id);
+  } else {
+    scan_list_.push_back(id);
+  }
+  all_.emplace(id, std::move(entry));
+}
+
+void SubscriptionIndex::remove(SubscriberId id) {
+  auto it = all_.find(id);
+  if (it == all_.end()) return;
+  auto erase_from = [id](std::vector<SubscriberId>& v) {
+    v.erase(std::remove(v.begin(), v.end(), id), v.end());
+  };
+  if (it->second.bucketed) {
+    auto b = buckets_.find(it->second.bucket);
+    GRYPHON_CHECK(b != buckets_.end());
+    erase_from(b->second);
+    if (b->second.empty()) buckets_.erase(b);
+  } else {
+    erase_from(scan_list_);
+  }
+  all_.erase(it);
+}
+
+const PredicatePtr* SubscriptionIndex::predicate_of(SubscriberId id) const {
+  auto it = all_.find(id);
+  return it == all_.end() ? nullptr : &it->second.predicate;
+}
+
+std::vector<SubscriberId> SubscriptionIndex::match(const EventData& event) const {
+  std::vector<SubscriberId> out;
+  auto eval = [&](SubscriberId id) {
+    const auto& entry = all_.at(id);
+    if (entry.predicate->matches(event)) out.push_back(id);
+  };
+  for (SubscriberId id : scan_list_) eval(id);
+  // A bucketed subscription can only match events carrying its equality
+  // attribute with its value, so probing per event attribute is exhaustive.
+  for (const auto& [attr, value] : event.attributes()) {
+    auto b = buckets_.find(bucket_key(attr, value));
+    if (b == buckets_.end()) continue;
+    for (SubscriberId id : b->second) eval(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool SubscriptionIndex::matches_any(const EventData& event) const {
+  for (SubscriberId id : scan_list_) {
+    if (all_.at(id).predicate->matches(event)) return true;
+  }
+  for (const auto& [attr, value] : event.attributes()) {
+    auto b = buckets_.find(bucket_key(attr, value));
+    if (b == buckets_.end()) continue;
+    for (SubscriberId id : b->second) {
+      if (all_.at(id).predicate->matches(event)) return true;
+    }
+  }
+  return false;
+}
+
+std::vector<SubscriberId> SubscriptionIndex::ids() const {
+  std::vector<SubscriberId> out;
+  out.reserve(all_.size());
+  for (const auto& [id, entry] : all_) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace gryphon::matching

@@ -1,0 +1,65 @@
+// Subscription index: maps an event to the set of matching subscriber ids.
+//
+// Every broker filters events against the subscriptions (or subscription
+// summaries) downstream of each link; the SHB additionally matches against
+// all hosted durable subscriptions to build PFS records. Following the
+// matching-engine lineage the paper builds on (Aguilera et al. [7]),
+// subscriptions whose predicate contains a top-level equality test are
+// bucketed by (attribute, value) so matching cost scales with the number of
+// *candidate* subscriptions, not all of them; the remainder fall back to a
+// scan list.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "matching/predicate.hpp"
+#include "util/ids.hpp"
+
+namespace gryphon::matching {
+
+class SubscriptionIndex {
+ public:
+  /// Adds or replaces the subscription of `id`.
+  void add(SubscriberId id, PredicatePtr predicate);
+
+  /// Removes a subscription; no-op if absent.
+  void remove(SubscriberId id);
+
+  [[nodiscard]] bool contains(SubscriberId id) const { return all_.contains(id); }
+  [[nodiscard]] std::size_t size() const { return all_.size(); }
+  [[nodiscard]] const PredicatePtr* predicate_of(SubscriberId id) const;
+
+  /// All subscriber ids whose predicate matches, sorted ascending (the PFS
+  /// relies on a deterministic order).
+  [[nodiscard]] std::vector<SubscriberId> match(const EventData& event) const;
+
+  /// True iff at least one subscription matches (link-level filtering).
+  [[nodiscard]] bool matches_any(const EventData& event) const;
+
+  /// Ids of all subscriptions, sorted (diagnostics / iteration).
+  [[nodiscard]] std::vector<SubscriberId> ids() const;
+
+ private:
+  /// Bucket key for an equality conjunct: attribute NUL value-rendering.
+  static std::string bucket_key(const std::string& attribute, const Value& value) {
+    std::ostringstream os;
+    os << attribute << '\0' << value;
+    return os.str();
+  }
+
+  struct Entry {
+    PredicatePtr predicate;
+    bool bucketed = false;
+    std::string bucket;  // key in buckets_ when bucketed
+  };
+
+  std::unordered_map<SubscriberId, Entry> all_;
+  std::unordered_map<std::string, std::vector<SubscriberId>> buckets_;
+  std::vector<SubscriberId> scan_list_;  // no usable equality conjunct
+};
+
+}  // namespace gryphon::matching

@@ -1,0 +1,73 @@
+// Typed attribute values carried by events and compared by predicates.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <variant>
+
+namespace gryphon::matching {
+
+/// An event attribute value. Numeric comparisons promote int64 to double
+/// when the two sides differ; strings and bools only support (in)equality
+/// ordering rules noted on each operator.
+class Value {
+ public:
+  Value() : v_(std::int64_t{0}) {}
+  Value(std::int64_t v) : v_(v) {}          // NOLINT(google-explicit-constructor)
+  Value(int v) : v_(std::int64_t{v}) {}     // NOLINT(google-explicit-constructor)
+  Value(double v) : v_(v) {}                // NOLINT(google-explicit-constructor)
+  Value(bool v) : v_(v) {}                  // NOLINT(google-explicit-constructor)
+  Value(std::string v) : v_(std::move(v)) {}  // NOLINT(google-explicit-constructor)
+  Value(const char* v) : v_(std::string(v)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool is_numeric() const {
+    return std::holds_alternative<std::int64_t>(v_) || std::holds_alternative<double>(v_);
+  }
+  [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(v_); }
+
+  [[nodiscard]] double as_double() const {
+    if (const auto* i = std::get_if<std::int64_t>(&v_)) return static_cast<double>(*i);
+    return std::get<double>(v_);
+  }
+  [[nodiscard]] const std::string& as_string() const { return std::get<std::string>(v_); }
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(v_); }
+
+  /// Equality: numerics compare numerically; mixed category is unequal.
+  friend bool operator==(const Value& a, const Value& b) {
+    if (a.is_numeric() && b.is_numeric()) return a.as_double() == b.as_double();
+    return a.v_ == b.v_;
+  }
+
+  /// Ordering is defined for numeric/numeric and string/string pairs;
+  /// anything else is unordered (returns false for both < directions).
+  [[nodiscard]] bool less_than(const Value& other) const {
+    if (is_numeric() && other.is_numeric()) return as_double() < other.as_double();
+    if (is_string() && other.is_string()) return as_string() < other.as_string();
+    return false;
+  }
+  [[nodiscard]] bool orderable_with(const Value& other) const {
+    return (is_numeric() && other.is_numeric()) || (is_string() && other.is_string());
+  }
+
+  /// Serialized size contribution, for wire-size accounting.
+  [[nodiscard]] std::size_t encoded_size() const {
+    if (is_string()) return 4 + as_string().size();
+    return 8;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Value& v);
+
+ private:
+  std::variant<std::int64_t, double, bool, std::string> v_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Value& v) {
+  if (const auto* i = std::get_if<std::int64_t>(&v.v_)) return os << *i;
+  if (const auto* d = std::get_if<double>(&v.v_)) return os << *d;
+  if (const auto* b = std::get_if<bool>(&v.v_)) return os << (*b ? "true" : "false");
+  return os << '\'' << std::get<std::string>(v.v_) << '\'';
+}
+
+}  // namespace gryphon::matching

@@ -1,0 +1,163 @@
+#include "routing/tick_map.hpp"
+
+#include <algorithm>
+
+namespace gryphon::routing {
+
+TickValue TickMap::value_at(Tick t) const {
+  GRYPHON_CHECK_MSG(t > origin_, "tick " << t << " at or below origin " << origin_);
+  if (events_.contains(t)) return TickValue::kD;
+  if (silence_.contains(t)) return TickValue::kS;
+  if (lost_.contains(t)) return TickValue::kL;
+  return TickValue::kQ;
+}
+
+matching::EventDataPtr TickMap::event_at(Tick t) const {
+  auto it = events_.find(t);
+  return it == events_.end() ? nullptr : it->second;
+}
+
+void TickMap::set_data(Tick t, matching::EventDataPtr event) {
+  GRYPHON_CHECK(event != nullptr);
+  if (t <= origin_) return;  // stale: already consumed/discarded here
+  if (events_.contains(t)) return;  // idempotent redelivery
+  // D upgrades both L (a cache can supply what the pubend discarded) and S:
+  // with dynamic subscriptions, S means "was not relevant to this link's
+  // subscription set at filter time", and an authoritative re-fetch after a
+  // subscription change may legitimately reveal the event (reconnect-
+  // anywhere refiltering). Consumers that already passed the tick treated
+  // it as S, which was correct for *their* subscription set.
+  if (lost_.contains(t)) lost_.subtract(t, t);
+  if (silence_.contains(t)) silence_.subtract(t, t);
+  event_bytes_ += event->encoded_size();
+  events_.emplace(t, std::move(event));
+  covered_.add(t, t);
+}
+
+void TickMap::set_silence(Tick from, Tick to) {
+  GRYPHON_CHECK(from <= to);
+  from = std::max(from, origin_ + 1);
+  if (from > to) return;
+  for (const TickRange& gap : covered_.complement_within(from, to)) {
+    silence_.add(gap);
+    covered_.add(gap);
+  }
+}
+
+void TickMap::set_lost(Tick from, Tick to) {
+  GRYPHON_CHECK(from <= to);
+  from = std::max(from, origin_ + 1);
+  if (from > to) return;
+  for (const TickRange& gap : covered_.complement_within(from, to)) {
+    lost_.add(gap);
+    covered_.add(gap);
+  }
+}
+
+void TickMap::force_lost(Tick from, Tick to) {
+  GRYPHON_CHECK(from <= to);
+  from = std::max(from, origin_ + 1);
+  if (from > to) return;
+  silence_.subtract(from, to);
+  for (auto it = events_.lower_bound(from); it != events_.end() && it->first <= to;) {
+    event_bytes_ -= it->second->encoded_size();
+    it = events_.erase(it);
+  }
+  lost_.add(from, to);
+  covered_.add(from, to);
+}
+
+Tick TickMap::doubt_horizon(Tick base) const {
+  GRYPHON_CHECK_MSG(base >= origin_, "doubt horizon base below origin");
+  // First Q tick after base: if base+1 is covered, the containing interval
+  // ends at e and e+1 is uncovered (intervals are coalesced); else base+1.
+  auto r = covered_.interval_containing(base + 1);
+  return r ? r->to : base;
+}
+
+std::vector<TickRange> TickMap::q_ranges(Tick from, Tick to) const {
+  GRYPHON_CHECK(from <= to);
+  from = std::max(from, origin_ + 1);
+  if (from > to) return {};
+  return covered_.complement_within(from, to);
+}
+
+std::vector<KnowledgeItem> TickMap::items(Tick from, Tick to) const {
+  GRYPHON_CHECK(from <= to);
+  from = std::max(from, origin_ + 1);
+  std::vector<KnowledgeItem> out;
+  if (from > to) return out;
+
+  auto silences = silence_.intersection(from, to);
+  auto losts = lost_.intersection(from, to);
+  auto sit = silences.begin();
+  auto lit = losts.begin();
+  auto eit = events_.lower_bound(from);
+
+  // Three-way ordered merge; S/L ranges and D points are pairwise disjoint.
+  while (true) {
+    const Tick snext = sit != silences.end() ? sit->from : kTickInfinity;
+    const Tick lnext = lit != losts.end() ? lit->from : kTickInfinity;
+    const Tick enext =
+        (eit != events_.end() && eit->first <= to) ? eit->first : kTickInfinity;
+    const Tick first = std::min({snext, lnext, enext});
+    if (first == kTickInfinity) break;
+    if (first == enext) {
+      out.push_back({TickValue::kD, {enext, enext}, eit->second});
+      ++eit;
+    } else if (first == snext) {
+      out.push_back({TickValue::kS, *sit, nullptr});
+      ++sit;
+    } else {
+      out.push_back({TickValue::kL, *lit, nullptr});
+      ++lit;
+    }
+  }
+  return out;
+}
+
+void TickMap::apply(const KnowledgeItem& item) {
+  switch (item.value) {
+    case TickValue::kD:
+      GRYPHON_CHECK(item.range.from == item.range.to);
+      set_data(item.range.from, item.event);
+      break;
+    case TickValue::kS:
+      set_silence(item.range.from, item.range.to);
+      break;
+    case TickValue::kL:
+      set_lost(item.range.from, item.range.to);
+      break;
+    case TickValue::kQ:
+      GRYPHON_CHECK_MSG(false, "Q is not transferable knowledge");
+  }
+}
+
+void TickMap::for_each_data(
+    Tick from, Tick to,
+    const std::function<void(Tick, const matching::EventDataPtr&)>& fn) const {
+  for (auto it = events_.lower_bound(from); it != events_.end() && it->first <= to;
+       ++it) {
+    fn(it->first, it->second);
+  }
+}
+
+std::size_t TickMap::data_count(Tick from, Tick to) const {
+  auto lo = events_.lower_bound(from);
+  auto hi = events_.upper_bound(to);
+  return static_cast<std::size_t>(std::distance(lo, hi));
+}
+
+void TickMap::discard_upto(Tick t) {
+  if (t <= origin_) return;
+  covered_.subtract(INT64_MIN / 2, t);
+  silence_.subtract(INT64_MIN / 2, t);
+  lost_.subtract(INT64_MIN / 2, t);
+  for (auto it = events_.begin(); it != events_.end() && it->first <= t;) {
+    event_bytes_ -= it->second->encoded_size();
+    it = events_.erase(it);
+  }
+  origin_ = t;
+}
+
+}  // namespace gryphon::routing

@@ -1,0 +1,110 @@
+// TickMap — one node's knowledge of one pubend's stream.
+//
+// Conceptually a total function Tick -> {Q,S,D,L} that starts all-Q and
+// monotonically gains knowledge; D ticks carry the event payload. Every
+// knowledge stream in the system — the pubend's authoritative ladder, the
+// caches at intermediate brokers, the SHB istream, per-subscriber catchup
+// streams — is a TickMap plus protocol-specific cursors.
+//
+// Knowledge-upgrade rules (protocol invariants, checked):
+//   Q -> S, Q -> D, Q -> L   normal accumulation
+//   L -> D                   a downstream cache can still supply an event
+//                            the pubend discarded; D is strictly better
+//   S -> D, D -> S, S <-> L  forbidden: would contradict prior guarantees
+// force_lost() is the pubend-side exception: the release protocol rewrites
+// its own prefix to L, dropping payloads (that is what "discarding" means).
+//
+// discard_upto() models cache eviction / consumption: knowledge below the
+// new origin is forgotten entirely (reverts to "don't ask me").
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "matching/event.hpp"
+#include "routing/ticks.hpp"
+#include "util/assert.hpp"
+#include "util/interval_set.hpp"
+#include "util/time.hpp"
+
+namespace gryphon::routing {
+
+/// One unit of transferable knowledge: a D tick with its event, or an S/L
+/// range. Produced by TickMap::items() and shipped in StreamDataMsg.
+struct KnowledgeItem {
+  TickValue value = TickValue::kS;  // kD, kS or kL (never kQ)
+  TickRange range{0, 0};            // for kD, range.from == range.to
+  matching::EventDataPtr event;     // set iff value == kD
+};
+
+class TickMap {
+ public:
+  /// Ticks <= origin are out of scope (consumed / before subscription start).
+  explicit TickMap(Tick origin) : origin_(origin) {}
+
+  [[nodiscard]] Tick origin() const { return origin_; }
+
+  /// Highest tick with any knowledge (origin() if none).
+  [[nodiscard]] Tick head() const {
+    return covered_.empty() ? origin_ : std::max(origin_, covered_.max());
+  }
+
+  /// Value at tick t (t must be > origin()).
+  [[nodiscard]] TickValue value_at(Tick t) const;
+
+  /// Event at a D tick, nullptr otherwise.
+  [[nodiscard]] matching::EventDataPtr event_at(Tick t) const;
+
+  /// Records an event. Idempotent for the same tick; upgrades L; forbidden
+  /// over S. Ticks <= origin are ignored (stale knowledge).
+  void set_data(Tick t, matching::EventDataPtr event);
+
+  /// Records silence over [from, to]: fills Q gaps only; existing S/L/D in
+  /// the range are left as-is (they are at least as strong).
+  void set_silence(Tick from, Tick to);
+
+  /// Records loss over [from, to]: fills Q gaps only.
+  void set_lost(Tick from, Tick to);
+
+  /// Pubend-only: rewrites [from, to] to L unconditionally, dropping events.
+  void force_lost(Tick from, Tick to);
+
+  /// The doubt horizon relative to `base`: the largest h >= base such that
+  /// no tick in (base, h] is Q.
+  [[nodiscard]] Tick doubt_horizon(Tick base) const;
+
+  /// Q sub-ranges of [from, to] (what a curiosity stream would nack).
+  [[nodiscard]] std::vector<TickRange> q_ranges(Tick from, Tick to) const;
+
+  /// Knowledge items covering the known (non-Q) parts of [from, to], in
+  /// tick order. S/L runs are emitted as single range items.
+  [[nodiscard]] std::vector<KnowledgeItem> items(Tick from, Tick to) const;
+
+  /// Applies a received knowledge item (clipped to ticks > origin).
+  void apply(const KnowledgeItem& item);
+
+  /// Invokes fn(tick, event) for each D tick in [from, to], in order.
+  void for_each_data(Tick from, Tick to,
+                     const std::function<void(Tick, const matching::EventDataPtr&)>& fn) const;
+
+  /// Number of D ticks in [from, to].
+  [[nodiscard]] std::size_t data_count(Tick from, Tick to) const;
+
+  /// Forgets all knowledge at ticks <= t and advances origin to at least t.
+  void discard_upto(Tick t);
+
+  /// Retained D events (for cache-size accounting).
+  [[nodiscard]] std::size_t retained_events() const { return events_.size(); }
+  [[nodiscard]] std::size_t retained_event_bytes() const { return event_bytes_; }
+
+ private:
+  Tick origin_;
+  IntervalSet covered_;  // union of silence_, lost_ and D points
+  IntervalSet silence_;
+  IntervalSet lost_;
+  std::map<Tick, matching::EventDataPtr> events_;
+  std::size_t event_bytes_ = 0;
+};
+
+}  // namespace gryphon::routing

@@ -1,0 +1,25 @@
+// The four tick values of the extended knowledge stream (paper §3):
+//   Q — unknown: this node has no information for the timestamp yet,
+//   S — silence: no event at the timestamp, or it was filtered upstream,
+//   D — data: an event published by an application,
+//   L — lost: the pubend discarded whether this tick was S or D
+//       (release protocol / early-release).
+#pragma once
+
+#include <cstdint>
+
+namespace gryphon::routing {
+
+enum class TickValue : std::uint8_t { kQ, kS, kD, kL };
+
+constexpr char to_char(TickValue v) {
+  switch (v) {
+    case TickValue::kQ: return 'Q';
+    case TickValue::kS: return 'S';
+    case TickValue::kD: return 'D';
+    case TickValue::kL: return 'L';
+  }
+  return '?';
+}
+
+}  // namespace gryphon::routing

@@ -1,0 +1,90 @@
+#include "sim/cpu.hpp"
+
+#include <algorithm>
+
+namespace gryphon::sim {
+
+Cpu::Cpu(Simulator& simulator, std::string name, int cores,
+         SimDuration accounting_window)
+    : sim_(simulator), name_(std::move(name)), cores_(cores), window_(accounting_window) {
+  GRYPHON_CHECK(cores_ >= 1);
+  GRYPHON_CHECK(window_ > 0);
+}
+
+void Cpu::execute(SimDuration cost, Task fn) {
+  GRYPHON_CHECK(cost >= 0);
+  GRYPHON_CHECK(fn != nullptr);
+  const SimTime start = std::max(sim_.now(), busy_until_);
+  const SimDuration service = cost / cores_;
+  const SimTime end = start + service;
+  busy_until_ = end;
+  account_busy(start, end);
+  total_busy_ += service;
+
+  const std::uint64_t gen = generation_;
+  sim_.schedule_at(end, [this, gen, fn = std::move(fn)] {
+    if (gen != generation_) return;  // cleared by a crash
+    ++tasks_executed_;
+    fn();
+  });
+}
+
+void Cpu::inject_stall(SimDuration d) {
+  GRYPHON_CHECK(d >= 0);
+  const SimTime start = std::max(sim_.now(), busy_until_);
+  busy_until_ = start + d;
+  account_busy(start, busy_until_);
+  total_busy_ += d;
+}
+
+void Cpu::clear() {
+  ++generation_;
+  busy_until_ = sim_.now();
+}
+
+SimDuration Cpu::backlog() const { return std::max<SimDuration>(0, busy_until_ - sim_.now()); }
+
+void Cpu::account_busy(SimTime start, SimTime end) {
+  if (end <= start) return;
+  horizon_ = std::max(horizon_, end);
+  auto first = static_cast<std::size_t>(start / window_);
+  auto last = static_cast<std::size_t>((end - 1) / window_);
+  if (last >= busy_per_window_.size()) busy_per_window_.resize(last + 1, 0);
+  for (auto w = first; w <= last; ++w) {
+    const SimTime wstart = static_cast<SimTime>(w) * window_;
+    const SimTime wend = wstart + window_;
+    busy_per_window_[w] += std::min(end, wend) - std::max(start, wstart);
+  }
+}
+
+double Cpu::idle_fraction(SimTime from, SimTime to) const {
+  GRYPHON_CHECK(from < to);
+  SimDuration busy = 0;
+  const auto first = static_cast<std::size_t>(from / window_);
+  const auto last = static_cast<std::size_t>((to - 1) / window_);
+  for (auto w = first; w <= last && w < busy_per_window_.size(); ++w) {
+    // Windows partially covered by [from,to) contribute proportionally; busy
+    // time is assumed uniform within a window.
+    const SimTime wstart = static_cast<SimTime>(w) * window_;
+    const SimTime wend = wstart + window_;
+    const auto overlap =
+        static_cast<double>(std::min(to, wend) - std::max(from, wstart));
+    busy += static_cast<SimDuration>(
+        static_cast<double>(busy_per_window_[w]) * overlap / static_cast<double>(window_));
+  }
+  const auto span = static_cast<double>(to - from);
+  return std::clamp(1.0 - static_cast<double>(busy) / span, 0.0, 1.0);
+}
+
+std::vector<Cpu::WindowIdle> Cpu::idle_series() const {
+  std::vector<WindowIdle> out;
+  out.reserve(busy_per_window_.size());
+  for (std::size_t w = 0; w < busy_per_window_.size(); ++w) {
+    const double idle =
+        1.0 - static_cast<double>(busy_per_window_[w]) / static_cast<double>(window_);
+    out.push_back({static_cast<SimTime>(w) * window_, std::clamp(idle, 0.0, 1.0)});
+  }
+  return out;
+}
+
+}  // namespace gryphon::sim

@@ -1,0 +1,24 @@
+// Base type for everything that travels over a simulated link.
+//
+// Messages are immutable once sent (shared by sender retransmit buffers,
+// intermediate caches and receivers), so they are passed as
+// shared_ptr<const Message>. wire_size() feeds the bandwidth model and the
+// byte counters that several of the paper's claims are stated in.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+namespace gryphon::sim {
+
+class Message {
+ public:
+  virtual ~Message() = default;
+
+  /// Serialized size in bytes, headers included.
+  [[nodiscard]] virtual std::size_t wire_size() const = 0;
+};
+
+using MessagePtr = std::shared_ptr<const Message>;
+
+}  // namespace gryphon::sim

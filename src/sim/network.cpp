@@ -1,0 +1,83 @@
+#include "sim/network.hpp"
+
+#include <cmath>
+
+namespace gryphon::sim {
+
+EndpointId Network::add_endpoint(std::string name, Handler handler) {
+  GRYPHON_CHECK(handler != nullptr);
+  endpoints_.push_back(Endpoint{std::move(name), std::move(handler)});
+  return static_cast<EndpointId>(endpoints_.size() - 1);
+}
+
+void Network::set_handler(EndpointId id, Handler handler) {
+  GRYPHON_CHECK(handler != nullptr);
+  endpoint(id).handler = std::move(handler);
+}
+
+void Network::connect(EndpointId a, EndpointId b, LinkConfig config) {
+  GRYPHON_CHECK_MSG(a != b, "self-link");
+  GRYPHON_CHECK(config.latency >= 0 && config.bandwidth_bytes_per_sec > 0);
+  endpoint(a);
+  endpoint(b);
+  GRYPHON_CHECK_MSG(!are_connected(a, b), "duplicate link " << a << "<->" << b);
+  links_.emplace(link_key(a, b), Link{config, 0});
+  links_.emplace(link_key(b, a), Link{config, 0});
+}
+
+bool Network::are_connected(EndpointId a, EndpointId b) const {
+  return links_.contains(link_key(a, b));
+}
+
+void Network::send(EndpointId from, EndpointId to, MessagePtr msg) {
+  GRYPHON_CHECK(msg != nullptr);
+  auto it = links_.find(link_key(from, to));
+  GRYPHON_CHECK_MSG(it != links_.end(),
+                    "no link " << name_of(from) << " -> " << name_of(to));
+  if (endpoint(from).down) return;  // a crashed node sends nothing
+
+  Link& link = it->second;
+  const auto ser_time = static_cast<SimDuration>(
+      std::ceil(static_cast<double>(msg->wire_size()) /
+                link.config.bandwidth_bytes_per_sec * 1e6));
+  const SimTime departure = std::max(sim_.now(), link.free_at) + ser_time;
+  link.free_at = departure;
+  const SimTime arrival = departure + link.config.latency;
+
+  const std::uint64_t send_epoch = endpoint(to).epoch;
+  const std::size_t bytes = msg->wire_size();
+  sim_.schedule_at(arrival, [this, from, to, send_epoch, bytes,
+                             msg = std::move(msg)]() mutable {
+    Endpoint& dst = endpoint(to);
+    // Dropped if the destination crashed after the send (connection severed)
+    // or is currently down.
+    if (dst.down || dst.epoch != send_epoch) return;
+    ++delivered_msgs_;
+    delivered_bytes_ += bytes;
+    ++dst.delivered_msgs;
+    dst.delivered_bytes += bytes;
+    dst.handler(from, std::move(msg));
+  });
+}
+
+void Network::set_down(EndpointId id, bool down) {
+  Endpoint& ep = endpoint(id);
+  if (down && !ep.down) ++ep.epoch;  // sever in-flight deliveries
+  ep.down = down;
+}
+
+bool Network::is_down(EndpointId id) const { return endpoint(id).down; }
+
+const std::string& Network::name_of(EndpointId id) const {
+  return endpoint(id).name;
+}
+
+std::uint64_t Network::delivered_messages_to(EndpointId id) const {
+  return endpoint(id).delivered_msgs;
+}
+
+std::uint64_t Network::delivered_bytes_to(EndpointId id) const {
+  return endpoint(id).delivered_bytes;
+}
+
+}  // namespace gryphon::sim

@@ -1,0 +1,109 @@
+// Simulated network of reliable FIFO point-to-point links (TCP stand-in).
+//
+// Semantics the protocols rely on, and which this class guarantees:
+//  * per-directed-link FIFO delivery,
+//  * no loss, no duplication, no corruption while both endpoints are up,
+//  * messages in flight to a *down* endpoint are dropped (connection severed
+//    by the crash), exactly like TCP connections dying with a broker.
+//
+// Latency model per message: arrival = departure + latency, where
+// departure = max(send time, link free time) + wire_size/bandwidth. The link
+// serializes messages, so a burst queues behind itself like a socket buffer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/message.hpp"
+#include "sim/simulator.hpp"
+#include "util/assert.hpp"
+
+namespace gryphon::sim {
+
+using EndpointId = std::uint32_t;
+
+struct LinkConfig {
+  SimDuration latency = msec(1);
+  double bandwidth_bytes_per_sec = 1e9;  // effectively unconstrained default
+};
+
+class Network {
+ public:
+  /// Receives (source endpoint, message).
+  using Handler = std::function<void(EndpointId, MessagePtr)>;
+
+  explicit Network(Simulator& simulator) : sim_(simulator) {}
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Registers an endpoint. The handler is invoked at delivery time.
+  EndpointId add_endpoint(std::string name, Handler handler);
+
+  /// Replaces an endpoint's handler (used when a broker restarts as a fresh
+  /// object on the same address).
+  void set_handler(EndpointId id, Handler handler);
+
+  /// Creates a bidirectional link. Both directions share the config but have
+  /// independent FIFO queues.
+  void connect(EndpointId a, EndpointId b, LinkConfig config = {});
+
+  [[nodiscard]] bool are_connected(EndpointId a, EndpointId b) const;
+
+  /// Sends a message. Requires a link. Delivery is dropped if the
+  /// destination is down at (or goes down before) arrival time.
+  void send(EndpointId from, EndpointId to, MessagePtr msg);
+
+  /// Marks an endpoint down: queued and in-flight messages to it are dropped
+  /// on arrival, and nothing can be sent from it.
+  void set_down(EndpointId id, bool down);
+  [[nodiscard]] bool is_down(EndpointId id) const;
+
+  [[nodiscard]] const std::string& name_of(EndpointId id) const;
+
+  /// Total messages/bytes ever delivered (diagnostics & tests).
+  [[nodiscard]] std::uint64_t delivered_messages() const { return delivered_msgs_; }
+  [[nodiscard]] std::uint64_t delivered_bytes() const { return delivered_bytes_; }
+
+  /// Messages/bytes delivered per destination endpoint.
+  [[nodiscard]] std::uint64_t delivered_messages_to(EndpointId id) const;
+  [[nodiscard]] std::uint64_t delivered_bytes_to(EndpointId id) const;
+
+ private:
+  struct Endpoint {
+    std::string name;
+    Handler handler;
+    bool down = false;
+    std::uint64_t epoch = 0;  // bumped on set_down(true); stale deliveries drop
+    std::uint64_t delivered_msgs = 0;
+    std::uint64_t delivered_bytes = 0;
+  };
+
+  struct Link {
+    LinkConfig config;
+    SimTime free_at = 0;  // serialization point for FIFO + bandwidth
+  };
+
+  static std::uint64_t link_key(EndpointId a, EndpointId b) {
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+
+  Endpoint& endpoint(EndpointId id) {
+    GRYPHON_CHECK_MSG(id < endpoints_.size(), "unknown endpoint " << id);
+    return endpoints_[id];
+  }
+  [[nodiscard]] const Endpoint& endpoint(EndpointId id) const {
+    GRYPHON_CHECK_MSG(id < endpoints_.size(), "unknown endpoint " << id);
+    return endpoints_[id];
+  }
+
+  Simulator& sim_;
+  std::vector<Endpoint> endpoints_;
+  std::unordered_map<std::uint64_t, Link> links_;
+  std::uint64_t delivered_msgs_ = 0;
+  std::uint64_t delivered_bytes_ = 0;
+};
+
+}  // namespace gryphon::sim

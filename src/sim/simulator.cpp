@@ -1,0 +1,57 @@
+#include "sim/simulator.hpp"
+
+namespace gryphon::sim {
+
+TaskId Simulator::schedule_at(SimTime t, Task fn) {
+  GRYPHON_CHECK_MSG(t >= now_, "scheduling into the past: " << t << " < " << now_);
+  GRYPHON_CHECK(fn != nullptr);
+  const TaskId id = next_seq_++;
+  queue_.push(Entry{t, id, id});
+  tasks_.emplace(id, std::move(fn));
+  return id;
+}
+
+void Simulator::cancel(TaskId id) {
+  if (id == kInvalidTask) return;
+  if (tasks_.erase(id) > 0) cancelled_.insert(id);
+}
+
+bool Simulator::run_one() {
+  while (!queue_.empty()) {
+    Entry e = queue_.top();
+    queue_.pop();
+    if (cancelled_.erase(e.id) > 0) continue;  // lazily dropped
+    auto it = tasks_.find(e.id);
+    GRYPHON_CHECK(it != tasks_.end());
+    Task fn = std::move(it->second);
+    tasks_.erase(it);
+    GRYPHON_DCHECK(e.time >= now_);
+    now_ = e.time;
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run_until(SimTime t) {
+  GRYPHON_CHECK(t >= now_);
+  while (!queue_.empty()) {
+    // Peek past cancelled entries without executing.
+    Entry e = queue_.top();
+    if (cancelled_.erase(e.id) > 0) {
+      queue_.pop();
+      continue;
+    }
+    if (e.time > t) break;
+    run_one();
+  }
+  now_ = t;
+}
+
+void Simulator::run_until_idle() {
+  while (run_one()) {
+  }
+}
+
+}  // namespace gryphon::sim

@@ -1,0 +1,83 @@
+// Deterministic discrete-event simulator.
+//
+// Everything in a reproduction run — broker protocol timers, link delivery,
+// disk sync completion, CPU queueing, crash/restart schedules — executes as
+// tasks on this single event loop. Determinism comes from (time, sequence)
+// ordering: tasks scheduled for the same instant run in scheduling order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <tuple>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/time.hpp"
+
+namespace gryphon::sim {
+
+/// Handle for cancelling a scheduled task.
+using TaskId = std::uint64_t;
+constexpr TaskId kInvalidTask = 0;
+
+class Simulator {
+ public:
+  using Task = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute sim time `t` (>= now).
+  TaskId schedule_at(SimTime t, Task fn);
+
+  /// Schedules `fn` to run `d` microseconds from now (d >= 0).
+  TaskId schedule_after(SimDuration d, Task fn) {
+    GRYPHON_CHECK_MSG(d >= 0, "negative delay " << d);
+    return schedule_at(now_ + d, std::move(fn));
+  }
+
+  /// Cancels a pending task. Cancelling an already-run or invalid id is a
+  /// no-op (timers race with the events that obsolete them).
+  void cancel(TaskId id);
+
+  /// Runs the next pending task, if any. Returns false when the queue is
+  /// empty.
+  bool run_one();
+
+  /// Runs tasks until sim time would exceed `t`; leaves now() == t.
+  void run_until(SimTime t);
+
+  /// Runs until no tasks remain.
+  void run_until_idle();
+
+  [[nodiscard]] std::size_t pending_tasks() const {
+    return queue_.size() - cancelled_.size();
+  }
+  [[nodiscard]] std::uint64_t executed_tasks() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    TaskId id;
+    // Ordered for a min-heap via std::greater.
+    friend bool operator>(const Entry& a, const Entry& b) {
+      return std::tie(a.time, a.seq) > std::tie(b.time, b.seq);
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::unordered_map<TaskId, Task> tasks_{};
+  std::unordered_set<TaskId> cancelled_;
+};
+
+}  // namespace gryphon::sim

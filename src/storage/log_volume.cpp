@@ -1,0 +1,120 @@
+#include "storage/log_volume.hpp"
+
+#include <algorithm>
+
+namespace gryphon::storage {
+
+LogStreamId LogVolume::open_stream(const std::string& name) {
+  if (auto it = by_name_.find(name); it != by_name_.end()) return it->second;
+  const auto id = static_cast<LogStreamId>(streams_.size());
+  streams_.push_back(Stream{name, /*base=*/1, kNoIndex, {}});
+  by_name_.emplace(name, id);
+  return id;
+}
+
+LogIndex LogVolume::append(LogStreamId stream_id, std::vector<std::byte> payload) {
+  Stream& s = stream(stream_id);
+  const LogIndex index = s.base + s.records.size();
+  const std::size_t bytes = payload.size() + kLogRecordHeaderBytes;
+  s.records.push_back(std::move(payload));
+  ++append_seq_;
+  pending_bytes_ += bytes;
+  retained_bytes_ += bytes;
+  ++appended_records_;
+  appended_bytes_ += bytes;
+  return index;
+}
+
+void LogVolume::sync(std::function<void()> on_durable) {
+  GRYPHON_CHECK(on_durable != nullptr);
+  waiters_.push_back(SyncWaiter{append_seq_, std::move(on_durable)});
+  maybe_start_barrier();
+}
+
+void LogVolume::maybe_start_barrier() {
+  if (barrier_in_flight_ || waiters_.empty()) return;
+  barrier_in_flight_ = true;
+
+  // The barrier covers everything appended before it starts.
+  const std::uint64_t watermark = append_seq_;
+  std::vector<std::pair<LogStreamId, LogIndex>> covered;
+  covered.reserve(streams_.size());
+  for (LogStreamId id = 0; id < streams_.size(); ++id) {
+    const Stream& s = streams_[id];
+    const LogIndex last = s.base + s.records.size() - 1;
+    if (!s.records.empty() && last > s.durable) covered.emplace_back(id, last);
+  }
+  const std::uint64_t bytes = pending_bytes_;
+  pending_bytes_ = 0;
+
+  const std::uint64_t gen = generation_;
+  disk_.write_and_sync(bytes, [this, gen, watermark, covered = std::move(covered)] {
+    if (gen != generation_) return;  // volume crashed while barrier in flight
+    on_barrier_complete(watermark, covered);
+  });
+}
+
+void LogVolume::on_barrier_complete(
+    std::uint64_t watermark, std::vector<std::pair<LogStreamId, LogIndex>> covered) {
+  barrier_in_flight_ = false;
+  for (const auto& [id, last] : covered) {
+    Stream& s = streams_[id];
+    s.durable = std::max(s.durable, last);
+  }
+  // Release every waiter the barrier covers, then start the next batch.
+  std::vector<std::function<void()>> ready;
+  while (!waiters_.empty() && waiters_.front().watermark <= watermark) {
+    ready.push_back(std::move(waiters_.front().callback));
+    waiters_.pop_front();
+  }
+  maybe_start_barrier();
+  for (auto& cb : ready) cb();
+}
+
+const std::vector<std::byte>* LogVolume::read(LogStreamId stream_id,
+                                              LogIndex index) const {
+  const Stream& s = stream(stream_id);
+  if (index < s.base || index >= s.base + s.records.size()) return nullptr;
+  return &s.records[index - s.base];
+}
+
+void LogVolume::chop(LogStreamId stream_id, LogIndex upto) {
+  Stream& s = stream(stream_id);
+  const LogIndex last = s.base + s.records.size() - 1;
+  const LogIndex clamped = s.records.empty() ? s.base - 1 : std::min(upto, last);
+  while (s.base <= clamped) {
+    retained_bytes_ -= s.records.front().size() + kLogRecordHeaderBytes;
+    s.records.pop_front();
+    ++s.base;
+  }
+}
+
+LogIndex LogVolume::first_index(LogStreamId stream_id) const {
+  return stream(stream_id).base;
+}
+
+LogIndex LogVolume::next_index(LogStreamId stream_id) const {
+  const Stream& s = stream(stream_id);
+  return s.base + s.records.size();
+}
+
+LogIndex LogVolume::durable_index(LogStreamId stream_id) const {
+  return stream(stream_id).durable;
+}
+
+void LogVolume::crash() {
+  ++generation_;
+  barrier_in_flight_ = false;
+  pending_bytes_ = 0;
+  waiters_.clear();
+  for (Stream& s : streams_) {
+    // Keep only the durable prefix; anything later was in the page cache.
+    const LogIndex keep_last = std::max(s.durable, s.base - 1);
+    while (s.base + s.records.size() - 1 > keep_last && !s.records.empty()) {
+      retained_bytes_ -= s.records.back().size() + kLogRecordHeaderBytes;
+      s.records.pop_back();
+    }
+  }
+}
+
+}  // namespace gryphon::storage

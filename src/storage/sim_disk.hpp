@@ -1,0 +1,74 @@
+// Simulated durable disk (SSA-drive stand-in).
+//
+// Only timing, byte accounting and crash semantics live here; the *contents*
+// being persisted are managed by the clients (LogVolume, Database), which
+// keep a pending/durable split and advance it when a sync completes.
+//
+// Timing model: a sync covering `bytes` of dirty data completes at
+//   max(now, disk_free) + bytes/bandwidth + sync_latency
+// and the disk is busy until then, so concurrent syncs serialize (one
+// spindle). `sync_latency` is the fixed cost of a forced write barrier; a
+// battery-backed write cache (the §5.2 JMS configuration) is modeled by
+// configuring a much smaller sync_latency.
+//
+// Crash semantics: crash() drops every outstanding completion callback —
+// whatever the client had not yet been told is durable must be discarded by
+// the client's own crash() handler.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/simulator.hpp"
+#include "util/assert.hpp"
+#include "util/time.hpp"
+
+namespace gryphon::storage {
+
+struct DiskConfig {
+  SimDuration sync_latency = msec(4);
+  double write_bandwidth_bytes_per_sec = 40e6;
+  double read_bandwidth_bytes_per_sec = 60e6;
+  SimDuration read_seek_latency = msec(6);
+};
+
+class SimDisk {
+ public:
+  SimDisk(sim::Simulator& simulator, std::string name, DiskConfig config = {});
+  SimDisk(const SimDisk&) = delete;
+  SimDisk& operator=(const SimDisk&) = delete;
+
+  /// Schedules a write barrier for `bytes` of dirty data; `done` fires when
+  /// the data is durable. Callbacks fire in issue order (one spindle).
+  void write_and_sync(std::size_t bytes, std::function<void()> done);
+
+  /// Schedules a read of `bytes` (one seek + sequential transfer, sharing
+  /// the spindle with writes); `done` fires with the data "in memory".
+  void read(std::size_t bytes, std::function<void()> done);
+
+  /// Drops all outstanding completions (power loss).
+  void crash();
+
+  [[nodiscard]] std::uint64_t total_bytes_written() const { return bytes_written_; }
+  [[nodiscard]] std::uint64_t total_bytes_read() const { return bytes_read_; }
+  [[nodiscard]] std::uint64_t total_syncs() const { return syncs_; }
+  [[nodiscard]] std::uint64_t total_reads() const { return reads_; }
+  [[nodiscard]] SimDuration total_busy() const { return busy_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const DiskConfig& config() const { return config_; }
+
+ private:
+  sim::Simulator& sim_;
+  std::string name_;
+  DiskConfig config_;
+  SimTime free_at_ = 0;
+  std::uint64_t generation_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  std::uint64_t bytes_read_ = 0;
+  std::uint64_t syncs_ = 0;
+  std::uint64_t reads_ = 0;
+  SimDuration busy_ = 0;
+};
+
+}  // namespace gryphon::storage

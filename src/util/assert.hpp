@@ -1,0 +1,57 @@
+// Lightweight checked-invariant support used throughout the library.
+//
+// GRYPHON_CHECK is always on (release builds included): protocol invariants
+// in a messaging system are cheap relative to I/O and catching a violated
+// invariant at the point of corruption is worth far more than the branch.
+// GRYPHON_DCHECK compiles away in NDEBUG builds and is meant for hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gryphon {
+
+/// Thrown when a checked invariant fails. Tests assert on this type so
+/// deliberate misuse of an API is observable rather than UB.
+class InvariantViolation : public std::logic_error {
+ public:
+  explicit InvariantViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantViolation(os.str());
+}
+
+}  // namespace detail
+}  // namespace gryphon
+
+#define GRYPHON_CHECK(expr)                                                       \
+  do {                                                                            \
+    if (!(expr)) ::gryphon::detail::check_failed(#expr, __FILE__, __LINE__, {});  \
+  } while (false)
+
+#define GRYPHON_CHECK_MSG(expr, msg)                                            \
+  do {                                                                          \
+    if (!(expr)) {                                                              \
+      std::ostringstream os_;                                                   \
+      os_ << msg; /* NOLINT */                                                  \
+      ::gryphon::detail::check_failed(#expr, __FILE__, __LINE__, os_.str());    \
+    }                                                                           \
+  } while (false)
+
+#ifdef NDEBUG
+#define GRYPHON_DCHECK(expr) \
+  do {                       \
+  } while (false)
+#else
+#define GRYPHON_DCHECK(expr) GRYPHON_CHECK(expr)
+#endif

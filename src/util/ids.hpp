@@ -1,0 +1,54 @@
+// Strongly-typed integer identifiers.
+//
+// The protocols in this library juggle several id spaces (brokers, pubends,
+// subscribers, log streams...). A raw uint32_t invites silently swapping a
+// subscriber id for a pubend id; a tagged wrapper makes that a compile error
+// while staying a trivially-copyable register-sized value.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace gryphon {
+
+/// A strongly typed id. `Tag` is an empty struct naming the id space.
+template <typename Tag>
+class Id {
+ public:
+  using underlying_type = std::uint32_t;
+
+  constexpr Id() = default;
+  constexpr explicit Id(underlying_type v) : value_(v) {}
+
+  [[nodiscard]] constexpr underlying_type value() const { return value_; }
+  friend constexpr auto operator<=>(Id, Id) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, Id id) { return os << id.value_; }
+
+ private:
+  underlying_type value_ = 0;
+};
+
+struct BrokerTag {};
+struct PubendTag {};
+struct SubscriberTag {};
+struct PublisherTag {};
+struct LinkTag {};
+
+using BrokerId = Id<BrokerTag>;
+using PubendId = Id<PubendTag>;
+using SubscriberId = Id<SubscriberTag>;
+using PublisherId = Id<PublisherTag>;
+
+}  // namespace gryphon
+
+namespace std {
+template <typename Tag>
+struct hash<gryphon::Id<Tag>> {
+  size_t operator()(gryphon::Id<Tag> id) const noexcept {
+    return std::hash<typename gryphon::Id<Tag>::underlying_type>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,197 @@
+// A set of disjoint, closed integer intervals over Tick.
+//
+// Used wherever the protocols reason about timestamp ranges: outstanding
+// nacks (curiosity streams), nack consolidation at intermediate brokers,
+// gap bookkeeping at subscribers, and the exactly-once delivery checker.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/time.hpp"
+
+namespace gryphon {
+
+struct TickRange {
+  Tick from;  // inclusive
+  Tick to;    // inclusive
+
+  [[nodiscard]] Tick length() const { return to - from + 1; }
+  friend bool operator==(const TickRange&, const TickRange&) = default;
+  friend std::ostream& operator<<(std::ostream& os, const TickRange& r) {
+    return os << '[' << r.from << ',' << r.to << ']';
+  }
+};
+
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+
+  /// Inserts [from, to], merging with overlapping/adjacent intervals.
+  void add(Tick from, Tick to);
+  void add(TickRange r) { add(r.from, r.to); }
+
+  /// Removes [from, to] (splitting intervals as needed).
+  void subtract(Tick from, Tick to);
+  void subtract(TickRange r) { subtract(r.from, r.to); }
+
+  [[nodiscard]] bool contains(Tick t) const;
+
+  /// The interval containing t, if any.
+  [[nodiscard]] std::optional<TickRange> interval_containing(Tick t) const;
+
+  /// True iff [from, to] is entirely covered.
+  [[nodiscard]] bool covers(Tick from, Tick to) const;
+
+  /// True iff [from, to] overlaps any interval.
+  [[nodiscard]] bool intersects(Tick from, Tick to) const;
+
+  /// The sub-ranges of [from, to] that are covered.
+  [[nodiscard]] std::vector<TickRange> intersection(Tick from, Tick to) const;
+
+  /// The sub-ranges of [from, to] that are NOT covered.
+  [[nodiscard]] std::vector<TickRange> complement_within(Tick from, Tick to) const;
+
+  [[nodiscard]] bool empty() const { return intervals_.empty(); }
+  void clear() { intervals_.clear(); }
+
+  /// Number of disjoint intervals.
+  [[nodiscard]] std::size_t interval_count() const { return intervals_.size(); }
+
+  /// Total ticks covered.
+  [[nodiscard]] Tick total_length() const;
+
+  /// Smallest / largest covered tick; invalid to call when empty.
+  [[nodiscard]] Tick min() const;
+  [[nodiscard]] Tick max() const;
+
+  [[nodiscard]] std::vector<TickRange> ranges() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const IntervalSet& s);
+
+ private:
+  // from -> to, disjoint and non-adjacent (gap of >= 1 between intervals).
+  std::map<Tick, Tick> intervals_;
+};
+
+inline void IntervalSet::add(Tick from, Tick to) {
+  GRYPHON_CHECK_MSG(from <= to, "bad range [" << from << ',' << to << ']');
+  // Find the first interval that could merge: any with start <= to+1 and
+  // end >= from-1.
+  auto it = intervals_.upper_bound(to + 1);  // first with start > to+1
+  // Walk left while mergeable.
+  while (it != intervals_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second < from - 1) break;  // ends before from-1: disjoint
+    from = std::min(from, prev->first);
+    to = std::max(to, prev->second);
+    it = intervals_.erase(prev);
+  }
+  intervals_.emplace(from, to);
+}
+
+inline void IntervalSet::subtract(Tick from, Tick to) {
+  GRYPHON_CHECK_MSG(from <= to, "bad range [" << from << ',' << to << ']');
+  auto it = intervals_.upper_bound(to);  // first with start > to
+  // Collect the split remainders and re-insert after the walk — inserting
+  // inside the loop would revisit the freshly inserted right piece forever.
+  std::vector<std::pair<Tick, Tick>> keep;
+  while (it != intervals_.begin()) {
+    auto cur = std::prev(it);
+    if (cur->second < from) break;  // entirely before: done
+    const Tick cfrom = cur->first;
+    const Tick cto = cur->second;
+    it = intervals_.erase(cur);
+    if (cfrom < from) keep.emplace_back(cfrom, from - 1);
+    if (cto > to) keep.emplace_back(to + 1, cto);
+  }
+  for (const auto& [a, b] : keep) intervals_.emplace(a, b);
+}
+
+inline bool IntervalSet::contains(Tick t) const {
+  auto it = intervals_.upper_bound(t);
+  if (it == intervals_.begin()) return false;
+  return std::prev(it)->second >= t;
+}
+
+inline std::optional<TickRange> IntervalSet::interval_containing(Tick t) const {
+  auto it = intervals_.upper_bound(t);
+  if (it == intervals_.begin()) return std::nullopt;
+  auto cur = std::prev(it);
+  if (cur->second < t) return std::nullopt;
+  return TickRange{cur->first, cur->second};
+}
+
+inline bool IntervalSet::covers(Tick from, Tick to) const {
+  auto it = intervals_.upper_bound(from);
+  if (it == intervals_.begin()) return false;
+  auto cur = std::prev(it);
+  return cur->first <= from && cur->second >= to;
+}
+
+inline bool IntervalSet::intersects(Tick from, Tick to) const {
+  auto it = intervals_.upper_bound(to);
+  if (it == intervals_.begin()) return false;
+  return std::prev(it)->second >= from;
+}
+
+inline std::vector<TickRange> IntervalSet::intersection(Tick from, Tick to) const {
+  std::vector<TickRange> out;
+  auto it = intervals_.upper_bound(from);
+  if (it != intervals_.begin() && std::prev(it)->second >= from) --it;
+  for (; it != intervals_.end() && it->first <= to; ++it) {
+    out.push_back({std::max(from, it->first), std::min(to, it->second)});
+  }
+  return out;
+}
+
+inline std::vector<TickRange> IntervalSet::complement_within(Tick from, Tick to) const {
+  std::vector<TickRange> out;
+  Tick cursor = from;
+  for (const TickRange& r : intersection(from, to)) {
+    if (r.from > cursor) out.push_back({cursor, r.from - 1});
+    cursor = r.to + 1;
+  }
+  if (cursor <= to) out.push_back({cursor, to});
+  return out;
+}
+
+inline Tick IntervalSet::total_length() const {
+  Tick n = 0;
+  for (const auto& [from, to] : intervals_) n += to - from + 1;
+  return n;
+}
+
+inline Tick IntervalSet::min() const {
+  GRYPHON_CHECK(!intervals_.empty());
+  return intervals_.begin()->first;
+}
+
+inline Tick IntervalSet::max() const {
+  GRYPHON_CHECK(!intervals_.empty());
+  return intervals_.rbegin()->second;
+}
+
+inline std::vector<TickRange> IntervalSet::ranges() const {
+  std::vector<TickRange> out;
+  out.reserve(intervals_.size());
+  for (const auto& [from, to] : intervals_) out.push_back({from, to});
+  return out;
+}
+
+inline std::ostream& operator<<(std::ostream& os, const IntervalSet& s) {
+  os << '{';
+  bool first = true;
+  for (const auto& [from, to] : s.intervals_) {
+    if (!first) os << ", ";
+    os << '[' << from << ',' << to << ']';
+    first = false;
+  }
+  return os << '}';
+}
+
+}  // namespace gryphon

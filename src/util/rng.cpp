@@ -1,0 +1,15 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace gryphon {
+
+double Rng::next_exponential(double mean) {
+  GRYPHON_CHECK(mean > 0.0);
+  // Inverse-CDF; guard against log(0).
+  double u = next_double();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+}  // namespace gryphon

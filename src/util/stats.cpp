@@ -1,0 +1,111 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+
+namespace gryphon {
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+std::vector<TimeSeries::Point> TimeSeries::rate_of_change(SimDuration window) const {
+  GRYPHON_CHECK(window > 0);
+  std::vector<Point> out;
+  if (points_.size() < 2) return out;
+
+  const SimTime start = points_.front().time;
+  const SimTime end = points_.back().time;
+  // Step-interpolated value at time t: value of the last point <= t.
+  auto value_at = [this](SimTime t) {
+    auto it = std::upper_bound(points_.begin(), points_.end(), t,
+                               [](SimTime x, const Point& p) { return x < p.time; });
+    GRYPHON_CHECK(it != points_.begin());
+    return std::prev(it)->value;
+  };
+
+  for (SimTime w = start; w + window <= end; w += window) {
+    const double dv = value_at(w + window) - value_at(w);
+    out.push_back({w, dv / to_seconds(window)});
+  }
+  return out;
+}
+
+double TimeSeries::average_over(SimTime from, SimTime to) const {
+  GRYPHON_CHECK(from < to);
+  if (points_.empty()) return 0.0;
+  double area = 0.0;
+  double cur = points_.front().value;
+  SimTime cursor = from;
+  for (const auto& p : points_) {
+    if (p.time <= from) {
+      cur = p.value;
+      continue;
+    }
+    if (p.time >= to) break;
+    area += cur * to_seconds(p.time - cursor);
+    cur = p.value;
+    cursor = p.time;
+  }
+  area += cur * to_seconds(to - cursor);
+  return area / to_seconds(to - from);
+}
+
+void RateMeter::record(SimTime t, std::uint64_t n) {
+  GRYPHON_CHECK_MSG(t >= 0, "negative sim time");
+  const auto idx = static_cast<std::size_t>(t / window_);
+  if (idx >= counts_.size()) counts_.resize(idx + 1, 0);
+  counts_[idx] += n;
+  last_time_ = std::max(last_time_, t);
+  total_ += n;
+}
+
+std::vector<RateMeter::Window> RateMeter::windows() const {
+  std::vector<Window> out;
+  if (counts_.empty()) return out;
+  // The window containing last_time_ is still accumulating; exclude it.
+  const auto open = static_cast<std::size_t>(last_time_ / window_);
+  for (std::size_t i = 0; i < counts_.size() && i < open; ++i) {
+    out.push_back({static_cast<SimTime>(i) * window_,
+                   static_cast<double>(counts_[i]) / to_seconds(window_)});
+  }
+  return out;
+}
+
+Histogram::Histogram(double min_value, double max_value, int buckets_per_decade)
+    : min_value_(min_value) {
+  GRYPHON_CHECK(min_value > 0 && max_value > min_value && buckets_per_decade > 0);
+  log_min_ = std::log10(min_value);
+  log_step_ = 1.0 / buckets_per_decade;
+  const double decades = std::log10(max_value) - log_min_;
+  buckets_.assign(static_cast<std::size_t>(std::ceil(decades / log_step_)) + 2, 0);
+}
+
+std::size_t Histogram::bucket_of(double v) const {
+  if (v <= min_value_) return 0;
+  const double d = (std::log10(v) - log_min_) / log_step_;
+  const auto i = static_cast<std::size_t>(d) + 1;
+  return std::min(i, buckets_.size() - 1);
+}
+
+double Histogram::bucket_upper(std::size_t i) const {
+  if (i == 0) return min_value_;
+  return std::pow(10.0, log_min_ + static_cast<double>(i) * log_step_);
+}
+
+void Histogram::add(double v) {
+  ++buckets_[bucket_of(v)];
+  ++count_;
+}
+
+double Histogram::percentile(double p) const {
+  GRYPHON_CHECK(p >= 0.0 && p <= 100.0);
+  if (count_ == 0) return 0.0;
+  const auto target =
+      static_cast<std::uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target && buckets_[i] > 0) return bucket_upper(i);
+  }
+  return bucket_upper(buckets_.size() - 1);
+}
+
+}  // namespace gryphon

@@ -1,0 +1,125 @@
+// Metrics primitives used by tests and the benchmark harness: time series
+// (the paper's figures are all time-series or bar charts derived from them),
+// windowed rate meters, and summary statistics / histograms.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/time.hpp"
+
+namespace gryphon {
+
+/// Running summary statistics (count/mean/min/max/stddev) without storing
+/// samples. Welford's algorithm for numerical stability.
+class Summary {
+ public:
+  void add(double x) {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// A (sim-time, value) series, e.g. latestDelivered(p) over time (Fig. 6/7).
+class TimeSeries {
+ public:
+  struct Point {
+    SimTime time;
+    double value;
+  };
+
+  explicit TimeSeries(std::string name) : name_(std::move(name)) {}
+
+  void record(SimTime t, double v) { points_.push_back({t, v}); }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<Point>& points() const { return points_; }
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+
+  /// Resamples the series onto fixed windows and reports the per-second rate
+  /// of change of the value in each window (used to plot "rate of advance of
+  /// latestDelivered in tick-ms per second", Fig. 6).
+  [[nodiscard]] std::vector<Point> rate_of_change(SimDuration window) const;
+
+  /// Average value of the series in [from, to) by step interpolation.
+  [[nodiscard]] double average_over(SimTime from, SimTime to) const;
+
+ private:
+  std::string name_;
+  std::vector<Point> points_;
+};
+
+/// Counts events into fixed windows of sim time and reports per-second rates
+/// (used for "aggregate events/s at each client machine", Fig. 8).
+class RateMeter {
+ public:
+  explicit RateMeter(SimDuration window = sec(1)) : window_(window) {
+    GRYPHON_CHECK(window_ > 0);
+  }
+
+  void record(SimTime t, std::uint64_t n = 1);
+
+  struct Window {
+    SimTime start;
+    double per_second;
+  };
+
+  /// Completed windows (the still-open trailing window is excluded).
+  [[nodiscard]] std::vector<Window> windows() const;
+
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+ private:
+  SimDuration window_;
+  std::vector<std::uint64_t> counts_;
+  SimTime last_time_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Fixed-bucket histogram over a positive range, log-spaced, for latency
+/// distributions.
+class Histogram {
+ public:
+  Histogram(double min_value, double max_value, int buckets_per_decade = 10);
+
+  void add(double v);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double percentile(double p) const;  // p in [0, 100]
+
+ private:
+  [[nodiscard]] std::size_t bucket_of(double v) const;
+  [[nodiscard]] double bucket_upper(std::size_t i) const;
+
+  double min_value_;
+  double log_min_;
+  double log_step_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace gryphon

@@ -1,0 +1,93 @@
+// The logging facility and its protocol call sites.
+#include <gtest/gtest.h>
+
+#include "harness/system.hpp"
+#include "harness/workload.hpp"
+#include "util/logging.hpp"
+
+namespace gryphon {
+namespace {
+
+struct LogCapture {
+  struct Entry {
+    LogLevel level;
+    std::string component;
+    std::string message;
+    SimTime time;
+  };
+  std::vector<Entry> entries;
+
+  LogCapture() {
+    Logger::instance().set_sink([this](LogLevel level, const std::string& component,
+                                       const std::string& message, SimTime t) {
+      entries.push_back({level, component, message, t});
+    });
+  }
+  ~LogCapture() {
+    Logger::instance().set_sink(nullptr);
+    Logger::instance().set_level(LogLevel::kOff);
+  }
+
+  [[nodiscard]] bool contains(const std::string& needle) const {
+    for (const auto& e : entries) {
+      if (e.message.find(needle) != std::string::npos) return true;
+    }
+    return false;
+  }
+};
+
+TEST(Logging, SuppressedLevelsEmitNothing) {
+  LogCapture capture;
+  Logger::instance().set_level(LogLevel::kWarn);
+  GRYPHON_LOG(kInfo, "test", "should not appear");
+  GRYPHON_LOG(kError, "test", "should appear " << 42);
+  ASSERT_EQ(capture.entries.size(), 1u);
+  EXPECT_EQ(capture.entries[0].level, LogLevel::kError);
+  EXPECT_EQ(capture.entries[0].message, "should appear 42");
+  EXPECT_EQ(capture.entries[0].component, "test");
+}
+
+TEST(Logging, SuppressedCallSitesDoNotEvaluateArguments) {
+  LogCapture capture;
+  Logger::instance().set_level(LogLevel::kOff);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return "x";
+  };
+  GRYPHON_LOG(kError, "test", expensive());
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(Logging, BrokerLifecycleEventsAreLogged) {
+  LogCapture capture;
+  Logger::instance().set_level(LogLevel::kDebug);
+
+  harness::SystemConfig config;
+  config.num_pubends = 1;
+  harness::System system(config);
+  harness::PaperWorkloadConfig wl;
+  wl.input_rate_eps = 100;
+  harness::start_paper_publishers(system, wl);
+  auto subs = harness::add_group_subscribers(system, 0, 2, 4, 1);
+  system.run_for(sec(3));
+  subs[0]->disconnect();
+  system.run_for(sec(2));
+  subs[0]->connect();
+  system.run_for(sec(6));
+  system.crash_shb(0);
+  system.run_for(sec(1));
+  system.restart_shb(0);
+  system.run_for(sec(5));
+
+  EXPECT_TRUE(capture.contains("session starts"));
+  EXPECT_TRUE(capture.contains("caught up on all pubends"));
+  EXPECT_TRUE(capture.contains("crashed"));
+  EXPECT_TRUE(capture.contains("restarted"));
+  EXPECT_TRUE(capture.contains("released ticks"));
+  // Entries are stamped with simulated time.
+  EXPECT_GT(capture.entries.back().time, sec(1));
+}
+
+}  // namespace
+}  // namespace gryphon
