@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_delivered_released.dir/bench_fig6_delivered_released.cpp.o"
+  "CMakeFiles/bench_fig6_delivered_released.dir/bench_fig6_delivered_released.cpp.o.d"
+  "bench_fig6_delivered_released"
+  "bench_fig6_delivered_released.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_delivered_released.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

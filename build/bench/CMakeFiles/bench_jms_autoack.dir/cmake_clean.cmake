@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_jms_autoack.dir/bench_jms_autoack.cpp.o"
+  "CMakeFiles/bench_jms_autoack.dir/bench_jms_autoack.cpp.o.d"
+  "bench_jms_autoack"
+  "bench_jms_autoack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_jms_autoack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_jms_autoack.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_latency_5hop.dir/bench_latency_5hop.cpp.o"
+  "CMakeFiles/bench_latency_5hop.dir/bench_latency_5hop.cpp.o.d"
+  "bench_latency_5hop"
+  "bench_latency_5hop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_latency_5hop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pfs_micro.dir/bench_pfs_micro.cpp.o"
+  "CMakeFiles/bench_pfs_micro.dir/bench_pfs_micro.cpp.o.d"
+  "bench_pfs_micro"
+  "bench_pfs_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pfs_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disconnected_mobile_feed.dir/disconnected_mobile_feed.cpp.o"
+  "CMakeFiles/disconnected_mobile_feed.dir/disconnected_mobile_feed.cpp.o.d"
+  "disconnected_mobile_feed"
+  "disconnected_mobile_feed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disconnected_mobile_feed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/early_release_policy.dir/early_release_policy.cpp.o"
+  "CMakeFiles/early_release_policy.dir/early_release_policy.cpp.o.d"
+  "early_release_policy"
+  "early_release_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/early_release_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jms_style_app.dir/jms_style_app.cpp.o"
+  "CMakeFiles/jms_style_app.dir/jms_style_app.cpp.o.d"
+  "jms_style_app"
+  "jms_style_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jms_style_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baseline_event_log.cpp" "src/core/CMakeFiles/gryphon_core.dir/baseline_event_log.cpp.o" "gcc" "src/core/CMakeFiles/gryphon_core.dir/baseline_event_log.cpp.o.d"
+  "/root/repo/src/core/broker.cpp" "src/core/CMakeFiles/gryphon_core.dir/broker.cpp.o" "gcc" "src/core/CMakeFiles/gryphon_core.dir/broker.cpp.o.d"
+  "/root/repo/src/core/child_stream.cpp" "src/core/CMakeFiles/gryphon_core.dir/child_stream.cpp.o" "gcc" "src/core/CMakeFiles/gryphon_core.dir/child_stream.cpp.o.d"
+  "/root/repo/src/core/event_codec.cpp" "src/core/CMakeFiles/gryphon_core.dir/event_codec.cpp.o" "gcc" "src/core/CMakeFiles/gryphon_core.dir/event_codec.cpp.o.d"
+  "/root/repo/src/core/intermediate.cpp" "src/core/CMakeFiles/gryphon_core.dir/intermediate.cpp.o" "gcc" "src/core/CMakeFiles/gryphon_core.dir/intermediate.cpp.o.d"
+  "/root/repo/src/core/jms/jms.cpp" "src/core/CMakeFiles/gryphon_core.dir/jms/jms.cpp.o" "gcc" "src/core/CMakeFiles/gryphon_core.dir/jms/jms.cpp.o.d"
+  "/root/repo/src/core/pfs.cpp" "src/core/CMakeFiles/gryphon_core.dir/pfs.cpp.o" "gcc" "src/core/CMakeFiles/gryphon_core.dir/pfs.cpp.o.d"
+  "/root/repo/src/core/phb.cpp" "src/core/CMakeFiles/gryphon_core.dir/phb.cpp.o" "gcc" "src/core/CMakeFiles/gryphon_core.dir/phb.cpp.o.d"
+  "/root/repo/src/core/pubend.cpp" "src/core/CMakeFiles/gryphon_core.dir/pubend.cpp.o" "gcc" "src/core/CMakeFiles/gryphon_core.dir/pubend.cpp.o.d"
+  "/root/repo/src/core/publisher_client.cpp" "src/core/CMakeFiles/gryphon_core.dir/publisher_client.cpp.o" "gcc" "src/core/CMakeFiles/gryphon_core.dir/publisher_client.cpp.o.d"
+  "/root/repo/src/core/shb.cpp" "src/core/CMakeFiles/gryphon_core.dir/shb.cpp.o" "gcc" "src/core/CMakeFiles/gryphon_core.dir/shb.cpp.o.d"
+  "/root/repo/src/core/subscriber_client.cpp" "src/core/CMakeFiles/gryphon_core.dir/subscriber_client.cpp.o" "gcc" "src/core/CMakeFiles/gryphon_core.dir/subscriber_client.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/routing/CMakeFiles/gryphon_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/gryphon_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/gryphon_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gryphon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gryphon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

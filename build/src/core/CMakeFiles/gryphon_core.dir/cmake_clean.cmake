@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gryphon_core.dir/baseline_event_log.cpp.o"
+  "CMakeFiles/gryphon_core.dir/baseline_event_log.cpp.o.d"
+  "CMakeFiles/gryphon_core.dir/broker.cpp.o"
+  "CMakeFiles/gryphon_core.dir/broker.cpp.o.d"
+  "CMakeFiles/gryphon_core.dir/child_stream.cpp.o"
+  "CMakeFiles/gryphon_core.dir/child_stream.cpp.o.d"
+  "CMakeFiles/gryphon_core.dir/event_codec.cpp.o"
+  "CMakeFiles/gryphon_core.dir/event_codec.cpp.o.d"
+  "CMakeFiles/gryphon_core.dir/intermediate.cpp.o"
+  "CMakeFiles/gryphon_core.dir/intermediate.cpp.o.d"
+  "CMakeFiles/gryphon_core.dir/jms/jms.cpp.o"
+  "CMakeFiles/gryphon_core.dir/jms/jms.cpp.o.d"
+  "CMakeFiles/gryphon_core.dir/pfs.cpp.o"
+  "CMakeFiles/gryphon_core.dir/pfs.cpp.o.d"
+  "CMakeFiles/gryphon_core.dir/phb.cpp.o"
+  "CMakeFiles/gryphon_core.dir/phb.cpp.o.d"
+  "CMakeFiles/gryphon_core.dir/pubend.cpp.o"
+  "CMakeFiles/gryphon_core.dir/pubend.cpp.o.d"
+  "CMakeFiles/gryphon_core.dir/publisher_client.cpp.o"
+  "CMakeFiles/gryphon_core.dir/publisher_client.cpp.o.d"
+  "CMakeFiles/gryphon_core.dir/shb.cpp.o"
+  "CMakeFiles/gryphon_core.dir/shb.cpp.o.d"
+  "CMakeFiles/gryphon_core.dir/subscriber_client.cpp.o"
+  "CMakeFiles/gryphon_core.dir/subscriber_client.cpp.o.d"
+  "libgryphon_core.a"
+  "libgryphon_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gryphon_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gryphon_harness.dir/oracle.cpp.o"
+  "CMakeFiles/gryphon_harness.dir/oracle.cpp.o.d"
+  "CMakeFiles/gryphon_harness.dir/system.cpp.o"
+  "CMakeFiles/gryphon_harness.dir/system.cpp.o.d"
+  "CMakeFiles/gryphon_harness.dir/workload.cpp.o"
+  "CMakeFiles/gryphon_harness.dir/workload.cpp.o.d"
+  "libgryphon_harness.a"
+  "libgryphon_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gryphon_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

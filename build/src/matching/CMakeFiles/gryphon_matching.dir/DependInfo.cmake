@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matching/parser.cpp" "src/matching/CMakeFiles/gryphon_matching.dir/parser.cpp.o" "gcc" "src/matching/CMakeFiles/gryphon_matching.dir/parser.cpp.o.d"
+  "/root/repo/src/matching/predicate.cpp" "src/matching/CMakeFiles/gryphon_matching.dir/predicate.cpp.o" "gcc" "src/matching/CMakeFiles/gryphon_matching.dir/predicate.cpp.o.d"
+  "/root/repo/src/matching/subscription_index.cpp" "src/matching/CMakeFiles/gryphon_matching.dir/subscription_index.cpp.o" "gcc" "src/matching/CMakeFiles/gryphon_matching.dir/subscription_index.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gryphon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

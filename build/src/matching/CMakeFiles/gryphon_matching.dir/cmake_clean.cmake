@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gryphon_matching.dir/parser.cpp.o"
+  "CMakeFiles/gryphon_matching.dir/parser.cpp.o.d"
+  "CMakeFiles/gryphon_matching.dir/predicate.cpp.o"
+  "CMakeFiles/gryphon_matching.dir/predicate.cpp.o.d"
+  "CMakeFiles/gryphon_matching.dir/subscription_index.cpp.o"
+  "CMakeFiles/gryphon_matching.dir/subscription_index.cpp.o.d"
+  "libgryphon_matching.a"
+  "libgryphon_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gryphon_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gryphon_routing.dir/tick_map.cpp.o"
+  "CMakeFiles/gryphon_routing.dir/tick_map.cpp.o.d"
+  "libgryphon_routing.a"
+  "libgryphon_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gryphon_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gryphon_sim.dir/cpu.cpp.o"
+  "CMakeFiles/gryphon_sim.dir/cpu.cpp.o.d"
+  "CMakeFiles/gryphon_sim.dir/network.cpp.o"
+  "CMakeFiles/gryphon_sim.dir/network.cpp.o.d"
+  "CMakeFiles/gryphon_sim.dir/simulator.cpp.o"
+  "CMakeFiles/gryphon_sim.dir/simulator.cpp.o.d"
+  "libgryphon_sim.a"
+  "libgryphon_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gryphon_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

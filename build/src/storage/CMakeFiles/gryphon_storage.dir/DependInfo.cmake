@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/database.cpp" "src/storage/CMakeFiles/gryphon_storage.dir/database.cpp.o" "gcc" "src/storage/CMakeFiles/gryphon_storage.dir/database.cpp.o.d"
+  "/root/repo/src/storage/log_volume.cpp" "src/storage/CMakeFiles/gryphon_storage.dir/log_volume.cpp.o" "gcc" "src/storage/CMakeFiles/gryphon_storage.dir/log_volume.cpp.o.d"
+  "/root/repo/src/storage/sim_disk.cpp" "src/storage/CMakeFiles/gryphon_storage.dir/sim_disk.cpp.o" "gcc" "src/storage/CMakeFiles/gryphon_storage.dir/sim_disk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/gryphon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gryphon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

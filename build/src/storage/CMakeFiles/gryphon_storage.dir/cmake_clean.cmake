@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gryphon_storage.dir/database.cpp.o"
+  "CMakeFiles/gryphon_storage.dir/database.cpp.o.d"
+  "CMakeFiles/gryphon_storage.dir/log_volume.cpp.o"
+  "CMakeFiles/gryphon_storage.dir/log_volume.cpp.o.d"
+  "CMakeFiles/gryphon_storage.dir/sim_disk.cpp.o"
+  "CMakeFiles/gryphon_storage.dir/sim_disk.cpp.o.d"
+  "libgryphon_storage.a"
+  "libgryphon_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gryphon_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

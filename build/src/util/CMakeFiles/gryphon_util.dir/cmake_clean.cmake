@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gryphon_util.dir/logging.cpp.o"
+  "CMakeFiles/gryphon_util.dir/logging.cpp.o.d"
+  "CMakeFiles/gryphon_util.dir/rng.cpp.o"
+  "CMakeFiles/gryphon_util.dir/rng.cpp.o.d"
+  "CMakeFiles/gryphon_util.dir/stats.cpp.o"
+  "CMakeFiles/gryphon_util.dir/stats.cpp.o.d"
+  "libgryphon_util.a"
+  "libgryphon_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gryphon_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_determinism_and_oracle.dir/test_determinism_and_oracle.cpp.o"
+  "CMakeFiles/test_determinism_and_oracle.dir/test_determinism_and_oracle.cpp.o.d"
+  "test_determinism_and_oracle"
+  "test_determinism_and_oracle.pdb"
+  "test_determinism_and_oracle[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_determinism_and_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

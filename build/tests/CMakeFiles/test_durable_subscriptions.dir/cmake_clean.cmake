@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_durable_subscriptions.dir/test_durable_subscriptions.cpp.o"
+  "CMakeFiles/test_durable_subscriptions.dir/test_durable_subscriptions.cpp.o.d"
+  "test_durable_subscriptions"
+  "test_durable_subscriptions.pdb"
+  "test_durable_subscriptions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_durable_subscriptions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_basic.dir/test_integration_basic.cpp.o"
+  "CMakeFiles/test_integration_basic.dir/test_integration_basic.cpp.o.d"
+  "test_integration_basic"
+  "test_integration_basic.pdb"
+  "test_integration_basic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jms.dir/test_jms.cpp.o"
+  "CMakeFiles/test_jms.dir/test_jms.cpp.o.d"
+  "test_jms"
+  "test_jms.pdb"
+  "test_jms[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jms_facade.dir/test_jms_facade.cpp.o"
+  "CMakeFiles/test_jms_facade.dir/test_jms_facade.cpp.o.d"
+  "test_jms_facade"
+  "test_jms_facade.pdb"
+  "test_jms_facade[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jms_facade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

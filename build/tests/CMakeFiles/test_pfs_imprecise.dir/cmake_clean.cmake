@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pfs_imprecise.dir/test_pfs_imprecise.cpp.o"
+  "CMakeFiles/test_pfs_imprecise.dir/test_pfs_imprecise.cpp.o.d"
+  "test_pfs_imprecise"
+  "test_pfs_imprecise.pdb"
+  "test_pfs_imprecise[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pfs_imprecise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

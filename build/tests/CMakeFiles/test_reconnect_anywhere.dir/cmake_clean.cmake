@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reconnect_anywhere.dir/test_reconnect_anywhere.cpp.o"
+  "CMakeFiles/test_reconnect_anywhere.dir/test_reconnect_anywhere.cpp.o.d"
+  "test_reconnect_anywhere"
+  "test_reconnect_anywhere.pdb"
+  "test_reconnect_anywhere[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reconnect_anywhere.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_reconnect_anywhere.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_release_protocol.dir/test_release_protocol.cpp.o"
+  "CMakeFiles/test_release_protocol.dir/test_release_protocol.cpp.o.d"
+  "test_release_protocol"
+  "test_release_protocol.pdb"
+  "test_release_protocol[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_release_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_integration_basic[1]_include.cmake")
+include("/root/repo/build/tests/test_durable_subscriptions[1]_include.cmake")
+include("/root/repo/build/tests/test_failures[1]_include.cmake")
+include("/root/repo/build/tests/test_jms[1]_include.cmake")
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_storage[1]_include.cmake")
+include("/root/repo/build/tests/test_matching[1]_include.cmake")
+include("/root/repo/build/tests/test_routing[1]_include.cmake")
+include("/root/repo/build/tests/test_core_units[1]_include.cmake")
+include("/root/repo/build/tests/test_pfs[1]_include.cmake")
+include("/root/repo/build/tests/test_reconnect_anywhere[1]_include.cmake")
+include("/root/repo/build/tests/test_pfs_imprecise[1]_include.cmake")
+include("/root/repo/build/tests/test_release_protocol[1]_include.cmake")
+include("/root/repo/build/tests/test_flow_control[1]_include.cmake")
+include("/root/repo/build/tests/test_determinism_and_oracle[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_jms_facade[1]_include.cmake")
+include("/root/repo/build/tests/test_logging[1]_include.cmake")
+include("/root/repo/build/tests/test_harness[1]_include.cmake")

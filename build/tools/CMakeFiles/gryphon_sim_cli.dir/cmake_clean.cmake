@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gryphon_sim_cli.dir/gryphon_sim.cpp.o"
+  "CMakeFiles/gryphon_sim_cli.dir/gryphon_sim.cpp.o.d"
+  "gryphon_sim"
+  "gryphon_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gryphon_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
