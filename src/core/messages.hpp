@@ -166,16 +166,28 @@ struct BrokerResumeMsg final : Msg {
 // ---------------------------------------------------------------- publishers
 
 struct PublishMsg final : Msg {
-  PublishMsg(PublisherId pub, std::uint64_t s, PubendId p, matching::EventDataPtr ev)
-      : Msg(MsgKind::kPublish), publisher(pub), seq(s), pubend(p), event(std::move(ev)) {}
+  PublishMsg(PublisherId pub, std::uint64_t s, std::uint64_t floor, PubendId p,
+             matching::EventDataPtr ev)
+      : Msg(MsgKind::kPublish),
+        publisher(pub),
+        seq(s),
+        acked_below(floor),
+        pubend(p),
+        event(std::move(ev)) {}
 
   PublisherId publisher;
   std::uint64_t seq;  // publisher-assigned, for PHB-side dedup on retry
+  /// Cumulative ack floor: every seq below this has been acked to the
+  /// publisher and will never be retried. Lets the pubend prune its exact
+  /// per-seq dedup window (a plain "latest seq" comparison is wrong: after a
+  /// PHB outage, retried old seqs arrive behind fresh higher seqs and would
+  /// be dropped-but-acked as duplicates).
+  std::uint64_t acked_below;
   PubendId pubend;
   matching::EventDataPtr event;
 
   [[nodiscard]] std::size_t wire_size() const override {
-    return kEnvelopeBytes + 16 + event->encoded_size();
+    return kEnvelopeBytes + 24 + event->encoded_size();
   }
 };
 

@@ -59,6 +59,16 @@ class NodeResources {
   void restart() {
     GRYPHON_LOG(kInfo, name, "broker restarted over surviving durable state");
     network.set_down(endpoint, false);
+    disk.restart();
+  }
+
+  /// Torn sync on the node's disk: dirty data under the in-flight barrier
+  /// is lost but the process stays up; LogVolume/Database re-issue it.
+  void torn_sync() {
+    GRYPHON_LOG(kWarn, name, "torn sync: in-flight disk barrier lost, retrying");
+    disk.drop_unsynced();
+    log_volume.on_torn_sync();
+    database.on_torn_sync();
   }
 
   sim::Simulator& sim;

@@ -129,7 +129,8 @@ void PublisherHostingBroker::handle(sim::EndpointId from, const Msg& msg) {
 void PublisherHostingBroker::on_publish(sim::EndpointId from, const PublishMsg& msg) {
   ++stats_.publishes;
   Pubend& pe = pubend(msg.pubend);
-  const auto accepted = pe.accept_publish(msg.publisher, msg.seq, msg.event, now());
+  const auto accepted =
+      pe.accept_publish(msg.publisher, msg.seq, msg.acked_below, msg.event, now());
   if (accepted.duplicate) {
     ++stats_.duplicates;
     send(from, std::make_shared<PublishAckMsg>(msg.publisher, msg.seq, accepted.tick));

@@ -52,8 +52,7 @@ void Pubend::recover() {
     if (e.tick > prev + 1) ticks_.set_silence(prev + 1, e.tick - 1);
     ticks_.set_data(e.tick, e.event);
     retained_records_.emplace_back(e.tick, i);
-    auto& lp = last_pub_[e.publisher];
-    if (e.seq >= lp.seq) lp = {e.seq, e.tick};
+    accepted_pubs_[e.publisher][e.seq] = e.tick;
     prev = e.tick;
     last_assigned_ = std::max(last_assigned_, e.tick);
   }
@@ -63,15 +62,23 @@ void Pubend::recover() {
 }
 
 Pubend::Accepted Pubend::accept_publish(PublisherId publisher, std::uint64_t seq,
+                                        std::uint64_t acked_below,
                                         const matching::EventDataPtr& event,
                                         SimTime now) {
-  if (auto it = last_pub_.find(publisher); it != last_pub_.end() && seq <= it->second.seq) {
-    return {true, it->second.tick};
+  auto& window = accepted_pubs_[publisher];
+  window.erase(window.begin(), window.lower_bound(acked_below));
+  if (auto it = window.find(seq); it != window.end()) {
+    return {true, it->second};  // retry of an accepted publish: re-ack its tick
+  }
+  if (seq < acked_below) {
+    // The publisher already saw this seq's ack, so it cannot be waiting for
+    // this one; any tick satisfies the (discarded) duplicate ack.
+    return {true, last_assigned_};
   }
   const Tick tick =
       std::max({last_assigned_ + 1, announced_upto_ + 1, tick_of_simtime(now)});
   last_assigned_ = tick;
-  last_pub_[publisher] = {seq, tick};
+  window.emplace(seq, tick);
   pending_durable_.insert(tick);
 
   const storage::LogIndex idx = res_.log_volume.append(

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <deque>
+#include <map>
 #include <optional>
 #include <set>
 #include <unordered_map>
@@ -42,7 +43,8 @@ class Pubend {
   /// log. Volatile until the volume syncs; announce via announce_data() once
   /// durable.
   Accepted accept_publish(PublisherId publisher, std::uint64_t seq,
-                          const matching::EventDataPtr& event, SimTime now);
+                          std::uint64_t acked_below, const matching::EventDataPtr& event,
+                          SimTime now);
 
   /// Marks `tick` D in the ladder (and the ticks since the previous
   /// announcement S). Returns the newly announced contiguous region.
@@ -91,12 +93,12 @@ class Pubend {
   Tick delivered_min_ = kTickZero;  // Td(p)
   Tick lost_upto_ = kTickZero;
 
-  /// (publisher -> last seq/tick) for retry dedup.
-  struct LastPub {
-    std::uint64_t seq;
-    Tick tick;
-  };
-  std::unordered_map<PublisherId, LastPub> last_pub_;
+  /// Exact retry-dedup window: per publisher, the accepted seq -> tick pairs
+  /// not yet covered by the publisher's cumulative ack floor. A "latest seq"
+  /// comparison is not enough — after a PHB outage the publisher's retried
+  /// backlog arrives behind fresh (higher-seq) publishes, and collapsing the
+  /// window to one seq would ack-and-drop every backlog event.
+  std::unordered_map<PublisherId, std::map<std::uint64_t, Tick>> accepted_pubs_;
 
   /// Retained (tick, log index) pairs for chopping by tick.
   std::deque<std::pair<Tick, storage::LogIndex>> retained_records_;

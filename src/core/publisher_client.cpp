@@ -26,19 +26,25 @@ void Publisher::tick() {
   defer(options_.interval, [this] { tick(); });
 }
 
+std::uint64_t Publisher::acked_below() const {
+  // Everything below the lowest still-pending seq has been acked.
+  return pending_.empty() ? next_seq_ : pending_.begin()->first;
+}
+
 void Publisher::publish(matching::EventDataPtr event) {
   GRYPHON_CHECK(event != nullptr);
   const std::uint64_t seq = next_seq_++;
   pending_.emplace(seq, Pending{event, now(), now()});
-  send(phb_, std::make_shared<PublishMsg>(options_.id, seq, options_.pubend,
-                                          std::move(event)));
+  send(phb_, std::make_shared<PublishMsg>(options_.id, seq, acked_below(),
+                                          options_.pubend, std::move(event)));
 }
 
 void Publisher::retry_pending() {
   for (auto& [seq, p] : pending_) {
     if (now() - p.last_sent < options_.retry_timeout) continue;
     p.last_sent = now();
-    send(phb_, std::make_shared<PublishMsg>(options_.id, seq, options_.pubend, p.event));
+    send(phb_, std::make_shared<PublishMsg>(options_.id, seq, acked_below(),
+                                            options_.pubend, p.event));
   }
 }
 

@@ -49,6 +49,7 @@ class Publisher final : public Client {
  private:
   void tick();
   void retry_pending();
+  [[nodiscard]] std::uint64_t acked_below() const;
 
   Options options_;
   sim::EndpointId phb_;

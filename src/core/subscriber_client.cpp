@@ -1,5 +1,8 @@
 #include "core/subscriber_client.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 namespace gryphon::core {
 
 DurableSubscriber::DurableSubscriber(sim::Simulator& simulator, sim::Network& network,
@@ -10,6 +13,10 @@ DurableSubscriber::DurableSubscriber(sim::Simulator& simulator, sim::Network& ne
       shb_(shb),
       observer_(observer) {
   GRYPHON_CHECK(!options_.predicate.empty());
+  GRYPHON_CHECK(options_.backoff.base > 0 &&
+                options_.backoff.max >= options_.backoff.base &&
+                options_.backoff.multiplier >= 1.0 &&
+                options_.backoff.jitter >= 0.0 && options_.backoff.jitter < 1.0);
   // Periodic acknowledgment of the consumed CT (client-owned-CT mode).
   every(options_.ack_interval, [this] {
     if (connected_ && !options_.jms_auto_ack && !ct_.empty()) {
@@ -22,20 +29,48 @@ void DurableSubscriber::connect() {
   if (connected_ || connecting_) return;
   connecting_ = true;
   ++connect_attempt_;
+  retry_count_ = 0;  // a fresh attempt starts fast again
   try_connect();
 }
 
 void DurableSubscriber::try_connect() {
   if (!connecting_ || connected_) return;
+  // The send may be refused (SHB down, uplink partitioned) — either way the
+  // backoff timer below retries until a ConnectedMsg arrives.
   send(shb_, std::make_shared<ConnectMsg>(
                  options_.id, /*first=*/!subscribed_, options_.predicate, ct_,
                  options_.jms_auto_ack,
                  /*use_stored_ct=*/options_.jms_auto_ack && subscribed_));
   const std::uint64_t attempt = connect_attempt_;
-  defer(options_.connect_retry, [this, attempt] {
+  defer(backoff_delay(retry_count_), [this, attempt] {
     // Retry while this connection attempt is still the current one.
-    if (connecting_ && !connected_ && attempt == connect_attempt_) try_connect();
+    if (connecting_ && !connected_ && attempt == connect_attempt_) {
+      ++retry_count_;
+      try_connect();
+    }
   });
+}
+
+SimDuration DurableSubscriber::backoff_delay(std::uint64_t retry) const {
+  const ReconnectBackoff& b = options_.backoff;
+  const auto cap = static_cast<double>(b.max);
+  double delay = static_cast<double>(b.base);
+  for (std::uint64_t i = 0; i < retry && delay < cap; ++i) delay *= b.multiplier;
+  delay = std::min(delay, cap);
+  // Deterministic jitter: a splitmix-style hash of (subscriber id, attempt,
+  // retry) mapped to [1 - jitter, 1 + jitter). Same inputs give the same
+  // delay, so runs replay exactly; different subscribers spread out.
+  std::uint64_t h = (options_.id.value() + 1) * 0x9e3779b97f4a7c15ULL;
+  h ^= (connect_attempt_ + 1) * 0xbf58476d1ce4e5b9ULL;
+  h ^= (retry + 1) * 0x94d049bb133111ebULL;
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  const double unit = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+  delay *= 1.0 - b.jitter + 2.0 * b.jitter * unit;
+  return std::max<SimDuration>(1, static_cast<SimDuration>(std::llround(delay)));
 }
 
 void DurableSubscriber::disconnect() {

@@ -18,6 +18,7 @@
 
 #include "core/client.hpp"
 #include "core/client_observer.hpp"
+#include "core/config.hpp"
 
 namespace gryphon::core {
 
@@ -28,7 +29,9 @@ class DurableSubscriber final : public Client {
     std::string predicate;
     bool jms_auto_ack = false;
     SimDuration ack_interval = msec(250);
-    SimDuration connect_retry = msec(500);
+    /// Connection retries back off exponentially with deterministic jitter;
+    /// backoff.base is the first retry delay (previously a fixed period).
+    ReconnectBackoff backoff{};
     bool auto_reconnect = true;  // reconnect after a connection reset
   };
 
@@ -78,6 +81,10 @@ class DurableSubscriber final : public Client {
  private:
   void try_connect();
 
+  /// Delay before retry number `retry` (0-based) of the current connection
+  /// attempt: capped exponential with deterministic jitter.
+  [[nodiscard]] SimDuration backoff_delay(std::uint64_t retry) const;
+
   Options options_;
   sim::EndpointId shb_;
   SubscriberObserver* observer_;
@@ -88,6 +95,7 @@ class DurableSubscriber final : public Client {
   bool reconnect_hold_ = false;
   sim::EndpointId pending_unsubscribe_ = 0;  // old SHB awaiting migration teardown
   std::uint64_t connect_attempt_ = 0;
+  std::uint64_t retry_count_ = 0;  // retries within the current attempt
   CheckpointToken ct_;
   std::uint64_t events_received_ = 0;
   std::uint64_t gaps_received_ = 0;

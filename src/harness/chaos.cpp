@@ -1,0 +1,396 @@
+#include "harness/chaos.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+
+namespace gryphon::harness {
+
+namespace {
+/// Cooldown appended after a target's repair before it may be picked again,
+/// so consecutive faults on one target never race their repair actions.
+constexpr SimDuration kTargetCooldown = msec(200);
+
+std::string fmt_line(SimTime rel, const char* kind, const std::string& detail) {
+  char buf[192];
+  std::snprintf(buf, sizeof buf, "+%8.3fs  %-16s %s", to_seconds(rel), kind,
+                detail.c_str());
+  return buf;
+}
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kPartition: return "partition";
+    case FaultKind::kFlap: return "flap";
+    case FaultKind::kDegrade: return "degrade";
+    case FaultKind::kDiskStall: return "disk-stall";
+    case FaultKind::kTornSync: return "torn-sync";
+    case FaultKind::kCrashRestart: return "crash";
+    case FaultKind::kCrashDuringRecovery: return "crash-in-recovery";
+    case FaultKind::kDoubleFault: return "double-fault";
+  }
+  return "?";
+}
+
+ChaosSchedule::ChaosSchedule(System& system, ChaosConfig config)
+    : system_(system), config_(config), rng_(config.seed) {
+  GRYPHON_CHECK(config_.horizon > 0 && config_.min_gap > 0 &&
+                config_.max_gap >= config_.min_gap && config_.settle >= 0);
+  armed_at_ = system_.simulator().now();
+  repaired_at_ = armed_at_;
+  enumerate_targets();
+  plan();
+}
+
+void ChaosSchedule::enumerate_targets() {
+  auto& net = system_.network();
+  brokers_.push_back({BrokerTarget::Type::kPhb, 0, net.name_of(system_.phb_endpoint())});
+  for (int i = 0; i < system_.num_intermediates(); ++i) {
+    brokers_.push_back({BrokerTarget::Type::kIntermediate, i,
+                        net.name_of(system_.intermediate_endpoint(i))});
+  }
+  for (int i = 0; i < system_.num_shbs(); ++i) {
+    brokers_.push_back(
+        {BrokerTarget::Type::kShb, i, net.name_of(system_.shb_endpoint(i))});
+  }
+  auto link_name = [&net](sim::EndpointId a, sim::EndpointId b) {
+    return net.name_of(a) + "<->" + net.name_of(b);
+  };
+  for (int i = 0; i < system_.num_intermediates(); ++i) {
+    const auto up = system_.intermediate_uplink_endpoint(i);
+    const auto down = system_.intermediate_endpoint(i);
+    links_.push_back({up, down, -1, link_name(up, down)});
+  }
+  for (int i = 0; i < system_.num_shbs(); ++i) {
+    const auto up = system_.shb_uplink_endpoint(i);
+    const auto down = system_.shb_endpoint(i);
+    links_.push_back({up, down, i, link_name(up, down)});
+  }
+  broker_busy_until_.assign(brokers_.size(), armed_at_);
+  link_busy_until_.assign(links_.size(), armed_at_);
+}
+
+SimDuration ChaosSchedule::draw_duration(SimDuration lo, SimDuration hi) {
+  GRYPHON_CHECK(lo > 0 && hi >= lo);
+  return lo + static_cast<SimDuration>(
+                  rng_.next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+void ChaosSchedule::record(SimTime at, FaultKind kind, std::string description) {
+  timeline_.push_back({at, kind, std::move(description)});
+}
+
+void ChaosSchedule::plan() {
+  const SimTime end = armed_at_ + config_.horizon;
+  SimTime t = armed_at_ + draw_duration(config_.min_gap, config_.max_gap);
+  while (t < end) {
+    // Candidate kinds: positive weight AND at least one target free at t.
+    // Collected in enum order so the weighted draw is deterministic.
+    std::vector<std::size_t> free_links, free_brokers, free_double_links;
+    for (std::size_t i = 0; i < links_.size(); ++i) {
+      if (link_busy_until_[i] > t) continue;
+      free_links.push_back(i);
+      if (links_[i].shb_index >= 0 &&
+          broker_busy_until_[broker_index_of_shb(links_[i].shb_index)] <= t) {
+        free_double_links.push_back(i);
+      }
+    }
+    for (std::size_t i = 0; i < brokers_.size(); ++i) {
+      if (broker_busy_until_[i] <= t) free_brokers.push_back(i);
+    }
+
+    struct Cand {
+      FaultKind kind;
+      int weight;
+      const std::vector<std::size_t>* targets;
+    };
+    const ChaosWeights& w = config_.weights;
+    std::vector<Cand> cands;
+    if (w.partition > 0 && !free_links.empty())
+      cands.push_back({FaultKind::kPartition, w.partition, &free_links});
+    if (w.flap > 0 && !free_links.empty())
+      cands.push_back({FaultKind::kFlap, w.flap, &free_links});
+    if (w.degrade > 0 && !free_links.empty())
+      cands.push_back({FaultKind::kDegrade, w.degrade, &free_links});
+    if (w.disk_stall > 0 && !free_brokers.empty())
+      cands.push_back({FaultKind::kDiskStall, w.disk_stall, &free_brokers});
+    if (w.torn_sync > 0 && !free_brokers.empty())
+      cands.push_back({FaultKind::kTornSync, w.torn_sync, &free_brokers});
+    if (w.crash_restart > 0 && !free_brokers.empty())
+      cands.push_back({FaultKind::kCrashRestart, w.crash_restart, &free_brokers});
+    if (w.crash_during_recovery > 0 && !free_brokers.empty())
+      cands.push_back(
+          {FaultKind::kCrashDuringRecovery, w.crash_during_recovery, &free_brokers});
+    if (w.double_fault > 0 && !free_double_links.empty())
+      cands.push_back({FaultKind::kDoubleFault, w.double_fault, &free_double_links});
+
+    if (cands.empty()) {
+      // Everything is busy with an outstanding fault: skip forward.
+      t += draw_duration(config_.min_gap, config_.max_gap);
+      continue;
+    }
+    int total = 0;
+    for (const Cand& c : cands) total += c.weight;
+    auto pick = static_cast<int>(rng_.next_below(static_cast<std::uint64_t>(total)));
+    std::size_t chosen = 0;
+    while (pick >= cands[chosen].weight) pick -= cands[chosen++].weight;
+    const Cand& cand = cands[chosen];
+    const std::size_t target =
+        (*cand.targets)[rng_.next_below(cand.targets->size())];
+
+    switch (cand.kind) {
+      case FaultKind::kPartition: plan_partition(t, target); break;
+      case FaultKind::kFlap: plan_flap(t, target); break;
+      case FaultKind::kDegrade: plan_degrade(t, target); break;
+      case FaultKind::kDiskStall: plan_disk_stall(t, target); break;
+      case FaultKind::kTornSync: plan_torn_sync(t, target); break;
+      case FaultKind::kCrashRestart: plan_crash_restart(t, target); break;
+      case FaultKind::kCrashDuringRecovery: plan_crash_during_recovery(t, target); break;
+      case FaultKind::kDoubleFault: plan_double_fault(t, target); break;
+    }
+    t += draw_duration(config_.min_gap, config_.max_gap);
+  }
+}
+
+std::size_t ChaosSchedule::broker_index_of_shb(int shb_index) const {
+  // brokers_ = [phb, intermediates..., shbs...] in construction order.
+  return 1 + static_cast<std::size_t>(system_.num_intermediates()) +
+         static_cast<std::size_t>(shb_index);
+}
+
+void ChaosSchedule::plan_partition(SimTime t, std::size_t link) {
+  const LinkTarget& l = links_[link];
+  const SimDuration dur = draw_duration(msec(200), sec(3));
+  auto& sim = system_.simulator();
+  sim.schedule_at(t, [this, link] {
+    system_.network().partition(links_[link].a, links_[link].b);
+  });
+  sim.schedule_at(t + dur, [this, link] {
+    system_.network().heal(links_[link].a, links_[link].b);
+  });
+  link_busy_until_[link] = t + dur + kTargetCooldown;
+  note_repair(t + dur);
+  char d[96];
+  std::snprintf(d, sizeof d, "%s for %.3fs", l.name.c_str(), to_seconds(dur));
+  record(t, FaultKind::kPartition,
+         fmt_line(t - armed_at_, fault_kind_name(FaultKind::kPartition), d));
+}
+
+void ChaosSchedule::plan_flap(SimTime t, std::size_t link) {
+  const LinkTarget& l = links_[link];
+  const int cycles = static_cast<int>(rng_.next_in(2, 4));
+  const SimDuration down = draw_duration(msec(100), msec(500));
+  const SimDuration up = draw_duration(msec(200), msec(800));
+  auto& sim = system_.simulator();
+  sim.schedule_at(t, [this, link, down, up, cycles] {
+    system_.network().schedule_flaps(links_[link].a, links_[link].b, down, up, cycles);
+  });
+  const SimTime healed = t + static_cast<SimDuration>(cycles) * (down + up);
+  link_busy_until_[link] = healed + kTargetCooldown;
+  note_repair(healed);
+  char d[128];
+  std::snprintf(d, sizeof d, "%s x%d (down %.3fs / up %.3fs)", l.name.c_str(), cycles,
+                to_seconds(down), to_seconds(up));
+  record(t, FaultKind::kFlap, fmt_line(t - armed_at_, fault_kind_name(FaultKind::kFlap), d));
+}
+
+void ChaosSchedule::plan_degrade(SimTime t, std::size_t link) {
+  const LinkTarget& l = links_[link];
+  const SimDuration dur = draw_duration(sec(1), sec(4));
+  const double latency_factor = static_cast<double>(rng_.next_in(2, 8));
+  const double bandwidth_factor =
+      static_cast<double>(rng_.next_in(10, 100)) / 100.0;
+  auto& sim = system_.simulator();
+  sim.schedule_at(t, [this, link, latency_factor, bandwidth_factor] {
+    system_.network().degrade(links_[link].a, links_[link].b, latency_factor,
+                              bandwidth_factor);
+  });
+  sim.schedule_at(t + dur, [this, link] {
+    system_.network().restore(links_[link].a, links_[link].b);
+  });
+  link_busy_until_[link] = t + dur + kTargetCooldown;
+  note_repair(t + dur);
+  char d[128];
+  std::snprintf(d, sizeof d, "%s latency x%.0f bandwidth x%.2f for %.3fs",
+                l.name.c_str(), latency_factor, bandwidth_factor, to_seconds(dur));
+  record(t, FaultKind::kDegrade,
+         fmt_line(t - armed_at_, fault_kind_name(FaultKind::kDegrade), d));
+}
+
+storage::SimDisk& ChaosSchedule::disk_of(const BrokerTarget& b) {
+  switch (b.type) {
+    case BrokerTarget::Type::kIntermediate: return system_.intermediate_disk(b.index);
+    case BrokerTarget::Type::kShb: return system_.shb_disk(b.index);
+    case BrokerTarget::Type::kPhb:
+    default: return system_.phb_disk();
+  }
+}
+
+void ChaosSchedule::plan_disk_stall(SimTime t, std::size_t broker) {
+  const BrokerTarget& b = brokers_[broker];
+  const SimDuration dur = draw_duration(msec(50), msec(500));
+  system_.simulator().schedule_at(t, [this, broker, dur] {
+    disk_of(brokers_[broker]).inject_stall(dur);
+  });
+  broker_busy_until_[broker] = t + dur + kTargetCooldown;
+  note_repair(t + dur);
+  char d[96];
+  std::snprintf(d, sizeof d, "%s.disk frozen %.3fs", b.name.c_str(), to_seconds(dur));
+  record(t, FaultKind::kDiskStall,
+         fmt_line(t - armed_at_, fault_kind_name(FaultKind::kDiskStall), d));
+}
+
+void ChaosSchedule::torn_sync_at(SimTime t, const BrokerTarget& b) {
+  const auto type = b.type;
+  const int index = b.index;
+  system_.simulator().schedule_at(t, [this, type, index] {
+    switch (type) {
+      case BrokerTarget::Type::kPhb: system_.torn_sync_phb(); break;
+      case BrokerTarget::Type::kIntermediate: system_.torn_sync_intermediate(index); break;
+      case BrokerTarget::Type::kShb: system_.torn_sync_shb(index); break;
+    }
+  });
+}
+
+void ChaosSchedule::plan_torn_sync(SimTime t, std::size_t broker) {
+  const BrokerTarget& b = brokers_[broker];
+  torn_sync_at(t, b);
+  broker_busy_until_[broker] = t + kTargetCooldown;
+  note_repair(t);
+  record(t, FaultKind::kTornSync,
+         fmt_line(t - armed_at_, fault_kind_name(FaultKind::kTornSync),
+                  b.name + ".disk in-flight barriers lost"));
+}
+
+void ChaosSchedule::crash_broker_at(SimTime t, const BrokerTarget& b) {
+  const auto type = b.type;
+  const int index = b.index;
+  system_.simulator().schedule_at(t, [this, type, index] {
+    switch (type) {
+      case BrokerTarget::Type::kPhb: system_.crash_phb(); break;
+      case BrokerTarget::Type::kIntermediate: system_.crash_intermediate(index); break;
+      case BrokerTarget::Type::kShb: system_.crash_shb(index); break;
+    }
+  });
+}
+
+void ChaosSchedule::restart_broker_at(SimTime t, const BrokerTarget& b) {
+  const auto type = b.type;
+  const int index = b.index;
+  system_.simulator().schedule_at(t, [this, type, index] {
+    switch (type) {
+      case BrokerTarget::Type::kPhb: system_.restart_phb(); break;
+      case BrokerTarget::Type::kIntermediate: system_.restart_intermediate(index); break;
+      case BrokerTarget::Type::kShb: system_.restart_shb(index); break;
+    }
+  });
+}
+
+void ChaosSchedule::plan_crash_restart(SimTime t, std::size_t broker) {
+  const BrokerTarget& b = brokers_[broker];
+  const SimDuration outage = draw_duration(msec(300), sec(3));
+  crash_broker_at(t, b);
+  restart_broker_at(t + outage, b);
+  broker_busy_until_[broker] = t + outage + kTargetCooldown;
+  note_repair(t + outage);
+  char d[96];
+  std::snprintf(d, sizeof d, "%s down %.3fs", b.name.c_str(), to_seconds(outage));
+  record(t, FaultKind::kCrashRestart,
+         fmt_line(t - armed_at_, fault_kind_name(FaultKind::kCrashRestart), d));
+}
+
+void ChaosSchedule::plan_crash_during_recovery(SimTime t, std::size_t broker) {
+  const BrokerTarget& b = brokers_[broker];
+  const SimDuration outage1 = draw_duration(msec(300), sec(2));
+  // A PFS metadata / DB reload read costs >= the 6ms seek, so a second crash
+  // 1-40ms into the restart reliably lands inside recovery IO.
+  const SimDuration recovery_window = draw_duration(msec(1), msec(40));
+  const SimDuration outage2 = draw_duration(msec(300), sec(2));
+  crash_broker_at(t, b);
+  restart_broker_at(t + outage1, b);
+  crash_broker_at(t + outage1 + recovery_window, b);
+  const SimTime back = t + outage1 + recovery_window + outage2;
+  restart_broker_at(back, b);
+  broker_busy_until_[broker] = back + kTargetCooldown;
+  note_repair(back);
+  char d[128];
+  std::snprintf(d, sizeof d, "%s down %.3fs, re-crashed %.3fs into recovery, down %.3fs",
+                b.name.c_str(), to_seconds(outage1), to_seconds(recovery_window),
+                to_seconds(outage2));
+  record(t, FaultKind::kCrashDuringRecovery,
+         fmt_line(t - armed_at_, fault_kind_name(FaultKind::kCrashDuringRecovery), d));
+}
+
+void ChaosSchedule::plan_double_fault(SimTime t, std::size_t link) {
+  const LinkTarget& l = links_[link];
+  GRYPHON_CHECK(l.shb_index >= 0);
+  const std::size_t broker = broker_index_of_shb(l.shb_index);
+  const BrokerTarget& b = brokers_[broker];
+  const SimDuration partition_len = draw_duration(sec(1), sec(4));
+  const SimDuration crash_offset = draw_duration(msec(100), msec(800));
+  const SimDuration outage = draw_duration(msec(300), sec(2));
+
+  auto& sim = system_.simulator();
+  sim.schedule_at(t, [this, link] {
+    system_.network().partition(links_[link].a, links_[link].b);
+  });
+  crash_broker_at(t + crash_offset, b);
+  // The restart may land inside or after the partition window: a broker
+  // recovering behind a severed uplink must keep retrying its nacks until
+  // the heal, not wedge on the first refused send.
+  restart_broker_at(t + crash_offset + outage, b);
+  sim.schedule_at(t + partition_len, [this, link] {
+    system_.network().heal(links_[link].a, links_[link].b);
+  });
+
+  const SimTime repaired = std::max(t + partition_len, t + crash_offset + outage);
+  link_busy_until_[link] = repaired + kTargetCooldown;
+  broker_busy_until_[broker] = repaired + kTargetCooldown;
+  note_repair(repaired);
+  char d[160];
+  std::snprintf(d, sizeof d,
+                "%s severed %.3fs; %s crashed +%.3fs in, down %.3fs (restart %s heal)",
+                l.name.c_str(), to_seconds(partition_len), b.name.c_str(),
+                to_seconds(crash_offset), to_seconds(outage),
+                crash_offset + outage < partition_len ? "before" : "after");
+  record(t, FaultKind::kDoubleFault,
+         fmt_line(t - armed_at_, fault_kind_name(FaultKind::kDoubleFault), d));
+}
+
+void ChaosSchedule::run() {
+  system_.enable_invariants(config_.monitor);
+  try {
+    const SimTime target = repaired_at_ + config_.settle;
+    auto& sim = system_.simulator();
+    if (target > sim.now()) system_.run_for(target - sim.now());
+    system_.verify_quiescent(config_.require_connected);
+  } catch (const InvariantViolation&) {
+    dump(stderr);
+    throw;
+  }
+}
+
+std::string ChaosSchedule::timeline_string() const {
+  char head[96];
+  std::snprintf(head, sizeof head, "chaos seed=%" PRIu64 " faults=%zu\n", config_.seed,
+                timeline_.size());
+  std::string out = head;
+  for (const FaultEvent& e : timeline_) {
+    out += e.description;
+    out += '\n';
+  }
+  return out;
+}
+
+void ChaosSchedule::dump(std::FILE* out) const {
+  std::fprintf(out,
+               "\n=== chaos schedule seed %" PRIu64
+               " violated an invariant at t=%.3fs ===\n"
+               "replay: rerun this schedule with ChaosConfig{.seed = %" PRIu64
+               "} over the same topology\n"
+               "fault timeline (times relative to arming at t=%.3fs):\n%s\n",
+               config_.seed, to_seconds(system_.simulator().now()), config_.seed,
+               to_seconds(armed_at_), timeline_string().c_str());
+}
+
+}  // namespace gryphon::harness

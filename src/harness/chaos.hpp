@@ -1,0 +1,159 @@
+// ChaosSchedule — deterministic, seeded fault-injection schedules.
+//
+// Draws a random sequence of faults (link partitions, flaps, degradation
+// windows, disk stalls, torn syncs, broker crash/restart cycles, crashes
+// landing inside recovery, and partition+crash double faults) over a running
+// System, entirely from one seed: the same seed over the same topology
+// always produces a byte-identical fault timeline, and — because the
+// simulator itself is deterministic — a bit-identical run. A failing seed is
+// therefore a complete reproduction recipe.
+//
+// The plan is generated up front at construction (so the decoded timeline is
+// available before anything runs) and injected via simulator tasks. Per-
+// target bookkeeping keeps fault windows on the same broker or link disjoint
+// — every crash is paired with a restart, every partition with a heal — so
+// the schedule is always legal; faults on *different* targets overlap
+// freely, which is where the interesting double-fault interleavings come
+// from. Only broker-to-broker links are partitioned: a severed client link
+// has no reset signal in the current client model, while brokers recover via
+// periodic nacks and resume handshakes.
+//
+// run() registers the always-on InvariantMonitor, drives the simulation to
+// quiescence (all faults repaired + a settle window), and then applies the
+// quiescence oracle (exactly-once, zero residual catchup streams, everybody
+// reconnected). Any invariant violation — from the per-delivery oracle
+// hooks, the periodic monitor sweep, or the final check — dumps the seed and
+// the decoded fault timeline to stderr and rethrows, so a chaos failure is
+// actionable without re-running under a debugger.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/invariants.hpp"
+#include "harness/system.hpp"
+#include "util/rng.hpp"
+
+namespace gryphon::harness {
+
+enum class FaultKind {
+  kPartition,            // sever a broker link, heal later
+  kFlap,                 // partition/heal square wave on a link
+  kDegrade,              // latency/bandwidth degradation window
+  kDiskStall,            // frozen spindle on a broker's disk
+  kTornSync,             // in-flight write barriers lost, process stays up
+  kCrashRestart,         // whole-broker crash + restart
+  kCrashDuringRecovery,  // second crash lands milliseconds into recovery
+  kDoubleFault,          // SHB uplink partitioned, then the SHB crashes
+};
+
+[[nodiscard]] const char* fault_kind_name(FaultKind kind);
+
+/// Relative draw weights per fault kind; 0 disables a kind entirely.
+struct ChaosWeights {
+  int partition = 4;
+  int flap = 2;
+  int degrade = 2;
+  int disk_stall = 2;
+  int torn_sync = 2;
+  int crash_restart = 3;
+  int crash_during_recovery = 1;
+  int double_fault = 2;
+};
+
+struct ChaosConfig {
+  std::uint64_t seed = 1;
+  /// Fault injections are drawn over [arm time, arm time + horizon).
+  SimDuration horizon = sec(20);
+  /// Spacing between consecutive fault injections.
+  SimDuration min_gap = msec(400);
+  SimDuration max_gap = msec(2500);
+  /// Quiescence window after the last repair before the final oracle.
+  SimDuration settle = sec(25);
+  /// Final oracle also requires every subscriber on a live SHB reconnected.
+  bool require_connected = true;
+  ChaosWeights weights{};
+  InvariantMonitor::Options monitor{};
+};
+
+struct FaultEvent {
+  SimTime at = 0;
+  FaultKind kind{};
+  std::string description;  // decoded, human-readable, parameter-complete
+};
+
+class ChaosSchedule {
+ public:
+  /// Generates the fault plan from (seed, config, topology) and schedules
+  /// it on the system's simulator, starting from the current sim time.
+  ChaosSchedule(System& system, ChaosConfig config);
+  ChaosSchedule(const ChaosSchedule&) = delete;
+  ChaosSchedule& operator=(const ChaosSchedule&) = delete;
+
+  /// Enables the always-on invariant monitor, runs until quiescence
+  /// (repaired_at() + settle) and applies the final quiescence oracle. On
+  /// any InvariantViolation, prints the seed + decoded timeline and
+  /// rethrows.
+  void run();
+
+  [[nodiscard]] const ChaosConfig& config() const { return config_; }
+  [[nodiscard]] const std::vector<FaultEvent>& timeline() const { return timeline_; }
+  /// Byte-identical across runs with the same seed/config/topology.
+  [[nodiscard]] std::string timeline_string() const;
+  /// Simulated time by which every injected fault has been repaired.
+  [[nodiscard]] SimTime repaired_at() const { return repaired_at_; }
+
+  void dump(std::FILE* out) const;
+
+ private:
+  struct BrokerTarget {
+    enum class Type { kPhb, kIntermediate, kShb } type;
+    int index;
+    std::string name;
+  };
+  struct LinkTarget {
+    sim::EndpointId a = 0;  // upstream endpoint
+    sim::EndpointId b = 0;  // downstream endpoint
+    int shb_index = -1;     // >= 0 when b is an SHB (double-fault capable)
+    std::string name;
+  };
+
+  void enumerate_targets();
+  void plan();
+  [[nodiscard]] SimDuration draw_duration(SimDuration lo, SimDuration hi);
+  [[nodiscard]] std::size_t broker_index_of_shb(int shb_index) const;
+  storage::SimDisk& disk_of(const BrokerTarget& broker);
+  void record(SimTime at, FaultKind kind, std::string description);
+  void note_repair(SimTime at) { repaired_at_ = std::max(repaired_at_, at); }
+
+  // Fault planners: draw parameters, schedule actions, update bookkeeping.
+  void plan_partition(SimTime t, std::size_t link);
+  void plan_flap(SimTime t, std::size_t link);
+  void plan_degrade(SimTime t, std::size_t link);
+  void plan_disk_stall(SimTime t, std::size_t broker);
+  void plan_torn_sync(SimTime t, std::size_t broker);
+  void plan_crash_restart(SimTime t, std::size_t broker);
+  void plan_crash_during_recovery(SimTime t, std::size_t broker);
+  void plan_double_fault(SimTime t, std::size_t link);
+
+  void crash_broker_at(SimTime t, const BrokerTarget& b);
+  void restart_broker_at(SimTime t, const BrokerTarget& b);
+  void torn_sync_at(SimTime t, const BrokerTarget& b);
+
+  System& system_;
+  ChaosConfig config_;
+  Rng rng_;
+
+  std::vector<BrokerTarget> brokers_;
+  std::vector<LinkTarget> links_;
+  std::vector<SimTime> broker_busy_until_;
+  std::vector<SimTime> link_busy_until_;
+
+  std::vector<FaultEvent> timeline_;
+  SimTime armed_at_ = 0;
+  SimTime repaired_at_ = 0;
+};
+
+}  // namespace gryphon::harness

@@ -1,0 +1,101 @@
+#include "harness/invariants.hpp"
+
+#include "harness/system.hpp"
+#include "util/assert.hpp"
+
+namespace gryphon::harness {
+
+InvariantMonitor::InvariantMonitor(System& system, Options options)
+    : system_(system), options_(options) {
+  GRYPHON_CHECK(options_.period > 0);
+  schedule_next();
+}
+
+void InvariantMonitor::schedule_next() {
+  system_.simulator().schedule_after(options_.period, [this] {
+    sweep();
+    schedule_next();
+  });
+}
+
+void InvariantMonitor::note_shb_crash(int shb_index) {
+  // The broker is still alive: capture the values recovery must not exceed.
+  auto& broker = system_.shb(shb_index);
+  for (PubendId p : system_.pubends()) {
+    Track snap;
+    snap.latest_delivered = broker.latest_delivered(p);
+    snap.released = broker.released(p);
+    crash_snapshots_[{shb_index, p}] = snap;
+  }
+}
+
+void InvariantMonitor::note_shb_restart(int shb_index) {
+  // Check the recovered values against the crash snapshot *now*: by the next
+  // periodic sweep the constream re-nack has legitimately advanced past the
+  // pre-crash state, so a deferred comparison would be meaningless (or a
+  // false positive the other way).
+  auto& broker = system_.shb(shb_index);
+  for (PubendId p : system_.pubends()) {
+    const Tick ld = broker.latest_delivered(p);
+    const Tick rel = broker.released(p);
+    if (auto snap = crash_snapshots_.find({shb_index, p});
+        snap != crash_snapshots_.end()) {
+      GRYPHON_CHECK_MSG(ld <= snap->second.latest_delivered,
+                        "shb" << shb_index << " recovered latestDelivered(" << p
+                              << ") = " << ld << " ahead of pre-crash value "
+                              << snap->second.latest_delivered);
+      GRYPHON_CHECK_MSG(rel <= snap->second.released,
+                        "shb" << shb_index << " recovered released(" << p
+                              << ") = " << rel << " ahead of pre-crash value "
+                              << snap->second.released);
+    }
+    // Seed the fresh incarnation's monotonicity baseline from the recovered
+    // values.
+    Track& track = tracks_[{shb_index, p}];
+    track.latest_delivered = ld;
+    track.released = rel;
+    track.fresh = false;
+  }
+}
+
+void InvariantMonitor::sweep() {
+  ++sweeps_;
+  for (int i = 0; i < system_.num_shbs(); ++i) {
+    if (system_.shb_alive(i)) check_shb(i);
+  }
+  if (options_.check_exactly_once) {
+    const auto violations = system_.oracle().verify_all();
+    GRYPHON_CHECK_MSG(violations.empty(),
+                      "invariant sweep: " << violations.size()
+                                          << " exactly-once violations; first: "
+                                          << violations.front());
+  }
+}
+
+void InvariantMonitor::check_shb(int shb_index) {
+  auto& broker = system_.shb(shb_index);
+  for (PubendId p : system_.pubends()) {
+    const Tick ld = broker.latest_delivered(p);
+    const Tick rel = broker.released(p);
+    Track& track = tracks_[{shb_index, p}];
+    if (track.fresh) {
+      // First sample ever for this (SHB, pubend): just set the baseline.
+      // Post-restart bounds are checked synchronously in note_shb_restart.
+      track.fresh = false;
+    } else {
+      GRYPHON_CHECK_MSG(ld >= track.latest_delivered,
+                        "shb" << shb_index << " latestDelivered(" << p
+                              << ") regressed " << track.latest_delivered << " -> "
+                              << ld);
+      if (options_.check_released_monotonic) {
+        GRYPHON_CHECK_MSG(rel >= track.released,
+                          "shb" << shb_index << " released(" << p << ") regressed "
+                                << track.released << " -> " << rel);
+      }
+    }
+    track.latest_delivered = ld;
+    track.released = rel;
+  }
+}
+
+}  // namespace gryphon::harness

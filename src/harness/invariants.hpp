@@ -1,0 +1,82 @@
+// InvariantMonitor — the always-on invariant checker behind chaos runs.
+//
+// The DeliveryOracle already fails *at the violating event* for duplicate,
+// out-of-order, spurious and malformed-gap deliveries (its observer hooks
+// throw). What it cannot see from deliveries alone is broker-side progress
+// state, and its exactly-once sweep only runs when someone calls it. The
+// monitor closes both holes: registered with a System, it wakes every
+// `period` of simulated time and checks
+//
+//  * exactly-once (oracle.verify_all) — sound mid-run, because a
+//    subscriber's CT horizon only advances at consumption, so anything the
+//    CT covers must already be delivered or gapped;
+//  * per live SHB and pubend, latestDelivered(p) and released(p) never
+//    regress within one broker incarnation;
+//  * across a crash/restart, the first recovered values never exceed the
+//    values the broker held at the instant it died (recovery may lose the
+//    tail past the last commit, never invent progress).
+//
+// A violation throws InvariantViolation from the simulated task that found
+// it, so a chaos run stops within one period of the offending fault.
+//
+// released(p) monotonicity assumes no subscriber migration: reconnect-
+// anywhere legitimately lowers the min when a subscription moves in with an
+// older released pin. Disable check_released_monotonic for such workloads.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "util/ids.hpp"
+#include "util/time.hpp"
+
+namespace gryphon::harness {
+
+class System;
+
+class InvariantMonitor {
+ public:
+  struct Options {
+    SimDuration period = msec(200);
+    bool check_exactly_once = true;
+    bool check_released_monotonic = true;
+  };
+
+  InvariantMonitor(System& system, Options options);
+  InvariantMonitor(const InvariantMonitor&) = delete;
+  InvariantMonitor& operator=(const InvariantMonitor&) = delete;
+
+  /// Called by System::crash_shb while the broker is still alive: snapshots
+  /// the progress values recovery must not exceed.
+  void note_shb_crash(int shb_index);
+
+  /// Called by System::restart_shb immediately after recovery: checks the
+  /// recovered latestDelivered/released against the crash snapshot (recovery
+  /// may lose the tail past the last commit, never invent progress) and
+  /// re-baselines the monotonicity tracking for the new incarnation.
+  void note_shb_restart(int shb_index);
+
+  /// Runs all checks immediately (also invoked by the periodic task).
+  void sweep();
+
+  [[nodiscard]] std::uint64_t sweeps() const { return sweeps_; }
+
+ private:
+  struct Track {
+    Tick latest_delivered = kTickZero;
+    Tick released = kTickZero;
+    bool fresh = true;  // no sample yet in this incarnation
+  };
+
+  void schedule_next();
+  void check_shb(int shb_index);
+
+  System& system_;
+  Options options_;
+  std::map<std::pair<int, PubendId>, Track> tracks_;
+  std::map<std::pair<int, PubendId>, Track> crash_snapshots_;
+  std::uint64_t sweeps_ = 0;
+};
+
+}  // namespace gryphon::harness

@@ -1,5 +1,6 @@
 #include "harness/oracle.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "util/assert.hpp"
@@ -43,6 +44,10 @@ void DeliveryOracle::on_event(SubscriberId s, PubendId p, Tick t,
   ++delivered_count_;
   delivery_rate_.record(now);
   machine_rates_.at(state.machine).record(now);
+  if (!catchup) {
+    auto [floor_it, first] = state.constream_floor.try_emplace(p, t);
+    if (!first && t > floor_it->second) floor_it->second = t;
+  }
   if (catchup) {
     ++catchup_delivered_count_;
   } else if (auto pt = publish_times_.find(p); pt != publish_times_.end()) {
@@ -57,7 +62,27 @@ void DeliveryOracle::on_silence(SubscriberId, PubendId, Tick, SimTime) {}
 void DeliveryOracle::on_gap(SubscriberId s, PubendId p, TickRange range, SimTime) {
   auto it = subs_.find(s);
   GRYPHON_CHECK(it != subs_.end());
-  it->second.gaps[p].add(range);
+  SubState& state = it->second;
+  GRYPHON_CHECK_MSG(range.from <= range.to,
+                    "malformed gap [" << range.from << ',' << range.to << "] for "
+                                      << s << " on " << p);
+  // A gap asserts "these will never arrive" — it may not cover an event we
+  // already saw delivered …
+  if (auto d = state.delivered.find(p); d != state.delivered.end()) {
+    auto covered = d->second.lower_bound(range.from);
+    GRYPHON_CHECK_MSG(covered == d->second.end() || *covered > range.to,
+                      "gap [" << range.from << ',' << range.to << "] to " << s
+                              << " covers delivered event " << p << ':' << *covered);
+  }
+  // … and may not open at/behind the live constream position (the constream
+  // is lossless; only catchup may declare holes, always ahead of it).
+  if (auto f = state.constream_floor.find(p); f != state.constream_floor.end()) {
+    GRYPHON_CHECK_MSG(range.from > f->second,
+                      "gap [" << range.from << ',' << range.to << "] to " << s
+                              << " opens behind the constream position " << p << ':'
+                              << f->second);
+  }
+  state.gaps[p].add(range);
   ++gap_count_;
 }
 
@@ -81,6 +106,9 @@ void DeliveryOracle::on_connected(SubscriberId s, SimTime) {
   for (auto& [p, gaps] : state.gaps) {
     if (!gaps.empty()) gaps.subtract(ct.of(p) + 1, kTickInfinity - 1);
   }
+  for (auto& [p, floor] : state.constream_floor) {
+    floor = std::min(floor, ct.of(p));
+  }
 }
 
 void DeliveryOracle::reset_subscriber(SubscriberId s) {
@@ -88,6 +116,7 @@ void DeliveryOracle::reset_subscriber(SubscriberId s) {
   GRYPHON_CHECK(it != subs_.end());
   it->second.delivered.clear();
   it->second.gaps.clear();
+  it->second.constream_floor.clear();
   it->second.saw_first_connect = false;
 }
 

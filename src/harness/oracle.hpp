@@ -88,6 +88,9 @@ class DeliveryOracle final : public core::SubscriberObserver,
     core::CheckpointToken start_ct;  // captured at first successful connect
     std::map<PubendId, std::set<Tick>> delivered;
     std::map<PubendId, IntervalSet> gaps;
+    /// Highest live (non-catchup) delivery per pubend: the constream
+    /// position. Gap notifications must never open at or behind it.
+    std::map<PubendId, Tick> constream_floor;
   };
 
   sim::Simulator& sim_;

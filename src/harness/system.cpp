@@ -97,6 +97,43 @@ core::SubscriberHostingBroker& System::shb(int i) {
   return *ptr;
 }
 
+bool System::intermediate_alive(int i) const {
+  GRYPHON_CHECK(i >= 0 && i < static_cast<int>(intermediates_.size()));
+  return intermediates_[static_cast<std::size_t>(i)] != nullptr;
+}
+
+sim::EndpointId System::intermediate_endpoint(int i) const {
+  GRYPHON_CHECK(i >= 0 && i < static_cast<int>(intermediate_nodes_.size()));
+  return intermediate_nodes_[static_cast<std::size_t>(i)]->endpoint;
+}
+
+sim::EndpointId System::shb_endpoint(int i) const {
+  GRYPHON_CHECK(i >= 0 && i < static_cast<int>(shb_nodes_.size()));
+  return shb_nodes_[static_cast<std::size_t>(i)]->endpoint;
+}
+
+sim::EndpointId System::shb_uplink_endpoint(int i) const {
+  GRYPHON_CHECK(i >= 0 && i < static_cast<int>(shb_nodes_.size()));
+  return intermediate_nodes_.empty() ? phb_node_->endpoint
+                                     : intermediate_nodes_.back()->endpoint;
+}
+
+sim::EndpointId System::intermediate_uplink_endpoint(int i) const {
+  GRYPHON_CHECK(i >= 0 && i < static_cast<int>(intermediate_nodes_.size()));
+  return i == 0 ? phb_node_->endpoint
+                : intermediate_nodes_[static_cast<std::size_t>(i - 1)]->endpoint;
+}
+
+storage::SimDisk& System::intermediate_disk(int i) {
+  GRYPHON_CHECK(i >= 0 && i < static_cast<int>(intermediate_nodes_.size()));
+  return intermediate_nodes_[static_cast<std::size_t>(i)]->disk;
+}
+
+storage::SimDisk& System::shb_disk(int i) {
+  GRYPHON_CHECK(i >= 0 && i < static_cast<int>(shb_nodes_.size()));
+  return shb_nodes_[static_cast<std::size_t>(i)]->disk;
+}
+
 std::vector<PubendId> System::pubends() const {
   return make_pubend_ids(config_.num_pubends);
 }
@@ -163,6 +200,9 @@ void System::crash_shb(int i) {
   GRYPHON_CHECK(i >= 0 && i < static_cast<int>(shbs_.size()));
   auto& ptr = shbs_[static_cast<std::size_t>(i)];
   GRYPHON_CHECK_MSG(ptr != nullptr, "SHB " << i << " already crashed");
+  // The monitor snapshots progress *before* the broker dies: recovery may
+  // roll back to the last durable commit but must never be ahead of this.
+  if (monitor_ != nullptr) monitor_->note_shb_crash(i);
   shb_nodes_[static_cast<std::size_t>(i)]->crash();
   ptr.reset();
   // TCP connections die with the broker: clients observe a reset.
@@ -181,6 +221,7 @@ void System::restart_shb(int i) {
                                          : intermediate_nodes_.back()->endpoint);
   node.restart();
   ptr->recover();
+  if (monitor_ != nullptr) monitor_->note_shb_restart(i);
   for (auto& hook : shb_hooks_[static_cast<std::size_t>(i)]) hook(*ptr);
 }
 
@@ -227,11 +268,54 @@ void System::restart_intermediate(int i) {
   ptr->start(/*fresh=*/false);
 }
 
+void System::torn_sync_phb() {
+  GRYPHON_CHECK_MSG(phb_ != nullptr, "torn sync on crashed PHB");
+  phb_node_->torn_sync();
+}
+
+void System::torn_sync_intermediate(int i) {
+  GRYPHON_CHECK(i >= 0 && i < static_cast<int>(intermediates_.size()));
+  GRYPHON_CHECK_MSG(intermediate_alive(i), "torn sync on crashed intermediate " << i);
+  intermediate_nodes_[static_cast<std::size_t>(i)]->torn_sync();
+}
+
+void System::torn_sync_shb(int i) {
+  GRYPHON_CHECK(i >= 0 && i < static_cast<int>(shbs_.size()));
+  GRYPHON_CHECK_MSG(shb_alive(i), "torn sync on crashed SHB " << i);
+  shb_nodes_[static_cast<std::size_t>(i)]->torn_sync();
+}
+
 void System::verify_exactly_once() {
   const auto violations = oracle_.verify_all();
   GRYPHON_CHECK_MSG(violations.empty(),
                     violations.size() << " delivery violations; first: "
                                       << violations.front());
+}
+
+void System::verify_quiescent(bool require_connected) {
+  verify_exactly_once();
+  for (int i = 0; i < num_shbs(); ++i) {
+    if (!shb_alive(i)) continue;
+    const std::size_t catchups = shb(i).catchup_stream_count();
+    GRYPHON_CHECK_MSG(catchups == 0, "SHB " << i << " still has " << catchups
+                                            << " catchup streams after quiescence");
+  }
+  if (require_connected) {
+    for (auto& entry : subscribers_) {
+      if (!shb_alive(entry.shb_index)) continue;
+      GRYPHON_CHECK_MSG(entry.client->connected(),
+                        "subscriber " << entry.client->id()
+                                      << " not reconnected to live SHB "
+                                      << entry.shb_index << " after quiescence");
+    }
+  }
+}
+
+InvariantMonitor& System::enable_invariants(InvariantMonitor::Options options) {
+  if (monitor_ == nullptr) {
+    monitor_ = std::make_unique<InvariantMonitor>(*this, options);
+  }
+  return *monitor_;
 }
 
 void System::on_shb_ready(int i,

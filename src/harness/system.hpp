@@ -15,6 +15,7 @@
 #include "core/publisher_client.hpp"
 #include "core/shb.hpp"
 #include "core/subscriber_client.hpp"
+#include "harness/invariants.hpp"
 #include "harness/oracle.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
@@ -56,10 +57,28 @@ class System {
     return shbs_[static_cast<std::size_t>(i)] != nullptr;
   }
   [[nodiscard]] int num_shbs() const { return static_cast<int>(shbs_.size()); }
+  [[nodiscard]] int num_intermediates() const {
+    return static_cast<int>(intermediate_nodes_.size());
+  }
+  [[nodiscard]] bool phb_alive() const { return phb_ != nullptr; }
+  [[nodiscard]] bool intermediate_alive(int i) const;
   [[nodiscard]] std::vector<PubendId> pubends() const;
 
   [[nodiscard]] sim::Cpu& phb_cpu() { return phb_node_->cpu; }
   [[nodiscard]] sim::Cpu& shb_cpu(int i = 0);
+
+  // --- topology / device accessors (fault injection targets) ---
+  [[nodiscard]] sim::EndpointId phb_endpoint() const { return phb_node_->endpoint; }
+  [[nodiscard]] sim::EndpointId intermediate_endpoint(int i) const;
+  [[nodiscard]] sim::EndpointId shb_endpoint(int i = 0) const;
+  /// Endpoint of the broker directly upstream of SHB i (the chain tail, or
+  /// the PHB when there are no intermediates).
+  [[nodiscard]] sim::EndpointId shb_uplink_endpoint(int i = 0) const;
+  /// Endpoint directly upstream of intermediate i (i-1, or the PHB).
+  [[nodiscard]] sim::EndpointId intermediate_uplink_endpoint(int i) const;
+  [[nodiscard]] storage::SimDisk& phb_disk() { return phb_node_->disk; }
+  [[nodiscard]] storage::SimDisk& intermediate_disk(int i);
+  [[nodiscard]] storage::SimDisk& shb_disk(int i = 0);
 
   /// Adds a publisher feeding `pubend` at fixed `interval` (manual-only if
   /// interval <= 0), using `factory` to build events.
@@ -90,12 +109,29 @@ class System {
   void crash_intermediate(int i);
   void restart_intermediate(int i);
 
+  /// Torn sync on a live broker's disk (in-flight write barriers lost, the
+  /// process stays up; LogVolume/Database re-issue the lost barriers).
+  void torn_sync_phb();
+  void torn_sync_intermediate(int i);
+  void torn_sync_shb(int i = 0);
+
   /// Runs the simulation for `d` of simulated time.
   void run_for(SimDuration d) { sim_.run_until(sim_.now() + d); }
 
   /// Checks the exactly-once contract for every subscriber; throws on
   /// violation (callable repeatedly, e.g. at the end of every benchmark).
   void verify_exactly_once();
+
+  /// Quiescence oracle for chaos runs: exactly-once holds, every live SHB
+  /// has drained its catchup streams, and (optionally) every subscriber
+  /// hosted on a live SHB is connected again.
+  void verify_quiescent(bool require_connected = true);
+
+  /// Registers the always-on InvariantMonitor (periodic exactly-once +
+  /// progress-monotonicity sweeps). Idempotent: a second call returns the
+  /// existing monitor, ignoring the new options.
+  InvariantMonitor& enable_invariants(InvariantMonitor::Options options = {});
+  [[nodiscard]] InvariantMonitor* invariants() { return monitor_.get(); }
 
  private:
   struct SubEntry {
@@ -121,6 +157,7 @@ class System {
 
   std::vector<std::unique_ptr<core::Publisher>> publishers_;
   std::vector<SubEntry> subscribers_;
+  std::unique_ptr<InvariantMonitor> monitor_;
 
  public:
   /// Installs a hook run on every (re)constructed SHB i (e.g. to reattach

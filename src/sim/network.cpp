@@ -21,36 +21,57 @@ void Network::connect(EndpointId a, EndpointId b, LinkConfig config) {
   endpoint(a);
   endpoint(b);
   GRYPHON_CHECK_MSG(!are_connected(a, b), "duplicate link " << a << "<->" << b);
-  links_.emplace(link_key(a, b), Link{config, 0});
-  links_.emplace(link_key(b, a), Link{config, 0});
+  links_.emplace(link_key(a, b), Link{config, config, 0, false, 0});
+  links_.emplace(link_key(b, a), Link{config, config, 0, false, 0});
 }
 
 bool Network::are_connected(EndpointId a, EndpointId b) const {
   return links_.contains(link_key(a, b));
 }
 
-void Network::send(EndpointId from, EndpointId to, MessagePtr msg) {
-  GRYPHON_CHECK(msg != nullptr);
-  auto it = links_.find(link_key(from, to));
+Network::Link& Network::link(EndpointId a, EndpointId b) {
+  auto it = links_.find(link_key(a, b));
   GRYPHON_CHECK_MSG(it != links_.end(),
-                    "no link " << name_of(from) << " -> " << name_of(to));
-  if (endpoint(from).down) return;  // a crashed node sends nothing
+                    "no link " << name_of(a) << " -> " << name_of(b));
+  return it->second;
+}
 
-  Link& link = it->second;
+const Network::Link& Network::link(EndpointId a, EndpointId b) const {
+  auto it = links_.find(link_key(a, b));
+  GRYPHON_CHECK_MSG(it != links_.end(),
+                    "no link " << name_of(a) << " -> " << name_of(b));
+  return it->second;
+}
+
+bool Network::send(EndpointId from, EndpointId to, MessagePtr msg) {
+  GRYPHON_CHECK(msg != nullptr);
+  Link& l = link(from, to);
+  if (endpoint(from).down) return false;  // a crashed node sends nothing
+  if (l.partitioned) {
+    // Connection refused / send error: the caller sees the failure
+    // immediately (a real TCP send into a severed link eventually errors).
+    ++refused_sends_;
+    return false;
+  }
+
   const auto ser_time = static_cast<SimDuration>(
       std::ceil(static_cast<double>(msg->wire_size()) /
-                link.config.bandwidth_bytes_per_sec * 1e6));
-  const SimTime departure = std::max(sim_.now(), link.free_at) + ser_time;
-  link.free_at = departure;
-  const SimTime arrival = departure + link.config.latency;
+                l.config.bandwidth_bytes_per_sec * 1e6));
+  const SimTime departure = std::max(sim_.now(), l.free_at) + ser_time;
+  l.free_at = departure;
+  const SimTime arrival = departure + l.config.latency;
 
   const std::uint64_t send_epoch = endpoint(to).epoch;
+  const std::uint64_t link_epoch = l.epoch;
   const std::size_t bytes = msg->wire_size();
-  sim_.schedule_at(arrival, [this, from, to, send_epoch, bytes,
+  sim_.schedule_at(arrival, [this, from, to, send_epoch, link_epoch, bytes,
                              msg = std::move(msg)]() mutable {
+    // Dropped if the link partitioned after the send (even if since healed —
+    // the connection was reset) …
+    if (link(from, to).epoch != link_epoch) return;
     Endpoint& dst = endpoint(to);
-    // Dropped if the destination crashed after the send (connection severed)
-    // or is currently down.
+    // … or the destination crashed after the send (connection severed) or is
+    // currently down.
     if (dst.down || dst.epoch != send_epoch) return;
     ++delivered_msgs_;
     delivered_bytes_ += bytes;
@@ -58,6 +79,7 @@ void Network::send(EndpointId from, EndpointId to, MessagePtr msg) {
     dst.delivered_bytes += bytes;
     dst.handler(from, std::move(msg));
   });
+  return true;
 }
 
 void Network::set_down(EndpointId id, bool down) {
@@ -67,6 +89,55 @@ void Network::set_down(EndpointId id, bool down) {
 }
 
 bool Network::is_down(EndpointId id) const { return endpoint(id).down; }
+
+void Network::partition(EndpointId a, EndpointId b) {
+  for (Link* l : {&link(a, b), &link(b, a)}) {
+    if (l->partitioned) continue;
+    l->partitioned = true;
+    ++l->epoch;               // drop everything currently in flight
+    l->free_at = sim_.now();  // the queue behind the cut is gone too
+  }
+}
+
+void Network::heal(EndpointId a, EndpointId b) {
+  link(a, b).partitioned = false;
+  link(b, a).partitioned = false;
+}
+
+bool Network::is_partitioned(EndpointId a, EndpointId b) const {
+  return link(a, b).partitioned;
+}
+
+void Network::degrade(EndpointId a, EndpointId b, double latency_factor,
+                      double bandwidth_factor) {
+  GRYPHON_CHECK_MSG(latency_factor >= 1.0 && bandwidth_factor > 0.0 &&
+                        bandwidth_factor <= 1.0,
+                    "degrade factors out of range: latency x" << latency_factor
+                        << ", bandwidth x" << bandwidth_factor);
+  for (Link* l : {&link(a, b), &link(b, a)}) {
+    l->config.latency = static_cast<SimDuration>(
+        std::llround(static_cast<double>(l->base.latency) * latency_factor));
+    l->config.bandwidth_bytes_per_sec =
+        l->base.bandwidth_bytes_per_sec * bandwidth_factor;
+  }
+}
+
+void Network::restore(EndpointId a, EndpointId b) {
+  link(a, b).config = link(a, b).base;
+  link(b, a).config = link(b, a).base;
+}
+
+void Network::schedule_flaps(EndpointId a, EndpointId b, SimDuration down,
+                             SimDuration up, int cycles) {
+  GRYPHON_CHECK(down > 0 && up > 0 && cycles > 0);
+  link(a, b);  // validated up front, not at first fire
+  SimDuration at = 0;
+  for (int i = 0; i < cycles; ++i) {
+    sim_.schedule_after(at, [this, a, b] { partition(a, b); });
+    sim_.schedule_after(at + down, [this, a, b] { heal(a, b); });
+    at += down + up;
+  }
+}
 
 const std::string& Network::name_of(EndpointId id) const {
   return endpoint(id).name;

@@ -2,13 +2,25 @@
 //
 // Semantics the protocols rely on, and which this class guarantees:
 //  * per-directed-link FIFO delivery,
-//  * no loss, no duplication, no corruption while both endpoints are up,
+//  * no loss, no duplication, no corruption while both endpoints are up
+//    and the link is healthy,
 //  * messages in flight to a *down* endpoint are dropped (connection severed
 //    by the crash), exactly like TCP connections dying with a broker.
 //
 // Latency model per message: arrival = departure + latency, where
 // departure = max(send time, link free time) + wire_size/bandwidth. The link
 // serializes messages, so a burst queues behind itself like a socket buffer.
+//
+// Fault injection (link level, endpoints stay alive):
+//  * partition(a, b) severs the link in both directions: everything in
+//    flight is dropped and subsequent sends are refused (send() returns
+//    false) until heal(a, b). A partition+heal cycle always drops what was
+//    in flight — like a TCP connection reset — so protocols must recover by
+//    retransmission, not by hoping the pipe survived.
+//  * degrade(a, b, ...) stretches latency and shrinks bandwidth by given
+//    factors (a congested or flaky path); restore(a, b) reverts to the
+//    configured values.
+//  * schedule_flaps(a, b, ...) scripts a partition/heal square wave.
 #pragma once
 
 #include <cstdint>
@@ -52,14 +64,44 @@ class Network {
 
   [[nodiscard]] bool are_connected(EndpointId a, EndpointId b) const;
 
-  /// Sends a message. Requires a link. Delivery is dropped if the
-  /// destination is down at (or goes down before) arrival time.
-  void send(EndpointId from, EndpointId to, MessagePtr msg);
+  /// Sends a message. Requires a link. Returns false when the send is
+  /// refused (sender down or link partitioned); a true return still only
+  /// means "handed to the wire" — delivery is dropped if the destination is
+  /// down at (or goes down before) arrival, or the link partitions before
+  /// arrival.
+  bool send(EndpointId from, EndpointId to, MessagePtr msg);
 
   /// Marks an endpoint down: queued and in-flight messages to it are dropped
   /// on arrival, and nothing can be sent from it.
   void set_down(EndpointId id, bool down);
   [[nodiscard]] bool is_down(EndpointId id) const;
+
+  /// Severs the a<->b link without touching either endpoint. In-flight
+  /// messages (both directions) are dropped; sends are refused until heal().
+  /// Idempotent.
+  void partition(EndpointId a, EndpointId b);
+
+  /// Reopens a partitioned link. Messages that were in flight when the
+  /// partition hit stay lost. Idempotent.
+  void heal(EndpointId a, EndpointId b);
+
+  [[nodiscard]] bool is_partitioned(EndpointId a, EndpointId b) const;
+
+  /// Degrades the a<->b link: latency is multiplied by `latency_factor`
+  /// (>= 1) and bandwidth by `bandwidth_factor` (in (0, 1]). Messages
+  /// already in flight keep their arrival times. Calling again re-derives
+  /// from the values given at connect() time (factors do not compound).
+  void degrade(EndpointId a, EndpointId b, double latency_factor,
+               double bandwidth_factor);
+
+  /// Reverts a degraded link to its connect()-time configuration.
+  void restore(EndpointId a, EndpointId b);
+
+  /// Scripts `cycles` partition/heal pairs on the a<->b link starting now:
+  /// down for `down`, then up for `up`, repeated. Overlapping manual
+  /// partition()/heal() calls compose (both are idempotent).
+  void schedule_flaps(EndpointId a, EndpointId b, SimDuration down,
+                      SimDuration up, int cycles);
 
   [[nodiscard]] const std::string& name_of(EndpointId id) const;
 
@@ -70,6 +112,9 @@ class Network {
   /// Messages/bytes delivered per destination endpoint.
   [[nodiscard]] std::uint64_t delivered_messages_to(EndpointId id) const;
   [[nodiscard]] std::uint64_t delivered_bytes_to(EndpointId id) const;
+
+  /// Sends refused because the link was partitioned (diagnostics & tests).
+  [[nodiscard]] std::uint64_t refused_sends() const { return refused_sends_; }
 
  private:
   struct Endpoint {
@@ -82,8 +127,11 @@ class Network {
   };
 
   struct Link {
-    LinkConfig config;
-    SimTime free_at = 0;  // serialization point for FIFO + bandwidth
+    LinkConfig config;        // effective (possibly degraded) parameters
+    LinkConfig base;          // connect()-time parameters, for restore()
+    SimTime free_at = 0;      // serialization point for FIFO + bandwidth
+    bool partitioned = false;
+    std::uint64_t epoch = 0;  // bumped on partition(); in-flight msgs drop
   };
 
   static std::uint64_t link_key(EndpointId a, EndpointId b) {
@@ -99,11 +147,15 @@ class Network {
     return endpoints_[id];
   }
 
+  Link& link(EndpointId a, EndpointId b);
+  [[nodiscard]] const Link& link(EndpointId a, EndpointId b) const;
+
   Simulator& sim_;
   std::vector<Endpoint> endpoints_;
   std::unordered_map<std::uint64_t, Link> links_;
   std::uint64_t delivered_msgs_ = 0;
   std::uint64_t delivered_bytes_ = 0;
+  std::uint64_t refused_sends_ = 0;
 };
 
 }  // namespace gryphon::sim

@@ -34,24 +34,30 @@ void Database::maybe_start_commit(int connection) {
   conn.busy = true;
 
   // Explicit batching: everything waiting on this connection goes into one
-  // database transaction / one commit barrier (paper §5.2).
-  std::vector<Txn> batch;
+  // database transaction / one commit barrier (paper §5.2). The batch is
+  // parked on the connection (not moved into the callback) so a torn sync
+  // can push it back and retry.
+  conn.inflight.clear();
   while (!conn.queue.empty()) {
-    batch.push_back(std::move(conn.queue.front()));
+    conn.inflight.push_back(std::move(conn.queue.front()));
     conn.queue.pop_front();
   }
   std::size_t bytes = 0;
-  for (const auto& txn : batch) bytes += txn_bytes(txn);
+  for (const auto& txn : conn.inflight) bytes += txn_bytes(txn);
   // Express per-transaction engine work as equivalent device occupancy so
   // it is shared (serialized) across connections like the DB log is.
   bytes += static_cast<std::size_t>(
       static_cast<double>(per_txn_overhead_) * 1e-6 *
-      disk_.config().write_bandwidth_bytes_per_sec * static_cast<double>(batch.size()));
+      disk_.config().write_bandwidth_bytes_per_sec *
+      static_cast<double>(conn.inflight.size()));
 
   const std::uint64_t gen = generation_;
   ++barriers_;
-  disk_.write_and_sync(bytes, [this, gen, connection, batch = std::move(batch)]() mutable {
+  disk_.write_and_sync(bytes, [this, gen, connection] {
     if (gen != generation_) return;  // crashed mid-commit: nothing applied
+    Connection& conn = conns_[static_cast<std::size_t>(connection)];
+    std::vector<Txn> batch = std::move(conn.inflight);
+    conn.inflight.clear();
     for (auto& txn : batch) {
       for (auto& put : txn.puts) {
         if (put.value.empty()) {
@@ -62,7 +68,7 @@ void Database::maybe_start_commit(int connection) {
       }
       ++committed_txns_;
     }
-    conns_[static_cast<std::size_t>(connection)].busy = false;
+    conn.busy = false;
     // Callbacks may enqueue follow-up transactions; run them after state is
     // applied and the connection freed.
     for (auto& txn : batch) {
@@ -95,7 +101,24 @@ void Database::crash() {
   ++generation_;
   for (Connection& conn : conns_) {
     conn.queue.clear();
+    conn.inflight.clear();
     conn.busy = false;
+  }
+}
+
+void Database::on_torn_sync() {
+  ++generation_;  // a completion that somehow survives the drop is stale
+  for (Connection& conn : conns_) {
+    if (!conn.busy) continue;
+    // The lost batch goes back to the front, in order, and is re-committed.
+    for (auto it = conn.inflight.rbegin(); it != conn.inflight.rend(); ++it) {
+      conn.queue.push_front(std::move(*it));
+    }
+    conn.inflight.clear();
+    conn.busy = false;
+  }
+  for (int c = 0; c < static_cast<int>(conns_.size()); ++c) {
+    maybe_start_commit(c);
   }
 }
 

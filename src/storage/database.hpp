@@ -67,6 +67,12 @@ class Database {
   /// Broker crash: queued and in-flight transactions are lost.
   void crash();
 
+  /// Torn sync (SimDisk::drop_unsynced on the underlying disk): the commit
+  /// barrier in flight was lost, but the process is still up — the batch is
+  /// pushed back to the front of its connection's queue and re-committed,
+  /// like a WAL write error being retried. Call right after drop_unsynced().
+  void on_torn_sync();
+
   [[nodiscard]] int connections() const { return static_cast<int>(conns_.size()); }
   [[nodiscard]] std::uint64_t committed_transactions() const { return committed_txns_; }
   [[nodiscard]] std::uint64_t commit_barriers() const { return barriers_; }
@@ -79,6 +85,7 @@ class Database {
 
   struct Connection {
     std::deque<Txn> queue;
+    std::vector<Txn> inflight;  // the batch under the in-flight barrier
     bool busy = false;
   };
 

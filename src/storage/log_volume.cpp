@@ -117,4 +117,21 @@ void LogVolume::crash() {
   }
 }
 
+void LogVolume::on_torn_sync() {
+  ++generation_;  // a completion that somehow survives the drop is stale
+  barrier_in_flight_ = false;
+  // Everything above the durable prefix is dirty again; re-cover it so the
+  // pending waiters (which stay queued) still get their durability.
+  pending_bytes_ = 0;
+  for (const Stream& s : streams_) {
+    if (s.records.empty()) continue;
+    const LogIndex first_dirty = std::max(s.durable + 1, s.base);
+    const LogIndex last = s.base + s.records.size() - 1;
+    for (LogIndex i = first_dirty; i <= last; ++i) {
+      pending_bytes_ += s.records[i - s.base].size() + kLogRecordHeaderBytes;
+    }
+  }
+  maybe_start_barrier();
+}
+
 }  // namespace gryphon::storage

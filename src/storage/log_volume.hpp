@@ -75,6 +75,12 @@ class LogVolume {
   /// Broker crash: discard unsynced appends and pending sync waiters.
   void crash();
 
+  /// Torn sync (SimDisk::drop_unsynced on the underlying disk): the barrier
+  /// in flight never completed, but the process is still up — the appends it
+  /// covered are dirty again and a fresh barrier is issued, so every pending
+  /// sync() waiter still eventually fires. Call right after drop_unsynced().
+  void on_torn_sync();
+
   /// Bytes currently retained in the volume (payload + headers); the
   /// early-release experiments report reclaimed storage from this.
   [[nodiscard]] std::uint64_t retained_bytes() const { return retained_bytes_; }

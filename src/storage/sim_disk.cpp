@@ -13,6 +13,8 @@ SimDisk::SimDisk(sim::Simulator& simulator, std::string name, DiskConfig config)
 
 void SimDisk::write_and_sync(std::size_t bytes, std::function<void()> done) {
   GRYPHON_CHECK(done != nullptr);
+  GRYPHON_CHECK_MSG(!crashed_,
+                    "write_and_sync on crashed disk '" << name_ << "'");
   const auto transfer = static_cast<SimDuration>(
       std::ceil(static_cast<double>(bytes) /
                 config_.write_bandwidth_bytes_per_sec * 1e6));
@@ -29,14 +31,17 @@ void SimDisk::write_and_sync(std::size_t bytes, std::function<void()> done) {
   ++syncs_;
 
   const std::uint64_t gen = generation_;
-  sim_.schedule_at(end, [this, gen, done = std::move(done)] {
-    if (gen != generation_) return;  // lost to a crash
+  const std::uint64_t epoch = sync_epoch_;
+  sim_.schedule_at(end, [this, gen, epoch, done = std::move(done)] {
+    if (gen != generation_) return;    // lost to a crash
+    if (epoch != sync_epoch_) return;  // lost to a torn sync
     done();
   });
 }
 
 void SimDisk::read(std::size_t bytes, std::function<void()> done) {
   GRYPHON_CHECK(done != nullptr);
+  GRYPHON_CHECK_MSG(!crashed_, "read on crashed disk '" << name_ << "'");
   const auto transfer = static_cast<SimDuration>(
       std::ceil(static_cast<double>(bytes) /
                 config_.read_bandwidth_bytes_per_sec * 1e6));
@@ -57,6 +62,29 @@ void SimDisk::read(std::size_t bytes, std::function<void()> done) {
 void SimDisk::crash() {
   ++generation_;
   free_at_ = sim_.now();
+  crashed_ = true;
+}
+
+void SimDisk::restart() { crashed_ = false; }
+
+void SimDisk::inject_stall(SimDuration duration) {
+  GRYPHON_CHECK(duration > 0);
+  // Outstanding completions already have their fire times scheduled; a real
+  // stall would delay them too, but re-scheduling would break FIFO with the
+  // generation checks. Instead the stall pushes the serialization point, so
+  // everything *issued* from now on (the overwhelming majority in a group-
+  // committed workload) eats the stall. Good enough for a fault model.
+  free_at_ = std::max(free_at_, sim_.now()) + duration;
+  ++stalls_;
+}
+
+void SimDisk::drop_unsynced() {
+  GRYPHON_CHECK_MSG(!crashed_, "drop_unsynced on crashed disk '" << name_
+                                   << "' (crash already dropped everything)");
+  // Only write barriers are torn; in-flight reads (the data is on the
+  // platter already) still complete.
+  ++sync_epoch_;
+  ++dropped_syncs_;
 }
 
 }  // namespace gryphon::storage

@@ -13,7 +13,19 @@
 //
 // Crash semantics: crash() drops every outstanding completion callback —
 // whatever the client had not yet been told is durable must be discarded by
-// the client's own crash() handler.
+// the client's own crash() handler. A crashed disk rejects new IO until
+// restart() (a dead broker must not issue requests); NodeResources::restart
+// brings the device back together with the node.
+//
+// Fault injection:
+//  * inject_stall(d) freezes the spindle for `d` — every request issued
+//    during or after the stall (and any whose start the stall overtakes)
+//    completes at least `d` later. Models firmware hiccups / RAID battery
+//    relearn cycles.
+//  * drop_unsynced() silently discards every outstanding write completion
+//    without taking the device down (torn sync / lost write). Clients must
+//    be told via their own torn-sync handlers so they re-issue the lost
+//    barriers.
 #pragma once
 
 #include <cstdint>
@@ -47,14 +59,34 @@ class SimDisk {
   /// the spindle with writes); `done` fires with the data "in memory".
   void read(std::size_t bytes, std::function<void()> done);
 
-  /// Drops all outstanding completions (power loss).
+  /// Drops all outstanding completions (power loss) and marks the device
+  /// crashed: further IO is an invariant violation until restart().
   void crash();
+
+  /// Brings a crashed device back. Idempotent.
+  void restart();
+
+  [[nodiscard]] bool is_crashed() const { return crashed_; }
+
+  /// Freezes the spindle for `duration`: outstanding and subsequent
+  /// requests complete at least `duration` later. Legal while crashed (the
+  /// device is simply still cold when it comes back).
+  void inject_stall(SimDuration duration);
+
+  /// Torn sync: every outstanding *write* completion is silently lost, but
+  /// the device stays up (in-flight reads still complete). The client-side
+  /// dirty data those completions covered is gone from the write path;
+  /// clients re-issue via their torn-sync handlers
+  /// (LogVolume/Database::on_torn_sync).
+  void drop_unsynced();
 
   [[nodiscard]] std::uint64_t total_bytes_written() const { return bytes_written_; }
   [[nodiscard]] std::uint64_t total_bytes_read() const { return bytes_read_; }
   [[nodiscard]] std::uint64_t total_syncs() const { return syncs_; }
   [[nodiscard]] std::uint64_t total_reads() const { return reads_; }
   [[nodiscard]] SimDuration total_busy() const { return busy_; }
+  [[nodiscard]] std::uint64_t total_stalls() const { return stalls_; }
+  [[nodiscard]] std::uint64_t total_torn_syncs() const { return dropped_syncs_; }
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] const DiskConfig& config() const { return config_; }
 
@@ -63,7 +95,11 @@ class SimDisk {
   std::string name_;
   DiskConfig config_;
   SimTime free_at_ = 0;
-  std::uint64_t generation_ = 0;
+  bool crashed_ = false;
+  std::uint64_t generation_ = 0;   // bumped by crash(): drops all completions
+  std::uint64_t sync_epoch_ = 0;   // bumped by drop_unsynced(): writes only
+  std::uint64_t stalls_ = 0;
+  std::uint64_t dropped_syncs_ = 0;
   std::uint64_t bytes_written_ = 0;
   std::uint64_t bytes_read_ = 0;
   std::uint64_t syncs_ = 0;

@@ -189,22 +189,22 @@ struct PubendFixture : ::testing::Test {
 
 TEST_F(PubendFixture, AssignsMonotonicTicksAndDedups) {
   Pubend pe(PubendId{1}, node, std::make_shared<NoEarlyReleasePolicy>());
-  const auto a = pe.accept_publish(PublisherId{1}, 1, event(), sim.now());
-  const auto b = pe.accept_publish(PublisherId{1}, 2, event(), sim.now());
+  const auto a = pe.accept_publish(PublisherId{1}, 1, 1, event(), sim.now());
+  const auto b = pe.accept_publish(PublisherId{1}, 2, 1, event(), sim.now());
   EXPECT_FALSE(a.duplicate);
   EXPECT_LT(a.tick, b.tick);
-  const auto dup = pe.accept_publish(PublisherId{1}, 1, event(), sim.now());
+  // A retry of an accepted seq is acked with the tick it was assigned the
+  // first time, without re-logging — even when later seqs were accepted in
+  // between (a retried backlog after a PHB outage arrives exactly so).
+  const auto dup = pe.accept_publish(PublisherId{1}, 1, 1, event(), sim.now());
   EXPECT_TRUE(dup.duplicate);
-  // The dedup table keeps only the newest (seq, tick) per publisher; a
-  // stale retry is acked without re-logging (the seq is what clears the
-  // publisher's retry buffer).
-  EXPECT_EQ(dup.tick, b.tick);
+  EXPECT_EQ(dup.tick, a.tick);
   EXPECT_EQ(pe.events_logged(), 2u);
 }
 
 TEST_F(PubendFixture, AnnouncesDataWithSilenceFill) {
   Pubend pe(PubendId{1}, node, std::make_shared<NoEarlyReleasePolicy>());
-  const auto a = pe.accept_publish(PublisherId{1}, 1, event(), sec(1));
+  const auto a = pe.accept_publish(PublisherId{1}, 1, 1, event(), sec(1));
   const auto region = pe.announce_data(a.tick, event());
   EXPECT_EQ(region.to, a.tick);
   EXPECT_EQ(pe.head(), a.tick);
@@ -214,7 +214,7 @@ TEST_F(PubendFixture, AnnouncesDataWithSilenceFill) {
 
 TEST_F(PubendFixture, SilenceStopsAtPendingUnloggedEvent) {
   Pubend pe(PubendId{1}, node, std::make_shared<NoEarlyReleasePolicy>());
-  const auto a = pe.accept_publish(PublisherId{1}, 1, event(), sec(1));
+  const auto a = pe.accept_publish(PublisherId{1}, 1, 1, event(), sec(1));
   // Event accepted but not yet announced: silence may not pass it.
   const auto region = pe.announce_silence(sec(5));
   ASSERT_TRUE(region.has_value());
@@ -230,7 +230,7 @@ TEST_F(PubendFixture, ReleaseConvertsPrefixToLostAndChopsLog) {
   Pubend pe(PubendId{1}, node, std::make_shared<NoEarlyReleasePolicy>());
   std::vector<Tick> ticks;
   for (std::uint64_t i = 1; i <= 5; ++i) {
-    const auto acc = pe.accept_publish(PublisherId{1}, i, event(), sec(i));
+    const auto acc = pe.accept_publish(PublisherId{1}, i, i, event(), sec(i));
     pe.announce_data(acc.tick, event());
     ticks.push_back(acc.tick);
   }
@@ -253,7 +253,7 @@ TEST_F(PubendFixture, ReleasedMinMayRegressButLossIsMonotone) {
   Pubend pe(PubendId{1}, node, std::make_shared<NoEarlyReleasePolicy>());
   std::vector<Tick> ticks;
   for (std::uint64_t i = 1; i <= 4; ++i) {
-    const auto acc = pe.accept_publish(PublisherId{1}, i, event(), sec(i));
+    const auto acc = pe.accept_publish(PublisherId{1}, i, i, event(), sec(i));
     pe.announce_data(acc.tick, event());
     ticks.push_back(acc.tick);
   }
@@ -273,7 +273,7 @@ TEST_F(PubendFixture, RecoveryRebuildsLadderAndDedup) {
   {
     Pubend pe(PubendId{1}, node, std::make_shared<NoEarlyReleasePolicy>());
     for (std::uint64_t i = 1; i <= 3; ++i) {
-      const auto acc = pe.accept_publish(PublisherId{7}, i, event(), sec(i));
+      const auto acc = pe.accept_publish(PublisherId{7}, i, i, event(), sec(i));
       pe.announce_data(acc.tick, event());
     }
     node.log_volume.sync([] {});
@@ -286,9 +286,9 @@ TEST_F(PubendFixture, RecoveryRebuildsLadderAndDedup) {
   EXPECT_EQ(pe2.head(), tick_of_simtime(sec(3)));
   EXPECT_EQ(pe2.ticks().value_at(pe2.head()), routing::TickValue::kD);
   // Replayed publishes are recognized as duplicates.
-  const auto dup = pe2.accept_publish(PublisherId{7}, 3, event(), sec(10));
+  const auto dup = pe2.accept_publish(PublisherId{7}, 3, 3, event(), sec(10));
   EXPECT_TRUE(dup.duplicate);
-  const auto fresh = pe2.accept_publish(PublisherId{7}, 4, event(), sec(10));
+  const auto fresh = pe2.accept_publish(PublisherId{7}, 4, 4, event(), sec(10));
   EXPECT_FALSE(fresh.duplicate);
   EXPECT_GT(fresh.tick, pe2.head());
 }

@@ -216,6 +216,68 @@ TEST(Failures, CrashDuringSubscriberCatchup) {
   system.verify_exactly_once();
 }
 
+TEST(Failures, DoubleFaultShbCrashWhileUplinkPartitioned) {
+  // Double fault (chaos kDoubleFault in miniature): the SHB's uplink is
+  // severed, the SHB then crashes and restarts *behind the partition*. Its
+  // one-shot BrokerResumeMsg and subscription re-announce are refused, so
+  // recovery must ride the periodic nack retries until the heal.
+  System system(config_with(/*shbs=*/1, /*intermediates=*/1));
+  system.enable_invariants();
+  harness::PaperWorkloadConfig wl;
+  wl.input_rate_eps = 200;
+  harness::start_paper_publishers(system, wl);
+  auto subs = harness::add_group_subscribers(system, 0, 4, 4, 1);
+  system.run_for(sec(5));
+
+  const auto up = system.shb_uplink_endpoint(0);
+  const auto down = system.shb_endpoint(0);
+  system.network().partition(up, down);
+  system.run_for(sec(1));
+  system.crash_shb(0);
+  system.run_for(sec(2));
+  system.restart_shb(0);            // recovers behind the severed uplink
+  system.run_for(sec(2));
+  EXPECT_GT(system.network().refused_sends(), 0u);
+  system.network().heal(up, down);
+  system.run_for(sec(25));
+
+  for (auto* sub : subs) {
+    EXPECT_TRUE(sub->connected());
+    EXPECT_EQ(sub->gaps_received(), 0u);
+  }
+  system.verify_quiescent();  // exactly-once + zero residual catchup streams
+}
+
+TEST(Failures, DoubleFaultHealBeforeRestart) {
+  // Same double fault, other interleaving: the partition heals while the
+  // SHB is still down, so the restart sees a healthy uplink but a hole in
+  // the constream spanning both the partition and the outage.
+  System system(config_with(/*shbs=*/1, /*intermediates=*/1));
+  system.enable_invariants();
+  harness::PaperWorkloadConfig wl;
+  wl.input_rate_eps = 200;
+  harness::start_paper_publishers(system, wl);
+  auto subs = harness::add_group_subscribers(system, 0, 4, 4, 1);
+  system.run_for(sec(5));
+
+  const auto up = system.shb_uplink_endpoint(0);
+  const auto down = system.shb_endpoint(0);
+  system.network().partition(up, down);
+  system.run_for(sec(2));
+  system.crash_shb(0);
+  system.run_for(sec(1));
+  system.network().heal(up, down);  // heal lands while the broker is down
+  system.run_for(sec(1));
+  system.restart_shb(0);
+  system.run_for(sec(25));
+
+  for (auto* sub : subs) {
+    EXPECT_TRUE(sub->connected());
+    EXPECT_EQ(sub->gaps_received(), 0u);
+  }
+  system.verify_quiescent();
+}
+
 TEST(Failures, ReleasedHeldWhileSubscribersDown) {
   // Fig. 7's released(p) shape: frozen while all subscribers are down,
   // advancing again only after they reconnect and ack.

@@ -68,6 +68,64 @@ TEST(SimDisk, ReadCostsSeekPlusTransfer) {
   EXPECT_EQ(disk.total_reads(), 1u);
 }
 
+TEST(SimDisk, RejectsIoWhileCrashed) {
+  // A crashed disk must refuse IO loudly: a broker bug that keeps writing
+  // after its node died should trip an invariant, not silently queue work.
+  sim::Simulator sim;
+  SimDisk disk(sim, "d", {msec(4), 1e9, 1e9, msec(6)});
+  disk.crash();
+  EXPECT_THROW(disk.write_and_sync(100, [] {}), InvariantViolation);
+  EXPECT_THROW(disk.read(100, [] {}), InvariantViolation);
+  EXPECT_THROW(disk.drop_unsynced(), InvariantViolation);
+  disk.restart();
+  bool ok = false;
+  disk.write_and_sync(100, [&] { ok = true; });
+  sim.run_until_idle();
+  EXPECT_TRUE(ok);
+}
+
+TEST(SimDisk, PreCrashCompletionNeverFiresAfterRestart) {
+  // The crash invalidates in-flight completions even if the disk restarts
+  // before their scheduled completion time (generation check, not cancel).
+  sim::Simulator sim;
+  SimDisk disk(sim, "d", {msec(4), 1e6, 1e6, msec(6)});
+  bool stale = false;
+  disk.write_and_sync(100'000, [&] { stale = true; });  // done at ~104ms
+  sim.run_until(msec(10));
+  disk.crash();
+  disk.restart();
+  bool fresh = false;
+  disk.write_and_sync(100, [&] { fresh = true; });
+  sim.run_until_idle();
+  EXPECT_FALSE(stale);
+  EXPECT_TRUE(fresh);
+}
+
+TEST(SimDisk, InjectedStallDelaysCompletions) {
+  sim::Simulator sim;
+  SimDisk disk(sim, "d", {msec(4), 1e9, 1e9, msec(6)});
+  disk.inject_stall(msec(500));
+  SimTime done = 0;
+  disk.write_and_sync(100, [&] { done = sim.now(); });
+  sim.run_until_idle();
+  EXPECT_GE(done, msec(500));
+  EXPECT_EQ(disk.total_stalls(), 1u);
+}
+
+TEST(SimDisk, DropUnsyncedLosesPendingBarriersButNotReads) {
+  sim::Simulator sim;
+  SimDisk disk(sim, "d", {msec(4), 1e6, 1e6, msec(6)});
+  bool write_done = false;
+  bool read_done = false;
+  disk.write_and_sync(100'000, [&] { write_done = true; });
+  disk.read(100'000, [&] { read_done = true; });
+  disk.drop_unsynced();
+  sim.run_until_idle();
+  EXPECT_FALSE(write_done);  // the torn sync ate the barrier
+  EXPECT_TRUE(read_done);    // data already on the platter still returns
+  EXPECT_EQ(disk.total_torn_syncs(), 1u);
+}
+
 // -------------------------------------------------------------- LogVolume
 
 struct VolumeFixture : ::testing::Test {

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Chaos soak under ASan+UBSan: builds the sanitizer preset and runs N seeded
+# fault schedules plus the chaos test suite. Any invariant violation prints
+# the offending seed and its decoded fault timeline; rerun with
+#   bench_chaos_soak 1 <seed>
+# (or ChaosConfig{.seed = <seed>} in a test) to replay it exactly.
+#
+# Usage: tools/run_chaos.sh [num_seeds] [first_seed] [horizon_s]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+NUM_SEEDS="${1:-10}"
+FIRST_SEED="${2:-1}"
+HORIZON_S="${3:-10}"
+
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j "$(nproc)" --target test_chaos bench_chaos_soak
+
+echo "== chaos test suite (asan-ubsan) =="
+./build-asan/tests/test_chaos
+
+echo "== chaos soak: ${NUM_SEEDS} seeds from ${FIRST_SEED}, ${HORIZON_S}s horizon =="
+./build-asan/bench/bench_chaos_soak "${NUM_SEEDS}" "${FIRST_SEED}" "${HORIZON_S}"
