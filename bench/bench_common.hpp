@@ -4,6 +4,9 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
+#include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -50,6 +53,92 @@ inline std::string fmt(double v, int precision = 1) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.*f", precision, v);
   return buf;
+}
+
+// --- wall-clock reporting (bench_wallclock / tools/run_bench.sh) ---------
+//
+// Minimal JSON emission for the substrate perf trajectory. The file format
+// is deliberately flat (one key per line) so the matching reader below can
+// stay a line scanner instead of a JSON parser: BENCH_substrate.json is our
+// own artifact, produced only by write_bench_json().
+
+struct BenchMetric {
+  std::string name;
+  double value;
+};
+
+/// One measured workload under one build variant ("pre_pr_baseline",
+/// "post_pr", ...). Variants let a single file carry the committed perf
+/// trajectory: baseline and current numbers side by side.
+struct WorkloadReport {
+  std::string name;
+  std::string variant;
+  std::vector<BenchMetric> metrics;
+
+  [[nodiscard]] const BenchMetric* find(const std::string& metric) const {
+    for (const auto& m : metrics) {
+      if (m.name == metric) return &m;
+    }
+    return nullptr;
+  }
+};
+
+inline void write_bench_json(const std::string& path,
+                             const std::vector<WorkloadReport>& reports) {
+  std::ofstream out(path);
+  GRYPHON_CHECK_MSG(out.good(), "cannot write " << path);
+  out << "{\n  \"schema\": \"gryphon-substrate-bench-v1\",\n  \"workloads\": [\n";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const auto& r = reports[i];
+    out << "    {\n      \"name\": \"" << r.name << "\",\n      \"variant\": \""
+        << r.variant << "\"";
+    for (const auto& m : r.metrics) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.6g", m.value);
+      out << ",\n      \"" << m.name << "\": " << buf;
+    }
+    out << "\n    }" << (i + 1 < reports.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+/// Reads one metric back out of a write_bench_json() file. Returns nullopt
+/// when the (workload, variant, metric) triple is absent.
+inline std::optional<double> read_bench_metric(const std::string& path,
+                                               const std::string& workload,
+                                               const std::string& variant,
+                                               const std::string& metric) {
+  std::ifstream in(path);
+  if (!in.good()) return std::nullopt;
+  auto quoted_value = [](const std::string& line) -> std::string {
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) return {};
+    const auto open = line.find('"', colon);
+    if (open == std::string::npos) return {};
+    const auto close = line.find('"', open + 1);
+    if (close == std::string::npos) return {};
+    return line.substr(open + 1, close - open - 1);
+  };
+  std::string line;
+  std::string cur_name;
+  std::string cur_variant;
+  while (std::getline(in, line)) {
+    if (line.find('{') != std::string::npos) {
+      cur_name.clear();
+      cur_variant.clear();
+      continue;
+    }
+    if (line.find("\"name\"") != std::string::npos) cur_name = quoted_value(line);
+    if (line.find("\"variant\"") != std::string::npos) cur_variant = quoted_value(line);
+    const std::string key = '"' + metric + '"';
+    const auto pos = line.find(key);
+    if (pos == std::string::npos) continue;
+    if (cur_name != workload || cur_variant != variant) continue;
+    const auto colon = line.find(':', pos);
+    if (colon == std::string::npos) continue;
+    return std::strtod(line.c_str() + colon + 1, nullptr);
+  }
+  return std::nullopt;
 }
 
 /// Prints a (time, value) series as aligned columns.

@@ -95,6 +95,40 @@ void BM_SubscriptionMatch(benchmark::State& state) {
 }
 BENCHMARK(BM_SubscriptionMatch)->Arg(100)->Arg(400);
 
+// Bucketed vs scan-list dispatch in the index: equality predicates hash
+// straight to their (attribute, value) bucket, while inequality predicates
+// fall back to the linear scan list. The gap between the two cases is what
+// the bucketing optimisation buys on equality-heavy workloads.
+void BM_SubscriptionMatchBucketed(benchmark::State& state) {
+  matching::SubscriptionIndex index;
+  const auto n = state.range(0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    index.add(SubscriberId{static_cast<std::uint32_t>(i)},
+              matching::parse_predicate("g == " + std::to_string(i)));
+  }
+  const auto e = make_event(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.match(*e));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SubscriptionMatchBucketed)->Arg(400)->Arg(4000);
+
+void BM_SubscriptionMatchScanList(benchmark::State& state) {
+  matching::SubscriptionIndex index;
+  const auto n = state.range(0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    index.add(SubscriberId{static_cast<std::uint32_t>(i)},
+              matching::parse_predicate("g >= " + std::to_string(i)));
+  }
+  const auto e = make_event(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.match(*e));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SubscriptionMatchScanList)->Arg(400)->Arg(4000);
+
 void BM_PredicateParse(benchmark::State& state) {
   const std::string text =
       "(symbol == 'IBM' && price > 100.5) || (side = 'SELL' and quantity >= "

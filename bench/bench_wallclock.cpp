@@ -1,0 +1,267 @@
+// Wall-clock perf harness for the simulation substrate.
+//
+// Every figure bench and chaos soak reports *simulated* time; this binary is
+// the one place that measures how fast the substrate turns simulated events
+// into wall-clock progress, so optimizations to the event loop, TickMap,
+// matching and log layers have a number to move (and a regression guard).
+//
+// Workloads:
+//   * fig4_steady_4shb — the Figure-4 4-SHB steady-state deployment (800
+//     ev/s input over 4 pubends, 400 subscribers) run for a fixed window of
+//     simulated time,
+//   * chaos_soak_seed1 — one seeded chaos schedule over the 5-broker soak
+//     topology (the workload tools/run_chaos.sh loops on).
+//
+// Reported per workload: simulated-events-per-wall-second (an "event" is one
+// executed simulator task), deliveries-per-wall-second, and heap
+// allocations-per-event via the counting operator-new hook below. Each
+// workload runs `--reps` times and the fastest rep is reported (wall-clock
+// noise is one-sided).
+//
+//   bench_wallclock [--out FILE] [--check FILE] [--tolerance F]
+//                   [--reps N] [--smoke]
+//
+// --check compares this run's events/wall-second against the post_pr variant
+// recorded in FILE (tools/run_bench.sh points it at the committed
+// BENCH_substrate.json) and exits non-zero on a regression beyond
+// --tolerance (default 0.15). --smoke runs a single short chaos schedule
+// with the oracle armed and no timing checks — the sanitizer entry point
+// wired into tools/run_chaos.sh.
+#include "bench/bench_common.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <new>
+
+#include "harness/chaos.hpp"
+
+// ------------------------------------------------------------------------
+// Counting allocator hook: every heap allocation in the process bumps one
+// relaxed atomic. Deletes are uncounted (allocs-per-event is the budget the
+// substrate model in DESIGN.md §4.2 talks about).
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+inline void* counted_alloc(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(align), size ? size : 1) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace gryphon::bench {
+namespace {
+
+struct Measurement {
+  double wall_seconds = 0;
+  double sim_seconds = 0;
+  std::uint64_t executed_tasks = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t allocs = 0;
+
+  [[nodiscard]] double events_per_wall_sec() const {
+    return static_cast<double>(executed_tasks) / wall_seconds;
+  }
+};
+
+/// Runs `body` (which advances `system` by some simulated time) and counts
+/// executed tasks, oracle deliveries, allocations and wall time around it.
+template <typename Body>
+Measurement measure(harness::System& system, Body&& body) {
+  Measurement m;
+  const std::uint64_t tasks0 = system.simulator().executed_tasks();
+  const std::uint64_t delivered0 = system.oracle().delivered_count();
+  const SimTime sim0 = system.simulator().now();
+  const std::uint64_t allocs0 = g_alloc_count.load(std::memory_order_relaxed);
+  const auto wall0 = std::chrono::steady_clock::now();
+  body();
+  const auto wall1 = std::chrono::steady_clock::now();
+  m.wall_seconds = std::chrono::duration<double>(wall1 - wall0).count();
+  m.sim_seconds = to_seconds(system.simulator().now() - sim0);
+  m.executed_tasks = system.simulator().executed_tasks() - tasks0;
+  m.delivered = system.oracle().delivered_count() - delivered0;
+  m.allocs = g_alloc_count.load(std::memory_order_relaxed) - allocs0;
+  return m;
+}
+
+/// Figure-4 4-SHB steady state: build, warm up, then time a fixed window.
+Measurement run_fig4_steady() {
+  auto config = paper_config();
+  config.num_shbs = 4;
+  harness::System system(config);
+  harness::start_paper_publishers(system, paper_workload());
+  for (int i = 0; i < config.num_shbs; ++i) {
+    harness::add_group_subscribers(system, i, /*count=*/100, /*groups=*/4,
+                                   static_cast<std::uint32_t>(1000 * (i + 1)),
+                                   /*machines=*/5);
+  }
+  system.run_for(sec(10));  // warmup: connect, fill pipelines
+
+  auto m = measure(system, [&] { system.run_for(sec(20)); });
+  system.run_for(sec(5));  // quiesce outside the timed window
+  system.verify_exactly_once();
+  return m;
+}
+
+/// One seeded chaos schedule over the soak topology (bench_chaos_soak's
+/// per-seed body), timed end to end including quiescence verification.
+Measurement run_chaos_soak(std::uint64_t seed, double horizon_s) {
+  harness::SystemConfig sc;
+  sc.num_pubends = 2;
+  sc.num_shbs = 2;
+  sc.num_intermediates = 1;
+  harness::System system(sc);
+  harness::PaperWorkloadConfig wl;
+  wl.input_rate_eps = 300;
+  harness::start_paper_publishers(system, wl);
+  auto subs = harness::add_group_subscribers(system, 0, 4, 4, 1);
+  auto more = harness::add_group_subscribers(system, 1, 4, 4, 100);
+  subs.insert(subs.end(), more.begin(), more.end());
+  system.run_for(sec(3));
+
+  harness::ChurnDriver churn(system, subs, sec(6), sec(2));
+  harness::ChaosConfig config;
+  config.seed = seed;
+  config.horizon = static_cast<SimDuration>(horizon_s * 1e6);
+  harness::ChaosSchedule chaos(system, config);
+  system.simulator().schedule_at(chaos.repaired_at(), [&churn] { churn.stop(); });
+
+  return measure(system, [&] { chaos.run(); });
+}
+
+WorkloadReport to_report(const std::string& name, const Measurement& m) {
+  WorkloadReport r;
+  r.name = name;
+  r.variant = "run";
+  const double events = static_cast<double>(m.executed_tasks);
+  r.metrics = {
+      {"sim_seconds", m.sim_seconds},
+      {"wall_seconds", m.wall_seconds},
+      {"executed_tasks", events},
+      {"delivered_events", static_cast<double>(m.delivered)},
+      {"sim_events_per_wall_sec", m.events_per_wall_sec()},
+      {"deliveries_per_wall_sec", static_cast<double>(m.delivered) / m.wall_seconds},
+      {"allocs_per_event", static_cast<double>(m.allocs) / events},
+  };
+  return r;
+}
+
+}  // namespace
+}  // namespace gryphon::bench
+
+int main(int argc, char** argv) {
+  using namespace gryphon;
+  using namespace gryphon::bench;
+
+  std::string out_path;
+  std::string check_path;
+  double tolerance = 0.15;
+  int reps = 3;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      GRYPHON_CHECK_MSG(i + 1 < argc, "missing value for " << arg);
+      return argv[++i];
+    };
+    if (arg == "--out") out_path = next();
+    else if (arg == "--check") check_path = next();
+    else if (arg == "--tolerance") tolerance = std::atof(next());
+    else if (arg == "--reps") reps = std::atoi(next());
+    else if (arg == "--smoke") smoke = true;
+    else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  if (smoke) {
+    // Sanitizer entry point: one short schedule, oracle armed, no timing.
+    print_header("bench_wallclock --smoke: 1 chaos seed, oracle armed");
+    const auto m = run_chaos_soak(/*seed=*/1, /*horizon_s=*/5.0);
+    std::printf("ok: %llu tasks, %llu deliveries, %.1f sim-s\n",
+                static_cast<unsigned long long>(m.executed_tasks),
+                static_cast<unsigned long long>(m.delivered), m.sim_seconds);
+    return 0;
+  }
+
+  print_header("Substrate wall-clock harness (fastest of " + std::to_string(reps) +
+               " reps per workload)");
+  print_row({"workload", "sim_s", "wall_s", "tasks", "ev/wall-s", "deliv/wall-s",
+             "allocs/ev"});
+
+  const auto run_chaos = [] { return run_chaos_soak(/*seed=*/1, /*horizon_s=*/8.0); };
+  const std::vector<std::pair<std::string, std::function<Measurement()>>> specs = {
+      {"fig4_steady_4shb", run_fig4_steady},
+      {"chaos_soak_seed1", run_chaos},
+  };
+
+  std::vector<WorkloadReport> reports;
+  bool regression = false;
+  for (const auto& [name, run] : specs) {
+    Measurement best;
+    for (int r = 0; r < reps; ++r) {
+      const Measurement m = run();
+      if (r == 0 || m.events_per_wall_sec() > best.events_per_wall_sec()) best = m;
+    }
+    print_row({name, fmt(best.sim_seconds, 1), fmt(best.wall_seconds, 2),
+               std::to_string(best.executed_tasks), fmt(best.events_per_wall_sec(), 0),
+               fmt(static_cast<double>(best.delivered) / best.wall_seconds, 0),
+               fmt(static_cast<double>(best.allocs) /
+                       static_cast<double>(best.executed_tasks),
+                   2)});
+    reports.push_back(to_report(name, best));
+
+    if (!check_path.empty()) {
+      const auto committed = read_bench_metric(check_path, name, "post_pr",
+                                               "sim_events_per_wall_sec");
+      if (!committed) {
+        std::printf("  (no post_pr reference for %s in %s — skipping check)\n",
+                    name.c_str(), check_path.c_str());
+      } else {
+        const double floor = *committed * (1.0 - tolerance);
+        const double got = reports.back().find("sim_events_per_wall_sec")->value;
+        if (got < floor) {
+          std::printf("  REGRESSION: %s %.0f ev/wall-s < floor %.0f (committed %.0f, "
+                      "tolerance %.0f%%)\n",
+                      name.c_str(), got, floor, *committed, 100 * tolerance);
+          regression = true;
+        } else {
+          std::printf("  check ok: %.0f ev/wall-s vs committed %.0f (floor %.0f)\n",
+                      got, *committed, floor);
+        }
+      }
+    }
+  }
+
+  if (!out_path.empty()) {
+    write_bench_json(out_path, reports);
+    std::printf("\nwrote %s\n", out_path.c_str());
+  }
+  return regression ? 1 : 0;
+}

@@ -15,11 +15,14 @@ void PerSubscriberEventLog::log_event(Tick tick, const matching::EventDataPtr& e
                                       const std::vector<SubscriberId>& matching) {
   // The full event (headers + payload) is written once per matching
   // subscriber — the redundancy the PFS design eliminates.
-  const auto record = encode_logged_event({tick, PublisherId{0}, 0, event});
+  const auto record =
+      encode_logged_event({tick, PublisherId{0}, 0, event}, volume_.acquire_buffer());
   for (SubscriberId s : matching) {
     auto it = subs_.find(s);
     GRYPHON_CHECK_MSG(it != subs_.end(), "unregistered subscriber " << s);
-    const auto idx = volume_.append(it->second.stream, record);
+    auto copy = volume_.acquire_buffer();
+    copy.assign(record.begin(), record.end());
+    const auto idx = volume_.append(it->second.stream, std::move(copy));
     it->second.retained.emplace_back(tick, idx);
     ++records_;
     bytes_ += record.size();

@@ -49,9 +49,10 @@ matching::Value decode_value(BufReader& r) {
 
 }  // namespace
 
-std::vector<std::byte> encode_logged_event(const LoggedEvent& e) {
+std::vector<std::byte> encode_logged_event(const LoggedEvent& e,
+                                           std::vector<std::byte> reuse) {
   GRYPHON_CHECK(e.event != nullptr);
-  BufWriter w;
+  BufWriter w(std::move(reuse));
   w.put_i64(e.tick);
   w.put_u32(e.publisher.value());
   w.put_u64(e.seq);
@@ -77,10 +78,11 @@ LoggedEvent decode_logged_event(std::span<const std::byte> bytes) {
   e.publisher = PublisherId{r.get_u32()};
   e.seq = r.get_u64();
   const auto n_attrs = r.get_u32();
-  std::map<std::string, matching::Value> attrs;
+  matching::EventData::AttributeList attrs;
+  attrs.reserve(n_attrs);
   for (std::uint32_t i = 0; i < n_attrs; ++i) {
     std::string name = r.get_string();
-    attrs.emplace(std::move(name), decode_value(r));
+    attrs.emplace_back(std::move(name), decode_value(r));
   }
   std::string payload = r.get_string();
   const auto padded = r.get_u32();

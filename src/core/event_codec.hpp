@@ -22,7 +22,10 @@ struct LoggedEvent {
   matching::EventDataPtr event;
 };
 
-[[nodiscard]] std::vector<std::byte> encode_logged_event(const LoggedEvent& e);
+/// `reuse` (optional) is an empty buffer whose capacity is recycled — pair
+/// with LogVolume::acquire_buffer() to keep steady-state logging allocation-free.
+[[nodiscard]] std::vector<std::byte> encode_logged_event(
+    const LoggedEvent& e, std::vector<std::byte> reuse = {});
 [[nodiscard]] LoggedEvent decode_logged_event(std::span<const std::byte> bytes);
 
 }  // namespace gryphon::core

@@ -39,8 +39,9 @@ PersistentFilteringSubsystem::PersistentFilteringSubsystem(NodeResources& resour
   GRYPHON_CHECK(costs_.pfs_imprecise_batch >= 1);
 }
 
-std::vector<std::byte> PersistentFilteringSubsystem::encode(const Record& r) {
-  BufWriter w;
+std::vector<std::byte> PersistentFilteringSubsystem::encode(
+    const Record& r, std::vector<std::byte> reuse) {
+  BufWriter w(std::move(reuse));
   w.put_i64(r.range.from);
   w.put_i64(r.range.to);
   w.put_u32(static_cast<std::uint32_t>(r.entries.size()));
@@ -147,7 +148,8 @@ void PersistentFilteringSubsystem::write_record(PerPubend& state, TickRange rang
     rec.entries.emplace_back(s, it == state.last_index.end() ? storage::kNoIndex
                                                              : it->second);
   }
-  const storage::LogIndex idx = res_.log_volume.append(state.stream, encode(rec));
+  const storage::LogIndex idx = res_.log_volume.append(
+      state.stream, encode(rec, res_.log_volume.acquire_buffer()));
   for (SubscriberId s : matching) state.last_index[s] = idx;
   state.last_timestamp = range.to;
   ++records_written_;

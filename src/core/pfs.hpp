@@ -150,7 +150,9 @@ class PersistentFilteringSubsystem {
     std::vector<std::pair<SubscriberId, storage::LogIndex>> entries;
   };
 
-  [[nodiscard]] static std::vector<std::byte> encode(const Record& r);
+  /// `reuse` (optional) is an empty buffer whose capacity is recycled.
+  [[nodiscard]] static std::vector<std::byte> encode(const Record& r,
+                                                     std::vector<std::byte> reuse = {});
   [[nodiscard]] static Record decode(const std::vector<std::byte>& bytes);
 
   void flush_batch(PerPubend& state);

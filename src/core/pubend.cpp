@@ -82,7 +82,8 @@ Pubend::Accepted Pubend::accept_publish(PublisherId publisher, std::uint64_t seq
   pending_durable_.insert(tick);
 
   const storage::LogIndex idx = res_.log_volume.append(
-      log_stream_, encode_logged_event({tick, publisher, seq, event}));
+      log_stream_, encode_logged_event({tick, publisher, seq, event},
+                                       res_.log_volume.acquire_buffer()));
   retained_records_.emplace_back(tick, idx);
   ++events_logged_;
   return {false, tick};

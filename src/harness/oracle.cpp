@@ -38,7 +38,7 @@ void DeliveryOracle::on_event(SubscriberId s, PubendId p, Tick t,
   GRYPHON_CHECK_MSG(state.predicate->matches(*event),
                     "spurious delivery: event at " << p << ':' << t
                                                    << " does not match subscriber " << s);
-  const bool fresh = state.delivered[p].insert(t).second;
+  const bool fresh = state.delivered[p].insert(t);
   GRYPHON_CHECK_MSG(fresh, "duplicate delivery " << p << ':' << t << " to " << s);
 
   ++delivered_count_;
@@ -69,10 +69,10 @@ void DeliveryOracle::on_gap(SubscriberId s, PubendId p, TickRange range, SimTime
   // A gap asserts "these will never arrive" — it may not cover an event we
   // already saw delivered …
   if (auto d = state.delivered.find(p); d != state.delivered.end()) {
-    auto covered = d->second.lower_bound(range.from);
-    GRYPHON_CHECK_MSG(covered == d->second.end() || *covered > range.to,
-                      "gap [" << range.from << ',' << range.to << "] to " << s
-                              << " covers delivered event " << p << ':' << *covered);
+    const auto covered = d->second.first_in(range.from, range.to);
+    GRYPHON_CHECK_MSG(!covered, "gap [" << range.from << ',' << range.to << "] to " << s
+                                        << " covers delivered event " << p << ':'
+                                        << covered.value_or(0));
   }
   // … and may not open at/behind the live constream position (the constream
   // is lossless; only catchup may declare holes, always ahead of it).
@@ -101,13 +101,17 @@ void DeliveryOracle::on_connected(SubscriberId s, SimTime) {
   // exactly-once check then requires it to be delivered again.
   const core::CheckpointToken& ct = state.client->checkpoint();
   for (auto& [p, ticks] : state.delivered) {
-    ticks.erase(ticks.upper_bound(ct.of(p)), ticks.end());
+    ticks.erase_above(ct.of(p));
   }
   for (auto& [p, gaps] : state.gaps) {
     if (!gaps.empty()) gaps.subtract(ct.of(p) + 1, kTickInfinity - 1);
   }
   for (auto& [p, floor] : state.constream_floor) {
     floor = std::min(floor, ct.of(p));
+  }
+  // The re-deliverable suffix must be re-verified once it is re-delivered.
+  for (auto& [p, upto] : state.verified_upto) {
+    upto = std::min(upto, ct.of(p));
   }
 }
 
@@ -117,7 +121,40 @@ void DeliveryOracle::reset_subscriber(SubscriberId s) {
   it->second.delivered.clear();
   it->second.gaps.clear();
   it->second.constream_floor.clear();
+  it->second.verified_upto.clear();
   it->second.saw_first_connect = false;
+}
+
+void DeliveryOracle::verify_stream(SubscriberId s, const SubState& state, PubendId p,
+                                   const std::map<Tick, matching::EventDataPtr>& events,
+                                   Tick lo, Tick hi,
+                                   std::vector<std::string>& out) const {
+  const auto delivered_it = state.delivered.find(p);
+  const auto gaps_it = state.gaps.find(p);
+  const Tick upto = state.client->checkpoint().of(p);
+  for (auto e = events.upper_bound(lo); e != events.end() && e->first <= hi; ++e) {
+    const Tick t = e->first;
+    if (!state.predicate->matches(*e->second)) continue;
+    const bool got =
+        delivered_it != state.delivered.end() && delivered_it->second.contains(t);
+    const bool gapped = gaps_it != state.gaps.end() && gaps_it->second.contains(t);
+    if (!got && !gapped) {
+      std::ostringstream os;
+      os << "subscriber " << s << " missed matching event " << p << ':' << t
+         << " (horizon " << upto << ", no gap notification)";
+      out.push_back(os.str());
+    }
+  }
+  // Deliveries in range must correspond to known published events.
+  if (delivered_it != state.delivered.end()) {
+    delivered_it->second.for_each_in(lo, hi, [&](Tick t) {
+      if (!events.contains(t)) {
+        std::ostringstream os;
+        os << "subscriber " << s << " received unknown event " << p << ':' << t;
+        out.push_back(os.str());
+      }
+    });
+  }
 }
 
 std::vector<std::string> DeliveryOracle::verify(SubscriberId s) const {
@@ -129,32 +166,18 @@ std::vector<std::string> DeliveryOracle::verify(SubscriberId s) const {
 
   const core::CheckpointToken& horizon = state.client->checkpoint();
   for (const auto& [p, events] : published_) {
-    const Tick start = state.start_ct.of(p);
-    const Tick upto = horizon.of(p);
-    const auto delivered_it = state.delivered.find(p);
-    const auto gaps_it = state.gaps.find(p);
-    for (const auto& [t, event] : events) {
-      if (t <= start || t > upto) continue;
-      if (!state.predicate->matches(*event)) continue;
-      const bool got = delivered_it != state.delivered.end() &&
-                       delivered_it->second.contains(t);
-      const bool gapped = gaps_it != state.gaps.end() && gaps_it->second.contains(t);
-      if (!got && !gapped) {
-        std::ostringstream os;
-        os << "subscriber " << s << " missed matching event " << p << ':' << t
-           << " (horizon " << upto << ", no gap notification)";
-        violations.push_back(os.str());
-      }
-    }
-    // Deliveries must correspond to known published events.
-    if (delivered_it != state.delivered.end()) {
-      for (Tick t : delivered_it->second) {
+    verify_stream(s, state, p, events, state.start_ct.of(p), horizon.of(p), violations);
+    // Deliveries outside (start, horizon] must still be known events.
+    if (auto d = state.delivered.find(p); d != state.delivered.end()) {
+      auto check_unknown = [&](Tick t) {
         if (!events.contains(t)) {
           std::ostringstream os;
           os << "subscriber " << s << " received unknown event " << p << ':' << t;
           violations.push_back(os.str());
         }
-      }
+      };
+      d->second.for_each_in(INT64_MIN, state.start_ct.of(p), check_unknown);
+      d->second.for_each_in(horizon.of(p), kTickInfinity, check_unknown);
     }
   }
   return violations;
@@ -165,6 +188,22 @@ std::vector<std::string> DeliveryOracle::verify_all() const {
   for (const auto& [s, state] : subs_) {
     auto v = verify(s);
     all.insert(all.end(), v.begin(), v.end());
+  }
+  return all;
+}
+
+std::vector<std::string> DeliveryOracle::verify_all_incremental() {
+  std::vector<std::string> all;
+  for (auto& [s, state] : subs_) {
+    if (!state.saw_first_connect) continue;
+    const core::CheckpointToken& horizon = state.client->checkpoint();
+    for (const auto& [p, events] : published_) {
+      const Tick hi = horizon.of(p);
+      const Tick lo = std::max(state.start_ct.of(p), state.verified_upto[p]);
+      if (hi <= lo) continue;  // nothing new acknowledged on this stream
+      verify_stream(s, state, p, events, lo, hi, all);
+      state.verified_upto[p] = hi;
+    }
   }
   return all;
 }

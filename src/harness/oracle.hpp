@@ -17,14 +17,15 @@
 
 #include <map>
 #include <memory>
-#include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/client_observer.hpp"
 #include "core/subscriber_client.hpp"
 #include "matching/predicate.hpp"
 #include "util/stats.hpp"
+#include "util/tick_set.hpp"
 
 namespace gryphon::harness {
 
@@ -62,6 +63,15 @@ class DeliveryOracle final : public core::SubscriberObserver,
   /// Verifies every registered subscriber.
   [[nodiscard]] std::vector<std::string> verify_all() const;
 
+  /// Incremental variant for periodic sweeps: per (subscriber, pubend) it
+  /// re-checks only ticks above the horizon already verified by an earlier
+  /// call, then advances that horizon to the current CT. Sound because a
+  /// verified fact only changes when the CT rewinds (on_connected clamps the
+  /// horizon back) or the subscriber resets (horizons are cleared); finding
+  /// nothing therefore means the full verify() would find nothing new below
+  /// the horizon. End-of-run checks still use verify_all().
+  [[nodiscard]] std::vector<std::string> verify_all_incremental();
+
   // --- metrics ---
   [[nodiscard]] const Summary& e2e_latency() const { return e2e_latency_; }
   [[nodiscard]] const Summary& publish_log_latency() const { return publish_latency_; }
@@ -86,16 +96,25 @@ class DeliveryOracle final : public core::SubscriberObserver,
     int machine = 0;
     bool saw_first_connect = false;
     core::CheckpointToken start_ct;  // captured at first successful connect
-    std::map<PubendId, std::set<Tick>> delivered;
+    std::map<PubendId, TickSet> delivered;
     std::map<PubendId, IntervalSet> gaps;
     /// Highest live (non-catchup) delivery per pubend: the constream
     /// position. Gap notifications must never open at or behind it.
     std::map<PubendId, Tick> constream_floor;
+    /// Per pubend: ticks at or below this are already checked by
+    /// verify_all_incremental(). Clamped on CT rewind, cleared on reset.
+    std::map<PubendId, Tick> verified_upto;
   };
+
+  /// Checks one (subscriber, pubend) stream over (lo, hi]: every matching
+  /// published event delivered or gapped, every delivered tick published.
+  void verify_stream(SubscriberId s, const SubState& state, PubendId p,
+                     const std::map<Tick, matching::EventDataPtr>& events, Tick lo,
+                     Tick hi, std::vector<std::string>& out) const;
 
   sim::Simulator& sim_;
   std::map<PubendId, std::map<Tick, matching::EventDataPtr>> published_;
-  std::map<PubendId, std::map<Tick, SimTime>> publish_times_;
+  std::map<PubendId, std::unordered_map<Tick, SimTime>> publish_times_;
   std::map<SubscriberId, SubState> subs_;
   std::map<int, RateMeter> machine_rates_;
 

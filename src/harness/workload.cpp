@@ -8,10 +8,11 @@ core::Publisher::EventFactory group_event_factory(int groups,
                                                   std::size_t payload_bytes) {
   GRYPHON_CHECK(groups >= 1);
   return [groups, payload_bytes](std::uint64_t seq) {
-    std::map<std::string, matching::Value> attrs;
-    attrs.emplace("g", matching::Value(static_cast<std::int64_t>(
-                           seq % static_cast<std::uint64_t>(groups))));
-    attrs.emplace("seq", matching::Value(static_cast<std::int64_t>(seq)));
+    matching::EventData::AttributeList attrs;
+    attrs.reserve(2);
+    attrs.emplace_back("g", matching::Value(static_cast<std::int64_t>(
+                                seq % static_cast<std::uint64_t>(groups))));
+    attrs.emplace_back("seq", matching::Value(static_cast<std::int64_t>(seq)));
     return std::make_shared<matching::EventData>(std::move(attrs), std::string{},
                                                  payload_bytes);
   };

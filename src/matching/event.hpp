@@ -1,5 +1,12 @@
 // Application events: a bag of typed attributes (matched by predicates) plus
 // an opaque payload (delivered, never inspected).
+//
+// Attributes live in a flat vector sorted by name: events carry a handful of
+// attributes, and predicate evaluation probes them once per subscription per
+// hop, so lookup is the hottest read in the whole matching path. A sorted
+// vector keeps it a short branch-predictable scan with no per-node heap
+// cells (the previous std::map cost one allocation per attribute per event
+// and a pointer chase per probe).
 #pragma once
 
 #include <algorithm>
@@ -7,6 +14,8 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "matching/value.hpp"
 
@@ -14,19 +23,37 @@ namespace gryphon::matching {
 
 class EventData {
  public:
+  using Attribute = std::pair<std::string, Value>;
+  using AttributeList = std::vector<Attribute>;
+
   EventData() = default;
-  EventData(std::map<std::string, Value> attributes, std::string payload,
+  EventData(AttributeList attributes, std::string payload,
             std::size_t padded_payload_size = 0)
       : attributes_(std::move(attributes)),
         payload_(std::move(payload)),
-        padded_payload_size_(padded_payload_size) {}
-
-  [[nodiscard]] const std::map<std::string, Value>& attributes() const {
-    return attributes_;
+        padded_payload_size_(padded_payload_size) {
+    std::sort(attributes_.begin(), attributes_.end(),
+              [](const Attribute& a, const Attribute& b) { return a.first < b.first; });
+    encoded_size_ = compute_encoded_size();
   }
+  EventData(const std::map<std::string, Value>& attributes, std::string payload,
+            std::size_t padded_payload_size = 0)
+      : EventData(AttributeList(attributes.begin(), attributes.end()),
+                  std::move(payload), padded_payload_size) {}
+  EventData(std::initializer_list<Attribute> attributes, std::string payload,
+            std::size_t padded_payload_size = 0)
+      : EventData(AttributeList(attributes), std::move(payload),
+                  padded_payload_size) {}
+
+  /// Attributes sorted by name.
+  [[nodiscard]] const AttributeList& attributes() const { return attributes_; }
+
   [[nodiscard]] const Value* attribute(const std::string& name) const {
-    auto it = attributes_.find(name);
-    return it == attributes_.end() ? nullptr : &it->second;
+    for (const auto& [attr_name, value] : attributes_) {
+      if (attr_name == name) return &value;
+      if (attr_name > name) return nullptr;  // sorted: passed the slot
+    }
+    return nullptr;
   }
 
   [[nodiscard]] const std::string& payload() const { return payload_; }
@@ -38,8 +65,12 @@ class EventData {
   }
 
   /// Serialized event size: attributes + payload (headers are charged by the
-  /// enclosing protocol message).
-  [[nodiscard]] std::size_t encoded_size() const {
+  /// enclosing protocol message). Precomputed: it is re-read on every cache
+  /// insert / log append / wire send of the event.
+  [[nodiscard]] std::size_t encoded_size() const { return encoded_size_; }
+
+ private:
+  [[nodiscard]] std::size_t compute_encoded_size() const {
     std::size_t n = payload_size();
     for (const auto& [name, value] : attributes_) {
       n += 4 + name.size() + value.encoded_size();
@@ -47,10 +78,10 @@ class EventData {
     return n;
   }
 
- private:
-  std::map<std::string, Value> attributes_;
+  AttributeList attributes_;
   std::string payload_;
   std::size_t padded_payload_size_ = 0;
+  std::size_t encoded_size_ = 0;
 };
 
 using EventDataPtr = std::shared_ptr<const EventData>;

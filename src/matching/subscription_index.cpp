@@ -11,13 +11,14 @@ void SubscriptionIndex::add(SubscriberId id, PredicatePtr predicate) {
   remove(id);
 
   Entry entry{std::move(predicate), false, {}};
+  const Predicate* raw = entry.predicate.get();
   Predicate::EqualityKey eq;
   if (entry.predicate->equality_key(eq)) {
     entry.bucketed = true;
-    entry.bucket = bucket_key(eq.attribute, eq.value);
-    buckets_[entry.bucket].push_back(id);
+    entry.bucket = BucketKey{eq.attribute, eq.value};
+    buckets_[entry.bucket].push_back(Candidate{id, raw});
   } else {
-    scan_list_.push_back(id);
+    scan_list_.push_back(Candidate{id, raw});
   }
   all_.emplace(id, std::move(entry));
 }
@@ -25,11 +26,14 @@ void SubscriptionIndex::add(SubscriberId id, PredicatePtr predicate) {
 void SubscriptionIndex::remove(SubscriberId id) {
   auto it = all_.find(id);
   if (it == all_.end()) return;
-  auto erase_from = [id](std::vector<SubscriberId>& v) {
-    v.erase(std::remove(v.begin(), v.end(), id), v.end());
+  auto erase_from = [id](Bucket& v) {
+    v.erase(std::remove_if(v.begin(), v.end(),
+                           [id](const Candidate& c) { return c.id == id; }),
+            v.end());
   };
   if (it->second.bucketed) {
-    auto b = buckets_.find(it->second.bucket);
+    auto b = buckets_.find(
+        BucketRef{it->second.bucket.attribute, it->second.bucket.value});
     GRYPHON_CHECK(b != buckets_.end());
     erase_from(b->second);
     if (b->second.empty()) buckets_.erase(b);
@@ -45,32 +49,58 @@ const PredicatePtr* SubscriptionIndex::predicate_of(SubscriberId id) const {
 }
 
 std::vector<SubscriberId> SubscriptionIndex::match(const EventData& event) const {
-  std::vector<SubscriberId> out;
-  auto eval = [&](SubscriberId id) {
-    const auto& entry = all_.at(id);
-    if (entry.predicate->matches(event)) out.push_back(id);
-  };
-  for (SubscriberId id : scan_list_) eval(id);
+  // First size the candidate set (scan list + every hit bucket), then
+  // evaluate: the output is reserved once and sorted in place, with no
+  // intermediate copy and no allocation beyond the result itself.
+  std::size_t candidates = scan_list_.size();
   // A bucketed subscription can only match events carrying its equality
   // attribute with its value, so probing per event attribute is exhaustive.
+  constexpr std::size_t kMaxInlineHits = 16;
+  const Bucket* hits[kMaxInlineHits];
+  std::size_t num_hits = 0;
+  bool overflowed = false;  // more hit buckets than the inline array holds
   for (const auto& [attr, value] : event.attributes()) {
-    auto b = buckets_.find(bucket_key(attr, value));
+    auto b = buckets_.find(BucketRef{attr, value});
     if (b == buckets_.end()) continue;
-    for (SubscriberId id : b->second) eval(id);
+    candidates += b->second.size();
+    if (num_hits < kMaxInlineHits) {
+      hits[num_hits++] = &b->second;
+    } else {
+      overflowed = true;
+    }
+  }
+
+  std::vector<SubscriberId> out;
+  out.reserve(candidates);
+  auto eval = [&](const Candidate& c) {
+    if (c.predicate->matches(event)) out.push_back(c.id);
+  };
+  for (const Candidate& c : scan_list_) eval(c);
+  if (!overflowed) {
+    for (std::size_t i = 0; i < num_hits; ++i) {
+      for (const Candidate& c : *hits[i]) eval(c);
+    }
+  } else {
+    // Pathologically wide event: re-probe rather than cap the hit array.
+    for (const auto& [attr, value] : event.attributes()) {
+      auto b = buckets_.find(BucketRef{attr, value});
+      if (b == buckets_.end()) continue;
+      for (const Candidate& c : b->second) eval(c);
+    }
   }
   std::sort(out.begin(), out.end());
   return out;
 }
 
 bool SubscriptionIndex::matches_any(const EventData& event) const {
-  for (SubscriberId id : scan_list_) {
-    if (all_.at(id).predicate->matches(event)) return true;
+  for (const Candidate& c : scan_list_) {
+    if (c.predicate->matches(event)) return true;
   }
   for (const auto& [attr, value] : event.attributes()) {
-    auto b = buckets_.find(bucket_key(attr, value));
+    auto b = buckets_.find(BucketRef{attr, value});
     if (b == buckets_.end()) continue;
-    for (SubscriberId id : b->second) {
-      if (all_.at(id).predicate->matches(event)) return true;
+    for (const Candidate& c : b->second) {
+      if (c.predicate->matches(event)) return true;
     }
   }
   return false;

@@ -8,10 +8,16 @@
 // bucketed by (attribute, value) so matching cost scales with the number of
 // *candidate* subscriptions, not all of them; the remainder fall back to a
 // scan list.
+//
+// The bucket table is keyed by the (attribute, value) pair directly and
+// probed with a borrowed-reference key type (C++20 heterogeneous lookup),
+// so match()/matches_any() never materialize a key: probing is hash +
+// compare over the event's own strings. Candidate lists carry the raw
+// predicate pointer next to the id, which keeps evaluation a linear walk
+// with no side lookup into the id map.
 #pragma once
 
 #include <cstdint>
-#include <sstream>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -44,22 +50,51 @@ class SubscriptionIndex {
   [[nodiscard]] std::vector<SubscriberId> ids() const;
 
  private:
-  /// Bucket key for an equality conjunct: attribute NUL value-rendering.
-  static std::string bucket_key(const std::string& attribute, const Value& value) {
-    std::ostringstream os;
-    os << attribute << '\0' << value;
-    return os.str();
-  }
+  struct BucketKey {
+    std::string attribute;
+    Value value;
+  };
+  /// Borrowed-reference probe key: lets bucket lookup reuse the event's own
+  /// attribute name and value without building a BucketKey.
+  struct BucketRef {
+    const std::string& attribute;
+    const Value& value;
+  };
+  struct KeyHash {
+    using is_transparent = void;
+    static std::size_t mix(std::size_t a, std::size_t b) {
+      return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+    }
+    std::size_t operator()(const BucketKey& k) const {
+      return mix(std::hash<std::string>{}(k.attribute), k.value.hash());
+    }
+    std::size_t operator()(const BucketRef& k) const {
+      return mix(std::hash<std::string>{}(k.attribute), k.value.hash());
+    }
+  };
+  struct KeyEq {
+    using is_transparent = void;
+    template <typename A, typename B>
+    bool operator()(const A& a, const B& b) const {
+      return a.attribute == b.attribute && a.value == b.value;
+    }
+  };
+
+  struct Candidate {
+    SubscriberId id;
+    const Predicate* predicate;
+  };
+  using Bucket = std::vector<Candidate>;
 
   struct Entry {
     PredicatePtr predicate;
     bool bucketed = false;
-    std::string bucket;  // key in buckets_ when bucketed
+    BucketKey bucket;  // key in buckets_ when bucketed
   };
 
   std::unordered_map<SubscriberId, Entry> all_;
-  std::unordered_map<std::string, std::vector<SubscriberId>> buckets_;
-  std::vector<SubscriberId> scan_list_;  // no usable equality conjunct
+  std::unordered_map<BucketKey, Bucket, KeyHash, KeyEq> buckets_;
+  Bucket scan_list_;  // no usable equality conjunct
 };
 
 }  // namespace gryphon::matching

@@ -1,7 +1,9 @@
 // Typed attribute values carried by events and compared by predicates.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <ostream>
 #include <string>
 #include <variant>
@@ -55,6 +57,21 @@ class Value {
   [[nodiscard]] std::size_t encoded_size() const {
     if (is_string()) return 4 + as_string().size();
     return 8;
+  }
+
+  /// Hash consistent with operator== — int64 and double holding the same
+  /// number must collide, so numerics hash their as_double() image (with
+  /// -0.0 folded into +0.0, which compares equal).
+  [[nodiscard]] std::size_t hash() const {
+    if (is_numeric()) {
+      double d = as_double();
+      if (d == 0.0) d = 0.0;  // collapse -0.0
+      return std::hash<double>{}(d);
+    }
+    if (const auto* b = std::get_if<bool>(&v_)) {
+      return *b ? 0x9e3779b97f4a7c15ULL : 0x517cc1b727220a95ULL;
+    }
+    return std::hash<std::string>{}(std::get<std::string>(v_));
   }
 
   friend std::ostream& operator<<(std::ostream& os, const Value& v);

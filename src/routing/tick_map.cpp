@@ -6,21 +6,21 @@ namespace gryphon::routing {
 
 TickValue TickMap::value_at(Tick t) const {
   GRYPHON_CHECK_MSG(t > origin_, "tick " << t << " at or below origin " << origin_);
-  if (events_.contains(t)) return TickValue::kD;
+  if (events_.find(t) != nullptr) return TickValue::kD;
   if (silence_.contains(t)) return TickValue::kS;
   if (lost_.contains(t)) return TickValue::kL;
   return TickValue::kQ;
 }
 
 matching::EventDataPtr TickMap::event_at(Tick t) const {
-  auto it = events_.find(t);
-  return it == events_.end() ? nullptr : it->second;
+  const matching::EventDataPtr* e = events_.find(t);
+  return e == nullptr ? nullptr : *e;
 }
 
 void TickMap::set_data(Tick t, matching::EventDataPtr event) {
   GRYPHON_CHECK(event != nullptr);
   if (t <= origin_) return;  // stale: already consumed/discarded here
-  if (events_.contains(t)) return;  // idempotent redelivery
+  if (events_.find(t) != nullptr) return;  // idempotent redelivery
   // D upgrades both L (a cache can supply what the pubend discarded) and S:
   // with dynamic subscriptions, S means "was not relevant to this link's
   // subscription set at filter time", and an authoritative re-fetch after a
@@ -30,7 +30,7 @@ void TickMap::set_data(Tick t, matching::EventDataPtr event) {
   if (lost_.contains(t)) lost_.subtract(t, t);
   if (silence_.contains(t)) silence_.subtract(t, t);
   event_bytes_ += event->encoded_size();
-  events_.emplace(t, std::move(event));
+  events_.insert(t, std::move(event));
   covered_.add(t, t);
 }
 
@@ -59,10 +59,13 @@ void TickMap::force_lost(Tick from, Tick to) {
   from = std::max(from, origin_ + 1);
   if (from > to) return;
   silence_.subtract(from, to);
-  for (auto it = events_.lower_bound(from); it != events_.end() && it->first <= to;) {
-    event_bytes_ -= it->second->encoded_size();
-    it = events_.erase(it);
+  const std::size_t lo = events_.lower_bound(from);
+  std::size_t hi = lo;
+  while (hi < events_.size() && events_.at(hi).tick <= to) {
+    event_bytes_ -= events_.at(hi).event->encoded_size();
+    ++hi;
   }
+  events_.erase(lo, hi - lo);
   lost_.add(from, to);
   covered_.add(from, to);
 }
@@ -84,32 +87,44 @@ std::vector<TickRange> TickMap::q_ranges(Tick from, Tick to) const {
 
 std::vector<KnowledgeItem> TickMap::items(Tick from, Tick to) const {
   GRYPHON_CHECK(from <= to);
-  from = std::max(from, origin_ + 1);
   std::vector<KnowledgeItem> out;
+  from = std::max(from, origin_ + 1);
   if (from > to) return out;
 
-  auto silences = silence_.intersection(from, to);
-  auto losts = lost_.intersection(from, to);
-  auto sit = silences.begin();
-  auto lit = losts.begin();
-  auto eit = events_.lower_bound(from);
+  // Cursors into the S/L runs and the D ring; everything is clipped to
+  // [from, to] on the fly — no intermediate vectors.
+  const auto& sspans = silence_.spans();
+  const auto& lspans = lost_.spans();
+  auto reaches = [](const TickRange& r, Tick v) { return r.to < v; };
+  auto sit = std::lower_bound(sspans.begin(), sspans.end(), from, reaches);
+  auto lit = std::lower_bound(lspans.begin(), lspans.end(), from, reaches);
+  std::size_t ei = events_.lower_bound(from);
+
+  out.reserve(static_cast<std::size_t>(sspans.end() - sit) +
+              static_cast<std::size_t>(lspans.end() - lit) +
+              (events_.lower_bound(to) - ei) + 1);
 
   // Three-way ordered merge; S/L ranges and D points are pairwise disjoint.
   while (true) {
-    const Tick snext = sit != silences.end() ? sit->from : kTickInfinity;
-    const Tick lnext = lit != losts.end() ? lit->from : kTickInfinity;
-    const Tick enext =
-        (eit != events_.end() && eit->first <= to) ? eit->first : kTickInfinity;
+    const Tick snext = (sit != sspans.end() && sit->from <= to)
+                           ? std::max(from, sit->from)
+                           : kTickInfinity;
+    const Tick lnext = (lit != lspans.end() && lit->from <= to)
+                           ? std::max(from, lit->from)
+                           : kTickInfinity;
+    const Tick enext = (ei < events_.size() && events_.at(ei).tick <= to)
+                           ? events_.at(ei).tick
+                           : kTickInfinity;
     const Tick first = std::min({snext, lnext, enext});
     if (first == kTickInfinity) break;
     if (first == enext) {
-      out.push_back({TickValue::kD, {enext, enext}, eit->second});
-      ++eit;
+      out.push_back({TickValue::kD, {enext, enext}, events_.at(ei).event});
+      ++ei;
     } else if (first == snext) {
-      out.push_back({TickValue::kS, *sit, nullptr});
+      out.push_back({TickValue::kS, {snext, std::min(to, sit->to)}, nullptr});
       ++sit;
     } else {
-      out.push_back({TickValue::kL, *lit, nullptr});
+      out.push_back({TickValue::kL, {lnext, std::min(to, lit->to)}, nullptr});
       ++lit;
     }
   }
@@ -133,30 +148,17 @@ void TickMap::apply(const KnowledgeItem& item) {
   }
 }
 
-void TickMap::for_each_data(
-    Tick from, Tick to,
-    const std::function<void(Tick, const matching::EventDataPtr&)>& fn) const {
-  for (auto it = events_.lower_bound(from); it != events_.end() && it->first <= to;
-       ++it) {
-    fn(it->first, it->second);
-  }
-}
-
-std::size_t TickMap::data_count(Tick from, Tick to) const {
-  auto lo = events_.lower_bound(from);
-  auto hi = events_.upper_bound(to);
-  return static_cast<std::size_t>(std::distance(lo, hi));
-}
-
 void TickMap::discard_upto(Tick t) {
   if (t <= origin_) return;
   covered_.subtract(INT64_MIN / 2, t);
   silence_.subtract(INT64_MIN / 2, t);
   lost_.subtract(INT64_MIN / 2, t);
-  for (auto it = events_.begin(); it != events_.end() && it->first <= t;) {
-    event_bytes_ -= it->second->encoded_size();
-    it = events_.erase(it);
+  std::size_t n = 0;
+  while (n < events_.size() && events_.at(n).tick <= t) {
+    event_bytes_ -= events_.at(n).event->encoded_size();
+    ++n;
   }
+  events_.erase(0, n);
   origin_ = t;
 }
 

@@ -16,10 +16,19 @@
 //
 // discard_upto() models cache eviction / consumption: knowledge below the
 // new origin is forgotten entirely (reverts to "don't ask me").
+//
+// Representation: S and L are run-length interval sets; the D window is a
+// ring buffer of (tick, event) items in tick order. The stream's access
+// pattern is append-at-head (live knowledge arrives in tick order) and
+// discard-at-tail (release protocol / cache eviction / consumption), which
+// the ring serves in O(1) with no per-item allocation; lookups are binary
+// searches. The ring is dense in *retained events*, not in ticks — a
+// per-subscriber map whose predicate matches 1% of a long disconnect window
+// stores 1% of the window, which a tick-indexed array would not.
 #pragma once
 
-#include <functional>
-#include <map>
+#include <algorithm>
+#include <cstddef>
 #include <vector>
 
 #include "matching/event.hpp"
@@ -36,6 +45,96 @@ struct KnowledgeItem {
   TickValue value = TickValue::kS;  // kD, kS or kL (never kQ)
   TickRange range{0, 0};            // for kD, range.from == range.to
   matching::EventDataPtr event;     // set iff value == kD
+};
+
+/// Ring buffer of (tick, event) items in strictly ascending tick order.
+/// O(1) push at the head, O(1) pop at the tail, O(log n) lookup; the rare
+/// out-of-order insert (a curiosity fill below the head) shifts in place.
+class EventRing {
+ public:
+  struct Item {
+    Tick tick = 0;
+    matching::EventDataPtr event;
+  };
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  /// i-th item in tick order (0 = lowest tick).
+  [[nodiscard]] const Item& at(std::size_t i) const {
+    GRYPHON_DCHECK(i < size_);
+    return buf_[(head_ + i) & mask()];
+  }
+
+  /// Index of the first item with tick >= t; size() if none.
+  [[nodiscard]] std::size_t lower_bound(Tick t) const {
+    std::size_t lo = 0;
+    std::size_t hi = size_;
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (at(mid).tick < t) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  [[nodiscard]] const matching::EventDataPtr* find(Tick t) const {
+    const std::size_t i = lower_bound(t);
+    if (i < size_ && at(i).tick == t) return &at(i).event;
+    return nullptr;
+  }
+
+  /// Inserts a new tick (must not be present). Appending above the current
+  /// maximum is O(1).
+  void insert(Tick t, matching::EventDataPtr event) {
+    if (size_ == buf_.size()) grow();
+    if (size_ == 0 || t > at(size_ - 1).tick) {
+      buf_[(head_ + size_) & mask()] = Item{t, std::move(event)};
+      ++size_;
+      return;
+    }
+    const std::size_t pos = lower_bound(t);
+    GRYPHON_DCHECK(at(pos).tick != t);
+    ++size_;
+    for (std::size_t i = size_ - 1; i > pos; --i) slot(i) = std::move(slot(i - 1));
+    slot(pos) = Item{t, std::move(event)};
+  }
+
+  /// Removes the n items starting at index pos. Removing a prefix is O(n)
+  /// pointer releases with no shifting (the ring advances its tail).
+  void erase(std::size_t pos, std::size_t n) {
+    GRYPHON_DCHECK(pos + n <= size_);
+    if (n == 0) return;
+    if (pos == 0) {
+      for (std::size_t i = 0; i < n; ++i) {
+        buf_[head_] = Item{};
+        head_ = (head_ + 1) & mask();
+      }
+      size_ -= n;
+      return;
+    }
+    for (std::size_t i = pos; i + n < size_; ++i) slot(i) = std::move(slot(i + n));
+    for (std::size_t i = size_ - n; i < size_; ++i) slot(i) = Item{};
+    size_ -= n;
+  }
+
+ private:
+  [[nodiscard]] std::size_t mask() const { return buf_.size() - 1; }
+  [[nodiscard]] Item& slot(std::size_t i) { return buf_[(head_ + i) & mask()]; }
+
+  void grow() {
+    std::vector<Item> bigger(std::max<std::size_t>(16, buf_.size() * 2));
+    for (std::size_t i = 0; i < size_; ++i) bigger[i] = std::move(slot(i));
+    buf_ = std::move(bigger);
+    head_ = 0;
+  }
+
+  std::vector<Item> buf_;  // power-of-2 capacity
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
 };
 
 class TickMap {
@@ -85,11 +184,19 @@ class TickMap {
   void apply(const KnowledgeItem& item);
 
   /// Invokes fn(tick, event) for each D tick in [from, to], in order.
-  void for_each_data(Tick from, Tick to,
-                     const std::function<void(Tick, const matching::EventDataPtr&)>& fn) const;
+  template <typename Fn>
+  void for_each_data(Tick from, Tick to, const Fn& fn) const {
+    for (std::size_t i = events_.lower_bound(from); i < events_.size(); ++i) {
+      const EventRing::Item& item = events_.at(i);
+      if (item.tick > to) break;
+      fn(item.tick, item.event);
+    }
+  }
 
   /// Number of D ticks in [from, to].
-  [[nodiscard]] std::size_t data_count(Tick from, Tick to) const;
+  [[nodiscard]] std::size_t data_count(Tick from, Tick to) const {
+    return events_.lower_bound(to + 1) - events_.lower_bound(from);
+  }
 
   /// Forgets all knowledge at ticks <= t and advances origin to at least t.
   void discard_upto(Tick t);
@@ -103,7 +210,7 @@ class TickMap {
   IntervalSet covered_;  // union of silence_, lost_ and D points
   IntervalSet silence_;
   IntervalSet lost_;
-  std::map<Tick, matching::EventDataPtr> events_;
+  EventRing events_;  // the D window, in tick order
   std::size_t event_bytes_ = 0;
 };
 

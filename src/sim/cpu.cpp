@@ -11,22 +11,15 @@ Cpu::Cpu(Simulator& simulator, std::string name, int cores,
   GRYPHON_CHECK(window_ > 0);
 }
 
-void Cpu::execute(SimDuration cost, Task fn) {
+SimTime Cpu::admit(SimDuration cost) {
   GRYPHON_CHECK(cost >= 0);
-  GRYPHON_CHECK(fn != nullptr);
   const SimTime start = std::max(sim_.now(), busy_until_);
   const SimDuration service = cost / cores_;
   const SimTime end = start + service;
   busy_until_ = end;
   account_busy(start, end);
   total_busy_ += service;
-
-  const std::uint64_t gen = generation_;
-  sim_.schedule_at(end, [this, gen, fn = std::move(fn)] {
-    if (gen != generation_) return;  // cleared by a crash
-    ++tasks_executed_;
-    fn();
-  });
+  return end;
 }
 
 void Cpu::inject_stall(SimDuration d) {

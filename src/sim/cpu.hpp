@@ -26,15 +26,24 @@ namespace gryphon::sim {
 
 class Cpu {
  public:
-  using Task = std::function<void()>;
+  using Task = SmallTask;
 
   Cpu(Simulator& simulator, std::string name, int cores = 1,
       SimDuration accounting_window = msec(500));
 
   /// Queues a work item. `fn` runs (at the earliest) when all previously
   /// queued work has finished plus this item's service time. A zero-cost item
-  /// still serializes behind the queue.
-  void execute(SimDuration cost, Task fn);
+  /// still serializes behind the queue. Templated so the caller's closure is
+  /// stored directly in the scheduled task (one SmallTask, no re-wrapping).
+  template <typename F>
+  void execute(SimDuration cost, F&& fn) {
+    const SimTime end = admit(cost);
+    sim_.schedule_at(end, [this, gen = generation_, fn = std::forward<F>(fn)]() mutable {
+      if (gen != generation_) return;  // cleared by a crash
+      ++tasks_executed_;
+      fn();
+    });
+  }
 
   /// Blocks the whole server for `d` (e.g. a GC pause).
   void inject_stall(SimDuration d);
@@ -62,6 +71,10 @@ class Cpu {
   [[nodiscard]] int cores() const { return cores_; }
 
  private:
+  /// Books a work item of `cost` into the fluid-flow queue; returns its
+  /// completion time.
+  SimTime admit(SimDuration cost);
+
   /// Records that the server was busy over [start, end), spread across the
   /// accounting windows it overlaps.
   void account_busy(SimTime start, SimTime end);

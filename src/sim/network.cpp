@@ -63,16 +63,19 @@ bool Network::send(EndpointId from, EndpointId to, MessagePtr msg) {
 
   const std::uint64_t send_epoch = endpoint(to).epoch;
   const std::uint64_t link_epoch = l.epoch;
-  const std::size_t bytes = msg->wire_size();
-  sim_.schedule_at(arrival, [this, from, to, send_epoch, link_epoch, bytes,
+  // Capture the link by pointer: links_ is node-based and links are never
+  // erased, so the pointer stays valid and delivery skips the hash lookup.
+  Link* lp = &l;
+  sim_.schedule_at(arrival, [this, lp, from, to, send_epoch, link_epoch,
                              msg = std::move(msg)]() mutable {
     // Dropped if the link partitioned after the send (even if since healed —
     // the connection was reset) …
-    if (link(from, to).epoch != link_epoch) return;
+    if (lp->epoch != link_epoch) return;
     Endpoint& dst = endpoint(to);
     // … or the destination crashed after the send (connection severed) or is
     // currently down.
     if (dst.down || dst.epoch != send_epoch) return;
+    const std::size_t bytes = msg->wire_size();
     ++delivered_msgs_;
     delivered_bytes_ += bytes;
     ++dst.delivered_msgs;

@@ -5,26 +5,39 @@ namespace gryphon::sim {
 TaskId Simulator::schedule_at(SimTime t, Task fn) {
   GRYPHON_CHECK_MSG(t >= now_, "scheduling into the past: " << t << " < " << now_);
   GRYPHON_CHECK(fn != nullptr);
-  const TaskId id = next_seq_++;
-  queue_.push(Entry{t, id, id});
-  tasks_.emplace(id, std::move(fn));
-  return id;
+  std::uint32_t index;
+  if (free_head_ != kNoFreeSlot) {
+    index = free_head_;
+    free_head_ = slots_[index].next_free;
+  } else {
+    GRYPHON_CHECK_MSG(slots_.size() < kNoFreeSlot, "task slab exhausted");
+    slots_.emplace_back();
+    index = static_cast<std::uint32_t>(slots_.size() - 1);
+  }
+  Slot& s = slots_[index];
+  s.fn = std::move(fn);
+  queue_.push(Entry{t, next_seq_++, index, s.gen});
+  ++live_;
+  return pack(s.gen, index);
 }
 
 void Simulator::cancel(TaskId id) {
   if (id == kInvalidTask) return;
-  if (tasks_.erase(id) > 0) cancelled_.insert(id);
+  const auto index = static_cast<std::uint32_t>(id);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (index >= slots_.size() || slots_[index].gen != gen) return;  // already ran
+  release_slot(index);  // the heap entry goes stale and is skipped when popped
+  --live_;
 }
 
 bool Simulator::run_one() {
   while (!queue_.empty()) {
-    Entry e = queue_.top();
+    const Entry e = queue_.top();
     queue_.pop();
-    if (cancelled_.erase(e.id) > 0) continue;  // lazily dropped
-    auto it = tasks_.find(e.id);
-    GRYPHON_CHECK(it != tasks_.end());
-    Task fn = std::move(it->second);
-    tasks_.erase(it);
+    if (slots_[e.slot].gen != e.gen) continue;  // cancelled: lazily dropped
+    Task fn = std::move(slots_[e.slot].fn);
+    release_slot(e.slot);
+    --live_;
     GRYPHON_DCHECK(e.time >= now_);
     now_ = e.time;
     ++executed_;
@@ -37,9 +50,9 @@ bool Simulator::run_one() {
 void Simulator::run_until(SimTime t) {
   GRYPHON_CHECK(t >= now_);
   while (!queue_.empty()) {
-    // Peek past cancelled entries without executing.
-    Entry e = queue_.top();
-    if (cancelled_.erase(e.id) > 0) {
+    // Peek past stale (cancelled) entries without executing.
+    const Entry& e = queue_.top();
+    if (slots_[e.slot].gen != e.gen) {
       queue_.pop();
       continue;
     }

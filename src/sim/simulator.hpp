@@ -4,28 +4,36 @@
 // disk sync completion, CPU queueing, crash/restart schedules — executes as
 // tasks on this single event loop. Determinism comes from (time, sequence)
 // ordering: tasks scheduled for the same instant run in scheduling order.
+//
+// Task storage is a slab of reusable slots addressed by generation-tagged
+// ids: a TaskId packs (generation << 32 | slot), the heap entries carry the
+// same tag, and cancellation just releases the slot — a stale heap entry is
+// recognized by its generation mismatch and skipped when popped (lazy
+// deletion). Steady-state schedule/cancel/run touches no allocator at all:
+// slots and heap storage are recycled, and the callable itself lives inline
+// in the slot (SmallTask). pending_tasks() counts live slots, so it is exact
+// even with cancelled entries still parked in the heap.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <tuple>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "util/assert.hpp"
+#include "util/small_task.hpp"
 #include "util/time.hpp"
 
 namespace gryphon::sim {
 
-/// Handle for cancelling a scheduled task.
+/// Handle for cancelling a scheduled task: (generation << 32) | slot.
+/// Generations start at 1, so 0 never names a task.
 using TaskId = std::uint64_t;
 constexpr TaskId kInvalidTask = 0;
 
 class Simulator {
  public:
-  using Task = std::function<void()>;
+  using Task = SmallTask;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -43,7 +51,8 @@ class Simulator {
   }
 
   /// Cancels a pending task. Cancelling an already-run or invalid id is a
-  /// no-op (timers race with the events that obsolete them).
+  /// no-op (timers race with the events that obsolete them); a reused slot is
+  /// protected by the generation tag.
   void cancel(TaskId id);
 
   /// Runs the next pending task, if any. Returns false when the queue is
@@ -56,28 +65,50 @@ class Simulator {
   /// Runs until no tasks remain.
   void run_until_idle();
 
-  [[nodiscard]] std::size_t pending_tasks() const {
-    return queue_.size() - cancelled_.size();
-  }
+  /// Exact count of scheduled-but-not-run tasks (cancelled ones excluded,
+  /// however many stale heap entries remain).
+  [[nodiscard]] std::size_t pending_tasks() const { return live_; }
   [[nodiscard]] std::uint64_t executed_tasks() const { return executed_; }
 
  private:
   struct Entry {
     SimTime time;
     std::uint64_t seq;
-    TaskId id;
+    std::uint32_t slot;
+    std::uint32_t gen;
     // Ordered for a min-heap via std::greater.
     friend bool operator>(const Entry& a, const Entry& b) {
       return std::tie(a.time, a.seq) > std::tie(b.time, b.seq);
     }
   };
 
+  struct Slot {
+    Task fn;
+    std::uint32_t gen = 1;  // bumped on release; pending iff tag matches
+    std::uint32_t next_free = kNoFreeSlot;
+  };
+  static constexpr std::uint32_t kNoFreeSlot = 0xffffffffu;
+
+  [[nodiscard]] static TaskId pack(std::uint32_t gen, std::uint32_t slot) {
+    return (static_cast<TaskId>(gen) << 32) | slot;
+  }
+
+  /// Retires a slot's current incarnation and recycles it.
+  void release_slot(std::uint32_t index) {
+    Slot& s = slots_[index];
+    s.fn = nullptr;
+    if (++s.gen == 0) s.gen = 1;  // generation 0 is reserved for kInvalidTask
+    s.next_free = free_head_;
+    free_head_ = index;
+  }
+
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
-  std::unordered_map<TaskId, Task> tasks_{};
-  std::unordered_set<TaskId> cancelled_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoFreeSlot;
+  std::size_t live_ = 0;
 };
 
 }  // namespace gryphon::sim

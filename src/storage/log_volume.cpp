@@ -12,13 +12,24 @@ LogStreamId LogVolume::open_stream(const std::string& name) {
   return id;
 }
 
+std::vector<std::byte> LogVolume::acquire_buffer() {
+  if (pool_.empty()) return {};
+  std::vector<std::byte> buf = std::move(pool_.back());
+  pool_.pop_back();
+  return buf;
+}
+
 LogIndex LogVolume::append(LogStreamId stream_id, std::vector<std::byte> payload) {
   Stream& s = stream(stream_id);
   const LogIndex index = s.base + s.records.size();
   const std::size_t bytes = payload.size() + kLogRecordHeaderBytes;
   s.records.push_back(std::move(payload));
   ++append_seq_;
-  pending_bytes_ += bytes;
+  // Header bytes are charged in one batch when the covering barrier starts
+  // (group commit writes the headers of all batched records contiguously);
+  // only the payload is accounted per append.
+  pending_bytes_ += bytes - kLogRecordHeaderBytes;
+  ++pending_headers_;
   retained_bytes_ += bytes;
   ++appended_records_;
   appended_bytes_ += bytes;
@@ -44,8 +55,9 @@ void LogVolume::maybe_start_barrier() {
     const LogIndex last = s.base + s.records.size() - 1;
     if (!s.records.empty() && last > s.durable) covered.emplace_back(id, last);
   }
-  const std::uint64_t bytes = pending_bytes_;
+  const std::uint64_t bytes = pending_bytes_ + pending_headers_ * kLogRecordHeaderBytes;
   pending_bytes_ = 0;
+  pending_headers_ = 0;
 
   const std::uint64_t gen = generation_;
   disk_.write_and_sync(bytes, [this, gen, watermark, covered = std::move(covered)] {
@@ -84,6 +96,7 @@ void LogVolume::chop(LogStreamId stream_id, LogIndex upto) {
   const LogIndex clamped = s.records.empty() ? s.base - 1 : std::min(upto, last);
   while (s.base <= clamped) {
     retained_bytes_ -= s.records.front().size() + kLogRecordHeaderBytes;
+    recycle(std::move(s.records.front()));
     s.records.pop_front();
     ++s.base;
   }
@@ -106,12 +119,14 @@ void LogVolume::crash() {
   ++generation_;
   barrier_in_flight_ = false;
   pending_bytes_ = 0;
+  pending_headers_ = 0;
   waiters_.clear();
   for (Stream& s : streams_) {
     // Keep only the durable prefix; anything later was in the page cache.
     const LogIndex keep_last = std::max(s.durable, s.base - 1);
     while (s.base + s.records.size() - 1 > keep_last && !s.records.empty()) {
       retained_bytes_ -= s.records.back().size() + kLogRecordHeaderBytes;
+      recycle(std::move(s.records.back()));
       s.records.pop_back();
     }
   }
@@ -123,6 +138,7 @@ void LogVolume::on_torn_sync() {
   // Everything above the durable prefix is dirty again; re-cover it so the
   // pending waiters (which stay queued) still get their durability.
   pending_bytes_ = 0;
+  pending_headers_ = 0;
   for (const Stream& s : streams_) {
     if (s.records.empty()) continue;
     const LogIndex first_dirty = std::max(s.durable + 1, s.base);

@@ -47,6 +47,11 @@ class LogVolume {
   /// Creates (or reopens after recovery) a named stream.
   LogStreamId open_stream(const std::string& name);
 
+  /// An empty payload buffer recycled from chopped records (capacity
+  /// retained). Encode into it and hand it back via append(): steady-state
+  /// appends then never touch the allocator.
+  [[nodiscard]] std::vector<std::byte> acquire_buffer();
+
   /// Appends a record; returns its index (indices start at 1 and are dense
   /// per stream). Volatile until a subsequent sync() completes.
   LogIndex append(LogStreamId stream, std::vector<std::byte> payload);
@@ -113,13 +118,27 @@ class LogVolume {
   void on_barrier_complete(std::uint64_t watermark,
                            std::vector<std::pair<LogStreamId, LogIndex>> covered);
 
+  /// Returns a retired record's storage to the buffer pool (bounded).
+  void recycle(std::vector<std::byte>&& buf) {
+    if (pool_.size() < kMaxPooledBuffers) {
+      buf.clear();
+      pool_.push_back(std::move(buf));
+    }
+  }
+
+  static constexpr std::size_t kMaxPooledBuffers = 256;
+
   SimDisk& disk_;
   std::vector<Stream> streams_;
   std::unordered_map<std::string, LogStreamId> by_name_;
+  std::vector<std::vector<std::byte>> pool_;
 
   std::uint64_t generation_ = 0;     // bumped by crash(); stale barriers drop
   std::uint64_t append_seq_ = 0;     // counts appends, for sync watermarks
-  std::uint64_t pending_bytes_ = 0;  // dirty bytes not yet under a barrier
+  std::uint64_t pending_bytes_ = 0;  // dirty payload bytes not yet under a barrier
+  std::uint64_t pending_headers_ = 0;  // appends since the last barrier start:
+                                       // their headers are encoded and charged
+                                       // in one batch when the barrier begins
   bool barrier_in_flight_ = false;
   std::deque<SyncWaiter> waiters_;
 

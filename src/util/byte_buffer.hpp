@@ -24,6 +24,12 @@ class BufWriter {
  public:
   BufWriter() = default;
 
+  /// Adopts `reuse` as the output buffer (cleared, capacity retained) so hot
+  /// encoders can run off a recycled allocation.
+  explicit BufWriter(std::vector<std::byte> reuse) : buf_(std::move(reuse)) {
+    buf_.clear();
+  }
+
   void put_u8(std::uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
 
   void put_u16(std::uint16_t v) { put_raw(&v, sizeof v); }

@@ -2,11 +2,18 @@
 //
 // Used wherever the protocols reason about timestamp ranges: outstanding
 // nacks (curiosity streams), nack consolidation at intermediate brokers,
-// gap bookkeeping at subscribers, and the exactly-once delivery checker.
+// gap bookkeeping at subscribers, the TickMap knowledge ladder, and the
+// exactly-once delivery checker.
+//
+// Stored as a flat sorted vector of runs: the sets are small (a handful of
+// runs in steady state — silence and data coalesce) but queried constantly,
+// so binary search over contiguous storage beats a node-based map, and the
+// common mutation — extending the last run (monotone accumulation) — is
+// O(1) with no allocation.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <ostream>
 #include <vector>
@@ -56,11 +63,11 @@ class IntervalSet {
   /// The sub-ranges of [from, to] that are NOT covered.
   [[nodiscard]] std::vector<TickRange> complement_within(Tick from, Tick to) const;
 
-  [[nodiscard]] bool empty() const { return intervals_.empty(); }
-  void clear() { intervals_.clear(); }
+  [[nodiscard]] bool empty() const { return runs_.empty(); }
+  void clear() { runs_.clear(); }
 
   /// Number of disjoint intervals.
-  [[nodiscard]] std::size_t interval_count() const { return intervals_.size(); }
+  [[nodiscard]] std::size_t interval_count() const { return runs_.size(); }
 
   /// Total ticks covered.
   [[nodiscard]] Tick total_length() const;
@@ -69,82 +76,109 @@ class IntervalSet {
   [[nodiscard]] Tick min() const;
   [[nodiscard]] Tick max() const;
 
-  [[nodiscard]] std::vector<TickRange> ranges() const;
+  [[nodiscard]] std::vector<TickRange> ranges() const { return runs_; }
+
+  /// Zero-copy view of the runs, ascending and disjoint (hot-path iteration).
+  [[nodiscard]] const std::vector<TickRange>& spans() const { return runs_; }
 
   friend std::ostream& operator<<(std::ostream& os, const IntervalSet& s);
 
  private:
-  // from -> to, disjoint and non-adjacent (gap of >= 1 between intervals).
-  std::map<Tick, Tick> intervals_;
+  /// Index of the first run with run.to >= t (i.e. the run containing or
+  /// following t); runs_.size() if none.
+  [[nodiscard]] std::size_t first_reaching(Tick t) const {
+    return static_cast<std::size_t>(
+        std::lower_bound(runs_.begin(), runs_.end(), t,
+                         [](const TickRange& r, Tick v) { return r.to < v; }) -
+        runs_.begin());
+  }
+
+  // Ascending, disjoint, non-adjacent (gap of >= 1 between runs).
+  std::vector<TickRange> runs_;
 };
 
 inline void IntervalSet::add(Tick from, Tick to) {
   GRYPHON_CHECK_MSG(from <= to, "bad range [" << from << ',' << to << ']');
-  // Find the first interval that could merge: any with start <= to+1 and
-  // end >= from-1.
-  auto it = intervals_.upper_bound(to + 1);  // first with start > to+1
-  // Walk left while mergeable.
-  while (it != intervals_.begin()) {
-    auto prev = std::prev(it);
-    if (prev->second < from - 1) break;  // ends before from-1: disjoint
-    from = std::min(from, prev->first);
-    to = std::max(to, prev->second);
-    it = intervals_.erase(prev);
+  // Fast path: append or extend at the tail (monotone accumulation).
+  if (runs_.empty() || from > runs_.back().to + 1) {
+    runs_.push_back({from, to});
+    return;
   }
-  intervals_.emplace(from, to);
+  if (from >= runs_.back().from) {
+    runs_.back().to = std::max(runs_.back().to, to);
+    runs_.back().from = std::min(runs_.back().from, from);
+    return;
+  }
+  // General case: merge every run overlapping or adjacent to [from, to].
+  const std::size_t lo = first_reaching(from - 1);
+  std::size_t hi = lo;  // one past the last run with run.from <= to+1
+  Tick nfrom = from;
+  Tick nto = to;
+  while (hi < runs_.size() && runs_[hi].from <= to + 1) {
+    nfrom = std::min(nfrom, runs_[hi].from);
+    nto = std::max(nto, runs_[hi].to);
+    ++hi;
+  }
+  if (lo == hi) {
+    runs_.insert(runs_.begin() + static_cast<std::ptrdiff_t>(lo), {nfrom, nto});
+  } else {
+    runs_[lo] = {nfrom, nto};
+    runs_.erase(runs_.begin() + static_cast<std::ptrdiff_t>(lo) + 1,
+                runs_.begin() + static_cast<std::ptrdiff_t>(hi));
+  }
 }
 
 inline void IntervalSet::subtract(Tick from, Tick to) {
   GRYPHON_CHECK_MSG(from <= to, "bad range [" << from << ',' << to << ']');
-  auto it = intervals_.upper_bound(to);  // first with start > to
-  // Collect the split remainders and re-insert after the walk — inserting
-  // inside the loop would revisit the freshly inserted right piece forever.
-  std::vector<std::pair<Tick, Tick>> keep;
-  while (it != intervals_.begin()) {
-    auto cur = std::prev(it);
-    if (cur->second < from) break;  // entirely before: done
-    const Tick cfrom = cur->first;
-    const Tick cto = cur->second;
-    it = intervals_.erase(cur);
-    if (cfrom < from) keep.emplace_back(cfrom, from - 1);
-    if (cto > to) keep.emplace_back(to + 1, cto);
+  const std::size_t lo = first_reaching(from);
+  std::size_t hi = lo;  // one past the last overlapping run
+  while (hi < runs_.size() && runs_[hi].from <= to) ++hi;
+  if (lo == hi) return;  // no overlap
+
+  // Remainders of the boundary runs survive the cut.
+  TickRange pieces[2];
+  std::size_t n = 0;
+  if (runs_[lo].from < from) pieces[n++] = {runs_[lo].from, from - 1};
+  if (runs_[hi - 1].to > to) pieces[n++] = {to + 1, runs_[hi - 1].to};
+  const auto first = runs_.begin() + static_cast<std::ptrdiff_t>(lo);
+  if (n == hi - lo) {
+    std::copy(pieces, pieces + n, first);
+  } else if (n < hi - lo) {
+    std::copy(pieces, pieces + n, first);
+    runs_.erase(first + static_cast<std::ptrdiff_t>(n),
+                runs_.begin() + static_cast<std::ptrdiff_t>(hi));
+  } else {  // n == 2, one run split in two
+    runs_[lo] = pieces[0];
+    runs_.insert(first + 1, pieces[1]);
   }
-  for (const auto& [a, b] : keep) intervals_.emplace(a, b);
 }
 
 inline bool IntervalSet::contains(Tick t) const {
-  auto it = intervals_.upper_bound(t);
-  if (it == intervals_.begin()) return false;
-  return std::prev(it)->second >= t;
+  const std::size_t i = first_reaching(t);
+  return i < runs_.size() && runs_[i].from <= t;
 }
 
 inline std::optional<TickRange> IntervalSet::interval_containing(Tick t) const {
-  auto it = intervals_.upper_bound(t);
-  if (it == intervals_.begin()) return std::nullopt;
-  auto cur = std::prev(it);
-  if (cur->second < t) return std::nullopt;
-  return TickRange{cur->first, cur->second};
+  const std::size_t i = first_reaching(t);
+  if (i >= runs_.size() || runs_[i].from > t) return std::nullopt;
+  return runs_[i];
 }
 
 inline bool IntervalSet::covers(Tick from, Tick to) const {
-  auto it = intervals_.upper_bound(from);
-  if (it == intervals_.begin()) return false;
-  auto cur = std::prev(it);
-  return cur->first <= from && cur->second >= to;
+  const std::size_t i = first_reaching(from);
+  return i < runs_.size() && runs_[i].from <= from && runs_[i].to >= to;
 }
 
 inline bool IntervalSet::intersects(Tick from, Tick to) const {
-  auto it = intervals_.upper_bound(to);
-  if (it == intervals_.begin()) return false;
-  return std::prev(it)->second >= from;
+  const std::size_t i = first_reaching(from);
+  return i < runs_.size() && runs_[i].from <= to;
 }
 
 inline std::vector<TickRange> IntervalSet::intersection(Tick from, Tick to) const {
   std::vector<TickRange> out;
-  auto it = intervals_.upper_bound(from);
-  if (it != intervals_.begin() && std::prev(it)->second >= from) --it;
-  for (; it != intervals_.end() && it->first <= to; ++it) {
-    out.push_back({std::max(from, it->first), std::min(to, it->second)});
+  for (std::size_t i = first_reaching(from); i < runs_.size() && runs_[i].from <= to;
+       ++i) {
+    out.push_back({std::max(from, runs_[i].from), std::min(to, runs_[i].to)});
   }
   return out;
 }
@@ -152,9 +186,12 @@ inline std::vector<TickRange> IntervalSet::intersection(Tick from, Tick to) cons
 inline std::vector<TickRange> IntervalSet::complement_within(Tick from, Tick to) const {
   std::vector<TickRange> out;
   Tick cursor = from;
-  for (const TickRange& r : intersection(from, to)) {
-    if (r.from > cursor) out.push_back({cursor, r.from - 1});
-    cursor = r.to + 1;
+  for (std::size_t i = first_reaching(from); i < runs_.size() && runs_[i].from <= to;
+       ++i) {
+    const Tick rfrom = std::max(from, runs_[i].from);
+    const Tick rto = std::min(to, runs_[i].to);
+    if (rfrom > cursor) out.push_back({cursor, rfrom - 1});
+    cursor = rto + 1;
   }
   if (cursor <= to) out.push_back({cursor, to});
   return out;
@@ -162,33 +199,26 @@ inline std::vector<TickRange> IntervalSet::complement_within(Tick from, Tick to)
 
 inline Tick IntervalSet::total_length() const {
   Tick n = 0;
-  for (const auto& [from, to] : intervals_) n += to - from + 1;
+  for (const TickRange& r : runs_) n += r.length();
   return n;
 }
 
 inline Tick IntervalSet::min() const {
-  GRYPHON_CHECK(!intervals_.empty());
-  return intervals_.begin()->first;
+  GRYPHON_CHECK(!runs_.empty());
+  return runs_.front().from;
 }
 
 inline Tick IntervalSet::max() const {
-  GRYPHON_CHECK(!intervals_.empty());
-  return intervals_.rbegin()->second;
-}
-
-inline std::vector<TickRange> IntervalSet::ranges() const {
-  std::vector<TickRange> out;
-  out.reserve(intervals_.size());
-  for (const auto& [from, to] : intervals_) out.push_back({from, to});
-  return out;
+  GRYPHON_CHECK(!runs_.empty());
+  return runs_.back().to;
 }
 
 inline std::ostream& operator<<(std::ostream& os, const IntervalSet& s) {
   os << '{';
   bool first = true;
-  for (const auto& [from, to] : s.intervals_) {
+  for (const TickRange& r : s.runs_) {
     if (!first) os << ", ";
-    os << '[' << from << ',' << to << ']';
+    os << '[' << r.from << ',' << r.to << ']';
     first = false;
   }
   return os << '}';

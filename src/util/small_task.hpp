@@ -1,0 +1,127 @@
+// SmallTask — a move-only `void()` callable with a large inline buffer.
+//
+// The simulator schedules and runs millions of short-lived closures per
+// simulated second; std::function's small-buffer is too small for the
+// broker-layer lambdas (a `this` pointer plus a couple of shared_ptrs), so
+// nearly every schedule_at() paid a heap allocation. SmallTask stores
+// callables up to kInlineBytes in place — sized so the common broker
+// closures, including Cpu's {this, generation, user-lambda} wrapper around
+// a typical caller closure, stay inline — and falls back to the heap only
+// for outsized captures.
+//
+// Move-only (like the closures it holds: timers capture unique state), and
+// moving leaves the source empty.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace gryphon {
+
+class SmallTask {
+ public:
+  static constexpr std::size_t kInlineBytes = 64;
+
+  SmallTask() noexcept = default;
+  SmallTask(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            std::enable_if_t<!std::is_same_v<D, SmallTask> &&
+                                 std::is_invocable_r_v<void, D&>,
+                             int> = 0>
+  SmallTask(F&& fn) {  // NOLINT(google-explicit-constructor)
+    if constexpr (kFitsInline<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(fn));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(fn)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  SmallTask(SmallTask&& other) noexcept { move_from(other); }
+  SmallTask& operator=(SmallTask&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  SmallTask(const SmallTask&) = delete;
+  SmallTask& operator=(const SmallTask&) = delete;
+  ~SmallTask() { reset(); }
+
+  SmallTask& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+  friend bool operator==(const SmallTask& t, std::nullptr_t) noexcept { return !t; }
+  friend bool operator!=(const SmallTask& t, std::nullptr_t) noexcept {
+    return static_cast<bool>(t);
+  }
+
+  void operator()() { ops_->call(buf_); }
+
+ private:
+  struct Ops {
+    void (*call)(void*);
+    void (*relocate)(void* dst, void* src) noexcept;  // move + destroy source
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename D>
+  static constexpr bool kFitsInline = sizeof(D) <= kInlineBytes &&
+                                      alignof(D) <= alignof(std::max_align_t) &&
+                                      std::is_nothrow_move_constructible_v<D>;
+
+  template <typename D>
+  static D* object(void* p) noexcept {
+    return std::launder(reinterpret_cast<D*>(p));
+  }
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      [](void* p) { (*object<D>(p))(); },
+      [](void* dst, void* src) noexcept {
+        D* s = object<D>(src);
+        ::new (dst) D(std::move(*s));
+        s->~D();
+      },
+      [](void* p) noexcept { object<D>(p)->~D(); },
+  };
+
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      [](void* p) { (**object<D*>(p))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) D*(*object<D*>(src));  // steal the pointer
+      },
+      [](void* p) noexcept { delete *object<D*>(p); },
+  };
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  void move_from(SmallTask& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace gryphon

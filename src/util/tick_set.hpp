@@ -1,0 +1,111 @@
+// TickSet — a set of ticks tuned for the delivery oracle's access pattern.
+//
+// Steady-state deliveries arrive in ascending tick order per pubend, so the
+// common insert is an O(1) append to a sorted vector. Catchup interleaves a
+// second ascending run below the live frontier; those land in a small sorted
+// side buffer that is merged into the main vector when it fills. Compared to
+// std::set<Tick> this removes the per-element node allocation and the
+// pointer-chasing — the oracle's delivered-set insert was the single largest
+// line item in the wall-clock profile.
+//
+// Not a general-purpose set: erase is only supported above a tick
+// (checkpoint rewind) and membership queries are binary searches over the
+// two sorted runs.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace gryphon {
+
+class TickSet {
+ public:
+  /// Inserts `t`; returns false (and changes nothing) if already present.
+  bool insert(Tick t) {
+    if (empty() || t > max_) {
+      sorted_.push_back(t);  // > max_ >= sorted_.back(): stays sorted
+      max_ = t;
+      return true;
+    }
+    auto p = std::lower_bound(pending_.begin(), pending_.end(), t);
+    if (p != pending_.end() && *p == t) return false;
+    if (std::binary_search(sorted_.begin(), sorted_.end(), t)) return false;
+    pending_.insert(p, t);
+    if (pending_.size() >= kFlushLimit) flush();
+    return true;
+  }
+
+  [[nodiscard]] bool contains(Tick t) const {
+    return std::binary_search(sorted_.begin(), sorted_.end(), t) ||
+           std::binary_search(pending_.begin(), pending_.end(), t);
+  }
+
+  /// Smallest member in [from, to], if any.
+  [[nodiscard]] std::optional<Tick> first_in(Tick from, Tick to) const {
+    std::optional<Tick> best;
+    auto consider = [&](const std::vector<Tick>& run) {
+      auto it = std::lower_bound(run.begin(), run.end(), from);
+      if (it != run.end() && *it <= to && (!best || *it < *best)) best = *it;
+    };
+    consider(sorted_);
+    consider(pending_);
+    return best;
+  }
+
+  /// Removes every member strictly greater than `t` (checkpoint rewind).
+  void erase_above(Tick t) {
+    auto chop = [t](std::vector<Tick>& run) {
+      run.erase(std::upper_bound(run.begin(), run.end(), t), run.end());
+    };
+    chop(sorted_);
+    chop(pending_);
+    max_ = t;  // safe upper bound; only read as an append threshold
+  }
+
+  void clear() {
+    sorted_.clear();
+    pending_.clear();
+    max_ = 0;
+  }
+
+  [[nodiscard]] bool empty() const { return sorted_.empty() && pending_.empty(); }
+  [[nodiscard]] std::size_t size() const { return sorted_.size() + pending_.size(); }
+
+  /// All members, ascending. Merges the side buffer (amortized).
+  [[nodiscard]] const std::vector<Tick>& ticks() const {
+    flush();
+    return sorted_;
+  }
+
+  /// Calls `fn(t)` for every member with lo < t <= hi, ascending.
+  template <typename Fn>
+  void for_each_in(Tick lo, Tick hi, Fn&& fn) const {
+    flush();
+    for (auto it = std::upper_bound(sorted_.begin(), sorted_.end(), lo);
+         it != sorted_.end() && *it <= hi; ++it) {
+      fn(*it);
+    }
+  }
+
+ private:
+  static constexpr std::size_t kFlushLimit = 1024;
+
+  void flush() const {
+    if (pending_.empty()) return;
+    const std::size_t mid = sorted_.size();
+    sorted_.insert(sorted_.end(), pending_.begin(), pending_.end());
+    std::inplace_merge(sorted_.begin(), sorted_.begin() + static_cast<std::ptrdiff_t>(mid),
+                       sorted_.end());
+    pending_.clear();
+  }
+
+  mutable std::vector<Tick> sorted_;   // ascending
+  mutable std::vector<Tick> pending_;  // ascending side run, < kFlushLimit
+  Tick max_ = 0;                       // largest member while non-empty
+};
+
+}  // namespace gryphon

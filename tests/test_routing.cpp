@@ -217,5 +217,91 @@ TEST(TickMap, RandomizedConsistencyWithReferenceModel) {
   }
 }
 
+// Full-lifecycle property test: random upgrade sequences including the
+// pubend-side rewrites (force_lost) and cache eviction (discard_upto),
+// checked tick-by-tick against a naive per-tick reference model, and
+// round-tripped through items()/apply() into a fresh map.
+TEST(TickMap, RandomizedLifecycleWithForceLostAndDiscard) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    TickMap map(0);
+    std::map<Tick, TickValue> reference;  // absent = Q
+    Tick origin = 0;
+    auto ref_value = [&](Tick t) {
+      auto it = reference.find(t);
+      return it == reference.end() ? TickValue::kQ : it->second;
+    };
+    Tick high = 0;  // highest tick any operation touched
+    for (int op = 0; op < 2000; ++op) {
+      const Tick a = origin + rng.next_in(1, 400);
+      const Tick b = a + rng.next_in(0, 12);
+      high = std::max(high, b);
+      switch (rng.next_below(16)) {
+        case 0:
+        case 1:
+        case 2:
+        case 3:
+        case 4:
+          if (a > origin && ref_value(a) != TickValue::kS) {
+            map.set_data(a, event());
+            reference[a] = TickValue::kD;
+          }
+          break;
+        case 5:
+        case 6:
+        case 7:
+        case 8:
+        case 9:
+          map.set_silence(a, b);
+          for (Tick t = std::max(a, origin + 1); t <= b; ++t) {
+            if (ref_value(t) == TickValue::kQ) reference[t] = TickValue::kS;
+          }
+          break;
+        case 10:
+        case 11:
+        case 12:
+        case 13:
+          map.set_lost(a, b);
+          for (Tick t = std::max(a, origin + 1); t <= b; ++t) {
+            if (ref_value(t) == TickValue::kQ) reference[t] = TickValue::kL;
+          }
+          break;
+        case 14:
+          // Pubend release: rewrites the range to L unconditionally,
+          // dropping any retained payloads.
+          map.force_lost(a, b);
+          for (Tick t = std::max(a, origin + 1); t <= b; ++t) {
+            reference[t] = TickValue::kL;
+          }
+          break;
+        default: {
+          // Eviction/consumption of a short prefix above the origin.
+          const Tick cut = origin + rng.next_in(1, 20);
+          map.discard_upto(cut);
+          origin = std::max(origin, cut);
+          reference.erase(reference.begin(), reference.upper_bound(origin));
+          break;
+        }
+      }
+    }
+    ASSERT_EQ(map.origin(), origin) << "seed " << seed;
+    ASSERT_GT(high, origin) << "seed " << seed;
+    std::size_t ref_events = 0;
+    for (Tick t = origin + 1; t <= high; ++t) {
+      ASSERT_EQ(map.value_at(t), ref_value(t)) << "seed " << seed << " tick " << t;
+      if (ref_value(t) == TickValue::kD) ++ref_events;
+    }
+    ASSERT_EQ(map.retained_events(), ref_events) << "seed " << seed;
+
+    // Round trip: everything the map knows must transfer through
+    // items()/apply() into a fresh map with identical per-tick values.
+    TickMap copy(origin);
+    for (const KnowledgeItem& item : map.items(origin + 1, high)) copy.apply(item);
+    for (Tick t = origin + 1; t <= high; ++t) {
+      ASSERT_EQ(copy.value_at(t), map.value_at(t)) << "seed " << seed << " tick " << t;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace gryphon::routing

@@ -78,6 +78,81 @@ TEST(Simulator, SchedulingIntoThePastThrows) {
   EXPECT_THROW(sim.schedule_at(msec(1), [] {}), InvariantViolation);
 }
 
+TEST(Simulator, CancelledIdDoesNotAffectSlotReuser) {
+  Simulator sim;
+  bool first_ran = false;
+  bool second_ran = false;
+  const TaskId a = sim.schedule_at(msec(10), [&] { first_ran = true; });
+  sim.cancel(a);
+  // The freed slot is reused immediately; the stale id must not reach it.
+  const TaskId b = sim.schedule_at(msec(10), [&] { second_ran = true; });
+  EXPECT_NE(a, b);
+  sim.cancel(a);  // stale: generation mismatch, must be a no-op
+  EXPECT_EQ(sim.pending_tasks(), 1u);
+  sim.run_until_idle();
+  EXPECT_FALSE(first_ran);
+  EXPECT_TRUE(second_ran);
+}
+
+// Slab stress: a million schedule/cancel/run operations churning the free
+// list. Checks (a) no cancelled task ever executes even when its slot and
+// heap entry are recycled, (b) execution order stays (time, seq)-stable,
+// (c) pending_tasks() is exact throughout, (d) ids never repeat while live.
+TEST(Simulator, SlabReuseStressMillionOps) {
+  Simulator sim;
+  std::uint64_t executed = 0;
+  std::uint64_t expected_executed = 0;
+  SimTime last_time = 0;
+  std::uint64_t last_stamp = 0;  // schedule order among live tasks
+  std::uint64_t stamp = 0;
+  std::vector<std::pair<TaskId, std::uint64_t>> live;  // (id, cancelled?) pool
+  std::uint64_t x = 12345;  // xorshift: cheap deterministic choices
+  auto rnd = [&x] {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x;
+  };
+  for (int i = 0; i < 1'000'000; ++i) {
+    const auto pick = rnd() % 10;
+    if (pick < 6 || live.empty()) {
+      // Schedule at now+1..now+16 with an increasing stamp; the callback
+      // checks monotone (time, stamp) order and flags stale execution.
+      const SimTime t = sim.now() + 1 + static_cast<SimTime>(rnd() % 16);
+      const std::uint64_t my_stamp = ++stamp;
+      const TaskId id = sim.schedule_at(t, [&, t, my_stamp] {
+        ASSERT_EQ(sim.now(), t);
+        ASSERT_GE(t, last_time);
+        if (t == last_time) ASSERT_GT(my_stamp, last_stamp);
+        last_time = t;
+        last_stamp = my_stamp;
+        ++executed;
+      });
+      live.emplace_back(id, my_stamp);
+    } else if (pick < 8) {
+      // Cancel a random live task (possibly already executed — then no-op).
+      const std::size_t j = rnd() % live.size();
+      sim.cancel(live[j].first);
+      live[j] = live.back();
+      live.pop_back();
+    } else {
+      // Run one task if any are pending.
+      const std::uint64_t before = sim.pending_tasks();
+      if (sim.run_one()) {
+        ASSERT_EQ(sim.pending_tasks(), before - 1);
+        ++expected_executed;
+        ASSERT_EQ(executed, expected_executed);
+      } else {
+        ASSERT_EQ(before, 0u);
+      }
+    }
+  }
+  const std::uint64_t drained = sim.pending_tasks();
+  sim.run_until_idle();
+  EXPECT_EQ(sim.pending_tasks(), 0u);
+  EXPECT_EQ(executed, expected_executed + drained);
+}
+
 // ---------------------------------------------------------------- network
 
 struct TestMsg final : Message {

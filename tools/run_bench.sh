@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Substrate wall-clock regression gate: builds the Release preset, runs
+# bench_wallclock, and compares simulated-events-per-wall-second against the
+# post_pr numbers committed in BENCH_substrate.json. Exits non-zero when any
+# workload regresses by more than the tolerance (default 15%).
+#
+# Usage: tools/run_bench.sh [tolerance] [reps]
+#
+# The fresh numbers land in BENCH_substrate.json.new next to the committed
+# file; after an intentional perf change, re-record with
+#   ./build-release/bench/bench_wallclock --out BENCH_substrate.json
+# and update the variant tags (pre_pr_baseline / post_pr) by hand.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TOLERANCE="${1:-0.15}"
+REPS="${2:-3}"
+
+cmake --preset release
+cmake --build --preset release -j "$(nproc)" --target bench_wallclock
+
+./build-release/bench/bench_wallclock \
+  --out BENCH_substrate.json.new \
+  --check BENCH_substrate.json \
+  --tolerance "${TOLERANCE}" \
+  --reps "${REPS}"

@@ -14,10 +14,13 @@ FIRST_SEED="${2:-1}"
 HORIZON_S="${3:-10}"
 
 cmake --preset asan-ubsan
-cmake --build --preset asan-ubsan -j "$(nproc)" --target test_chaos bench_chaos_soak
+cmake --build --preset asan-ubsan -j "$(nproc)" --target test_chaos bench_chaos_soak bench_wallclock
 
 echo "== chaos test suite (asan-ubsan) =="
 ./build-asan/tests/test_chaos
+
+echo "== substrate smoke (asan-ubsan): bench_wallclock 1 seed =="
+./build-asan/bench/bench_wallclock --smoke
 
 echo "== chaos soak: ${NUM_SEEDS} seeds from ${FIRST_SEED}, ${HORIZON_S}s horizon =="
 ./build-asan/bench/bench_chaos_soak "${NUM_SEEDS}" "${FIRST_SEED}" "${HORIZON_S}"
