@@ -1,17 +1,24 @@
 // Chaos soak — many seeded fault schedules back to back over a churning
 // workload, with the always-on invariant monitor armed the whole time.
 //
-//   bench_chaos_soak [num_seeds] [first_seed] [horizon_s]
+//   bench_chaos_soak [num_seeds] [first_seed] [horizon_s] [--inject-violation]
 //
 // Each seed plans a fresh randomized fault sequence (partitions, flaps,
 // degradations, disk stalls, torn syncs, crashes, crash-during-recovery,
 // double faults) over a 5-broker topology with 8 churning subscribers, runs
 // it to quiescence, and verifies exactly-once + zero residual catchup
-// streams. On a violation the decoded fault timeline and the seed are
-// printed, and the process exits non-zero — rerunning with that first_seed
-// replays the identical schedule.
+// streams. On a violation the decoded fault timeline, the seed, and the
+// flight-recorder trace dump are printed, and the process exits non-zero —
+// rerunning with that first_seed replays the identical schedule.
+//
+// --inject-violation deliberately feeds the oracle a fabricated
+// exactly-once violation mid-run (a gap notification covering an
+// already-delivered event) with the trace sample rate forced to 1. This is
+// the flight recorder's negative test: the run MUST die with a merged trace
+// dump whose milestone checklist names the offending (pubend, tick).
 #include "bench/bench_common.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <exception>
 
@@ -21,9 +28,17 @@ int main(int argc, char** argv) {
   using namespace gryphon;
   using namespace gryphon::bench;
 
-  const int num_seeds = argc > 1 ? std::atoi(argv[1]) : 10;
-  const std::uint64_t first_seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
-  const double horizon_s = argc > 3 ? std::atof(argv[3]) : 10.0;
+  bool inject_violation = false;
+  std::vector<std::string> pos;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--inject-violation") inject_violation = true;
+    else pos.push_back(arg);
+  }
+  const int num_seeds = !pos.empty() ? std::atoi(pos[0].c_str()) : 10;
+  const std::uint64_t first_seed =
+      pos.size() > 1 ? std::strtoull(pos[1].c_str(), nullptr, 10) : 1;
+  const double horizon_s = pos.size() > 2 ? std::atof(pos[2].c_str()) : 10.0;
 
   print_header("Chaos soak: " + std::to_string(num_seeds) + " seeded schedules, " +
                fmt(horizon_s, 0) + "s fault horizon each");
@@ -37,6 +52,12 @@ int main(int argc, char** argv) {
     sc.num_pubends = 2;
     sc.num_shbs = 2;
     sc.num_intermediates = 1;
+    if (inject_violation) {
+      // Full-resolution tracing so the injected tick is guaranteed to be in
+      // the sample, with a deeper ring so its milestones are still there.
+      sc.trace_sample_every = 1;
+      sc.trace_ring_capacity = 1 << 16;
+    }
     harness::System system(sc);
     harness::PaperWorkloadConfig wl;
     wl.input_rate_eps = 300;
@@ -55,6 +76,21 @@ int main(int argc, char** argv) {
     config.horizon = static_cast<SimDuration>(horizon_s * 1e6);
     harness::ChaosSchedule chaos(system, config);
     system.simulator().schedule_at(chaos.repaired_at(), [&churn] { churn.stop(); });
+
+    if (inject_violation) {
+      // Fabricate an exactly-once violation once the faults are repaired:
+      // a gap notification covering ticks the subscriber already consumed.
+      // The oracle records the offending (pubend, tick) and throws; the
+      // chaos dump must then include a focused flight-recorder checklist.
+      core::DurableSubscriber* victim = subs.front();
+      system.simulator().schedule_at(chaos.repaired_at(), [&system, victim] {
+        const PubendId p = system.pubends()[0];
+        const Tick ct = victim->checkpoint().of(p);
+        const TickRange range{std::max<Tick>(1, ct - 50), std::max<Tick>(1, ct)};
+        core::SubscriberObserver& observer = system.oracle();
+        observer.on_gap(victim->id(), p, range, system.simulator().now());
+      });
+    }
 
     try {
       chaos.run();

@@ -5,6 +5,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -74,6 +75,10 @@ struct WorkloadReport {
   std::string name;
   std::string variant;
   std::vector<BenchMetric> metrics;
+  /// Broker-internal registry counters (summed across nodes), emitted as a
+  /// nested "metrics" object so run_bench.sh can diff protocol-level
+  /// behaviour (e.g. gaps_sent creeping above zero) alongside throughput.
+  std::vector<BenchMetric> registry;
 
   [[nodiscard]] const BenchMetric* find(const std::string& metric) const {
     for (const auto& m : metrics) {
@@ -82,6 +87,21 @@ struct WorkloadReport {
     return nullptr;
   }
 };
+
+/// Sums every node's registry counters into the report's nested `registry`
+/// block (probes refreshed first so storage totals are current). Counter
+/// names are per-node-unique, so the sum over nodes is the system total.
+inline void attach_registry_metrics(WorkloadReport& report, harness::System& system) {
+  std::map<std::string, double> sums;
+  for (auto* node : system.nodes()) {
+    node->metrics.refresh_probes();
+    node->metrics.for_each_counter(
+        [&](const std::string& name, std::uint64_t v) {
+          sums[name] += static_cast<double>(v);
+        });
+  }
+  for (const auto& [name, v] : sums) report.registry.push_back({name, v});
+}
 
 inline void write_bench_json(const std::string& path,
                              const std::vector<WorkloadReport>& reports) {
@@ -96,6 +116,16 @@ inline void write_bench_json(const std::string& path,
       char buf[64];
       std::snprintf(buf, sizeof buf, "%.6g", m.value);
       out << ",\n      \"" << m.name << "\": " << buf;
+    }
+    if (!r.registry.empty()) {
+      out << ",\n      \"metrics\": {";
+      for (std::size_t j = 0; j < r.registry.size(); ++j) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.6g", r.registry[j].value);
+        out << (j == 0 ? "\n" : ",\n") << "        \"" << r.registry[j].name
+            << "\": " << buf;
+      }
+      out << "\n      }";
     }
     out << "\n    }" << (i + 1 < reports.size() ? "," : "") << "\n";
   }
@@ -123,7 +153,10 @@ inline std::optional<double> read_bench_metric(const std::string& path,
   std::string cur_name;
   std::string cur_variant;
   while (std::getline(in, line)) {
-    if (line.find('{') != std::string::npos) {
+    // A bare "{" opens a new workload object. Keyed opens (e.g. the nested
+    // "metrics": { block) stay inside the current workload.
+    if (line.find('{') != std::string::npos &&
+        line.find('"') == std::string::npos) {
       cur_name.clear();
       cur_variant.clear();
       continue;

@@ -21,9 +21,13 @@ int main() {
 
   const PubendId p1 = system.pubends()[0];
   harness::Sampler sampler(system.simulator(), msec(100));
-  auto& ld_series = sampler.add("latestDelivered_1", [&] {
-    return static_cast<double>(system.shb().latest_delivered(p1));
-  });
+  // latestDelivered is plotted straight from the broker's registry gauge
+  // (set by the SHB whenever the value advances) rather than a bespoke
+  // getter — the observability surface *is* the figure's data source.
+  auto& ld_series = sampler.add_gauge(
+      "latestDelivered_1",
+      system.shb_node().metrics.gauge("shb.p" + std::to_string(p1.value()) +
+                                      ".latest_delivered"));
   auto& rel_series = sampler.add("released_1", [&] {
     return static_cast<double>(system.shb().released(p1));
   });
@@ -55,6 +59,7 @@ int main() {
       rel_summary.min(), rel_summary.max());
 
   churn.stop();
+  sampler.stop();  // measurement over: cancel the periodic polls
   system.run_for(sec(15));
   system.verify_exactly_once();
   return 0;

@@ -83,9 +83,18 @@ struct Measurement {
   std::uint64_t executed_tasks = 0;
   std::uint64_t delivered = 0;
   std::uint64_t allocs = 0;
+  /// System-wide registry counter totals, captured after the run (the
+  /// nested "metrics" block in the bench JSON).
+  std::vector<BenchMetric> registry;
 
   [[nodiscard]] double events_per_wall_sec() const {
     return static_cast<double>(executed_tasks) / wall_seconds;
+  }
+  [[nodiscard]] double registry_counter(const std::string& name) const {
+    for (const auto& m : registry) {
+      if (m.name == name) return m.value;
+    }
+    return 0;
   }
 };
 
@@ -125,6 +134,9 @@ Measurement run_fig4_steady() {
   auto m = measure(system, [&] { system.run_for(sec(20)); });
   system.run_for(sec(5));  // quiesce outside the timed window
   system.verify_exactly_once();
+  WorkloadReport snapshot;
+  attach_registry_metrics(snapshot, system);
+  m.registry = std::move(snapshot.registry);
   return m;
 }
 
@@ -168,6 +180,7 @@ WorkloadReport to_report(const std::string& name, const Measurement& m) {
       {"deliveries_per_wall_sec", static_cast<double>(m.delivered) / m.wall_seconds},
       {"allocs_per_event", static_cast<double>(m.allocs) / events},
   };
+  r.registry = m.registry;
   return r;
 }
 
@@ -236,6 +249,19 @@ int main(int argc, char** argv) {
                        static_cast<double>(best.executed_tasks),
                    2)});
     reports.push_back(to_report(name, best));
+
+    // Counter regression guard: the steady fig4 workload never loses
+    // knowledge, so any gap notification means the protocol (not the clock)
+    // regressed. Checked unconditionally — it needs no committed reference.
+    if (name == "fig4_steady_4shb") {
+      const double gaps = best.registry_counter("shb.gaps_sent");
+      if (gaps > 0) {
+        std::printf("  METRIC REGRESSION: %s sent %.0f gap notifications on a "
+                    "steady workload (expected 0)\n",
+                    name.c_str(), gaps);
+        regression = true;
+      }
+    }
 
     if (!check_path.empty()) {
       const auto committed = read_bench_metric(check_path, name, "post_pr",

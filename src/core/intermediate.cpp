@@ -17,6 +17,12 @@ IntermediateBroker::IntermediateBroker(NodeResources& resources, BrokerConfig co
                                        const std::vector<PubendId>& pubends)
     : Broker(resources, config) {
   for (PubendId p : pubends) pubends_.emplace(p, PerPubend{});
+  auto& m = res_.metrics;
+  m_items_relayed_ = m.counter("imb.items_relayed");
+  m_nacks_from_children_ = m.counter("imb.nacks_from_children");
+  m_nacks_consolidated_upstream_ = m.counter("imb.nacks_forwarded_upstream");
+  m_cache_hit_events_ = m.counter("imb.cache_hit_events");
+  m_cache_miss_ticks_ = m.counter("imb.cache_miss_ticks");
 }
 
 void IntermediateBroker::add_child(sim::EndpointId child) {
@@ -43,6 +49,7 @@ void IntermediateBroker::start(bool fresh) {
       if (state.upstream_pending.empty()) continue;
       send(parent_, std::make_shared<NackMsg>(p, state.upstream_pending.ranges()));
       ++stats_.nacks_forwarded_upstream;
+      m_nacks_consolidated_upstream_->inc();
     }
   });
 
@@ -152,6 +159,7 @@ void IntermediateBroker::handle(sim::EndpointId from, const Msg& msg) {
 void IntermediateBroker::on_stream_data(const StreamDataMsg& msg) {
   PerPubend& state = per(msg.pubend);
   stats_.items_relayed += msg.items.size();
+  m_items_relayed_->inc(msg.items.size());
 
   // Route to children first (directly from the incoming items, so responses
   // for ranges this node chooses not to cache still reach curious children).
@@ -172,6 +180,7 @@ void IntermediateBroker::on_stream_data(const StreamDataMsg& msg) {
 
 void IntermediateBroker::on_nack(sim::EndpointId from, const NackMsg& msg) {
   ++stats_.nacks_from_children;
+  m_nacks_from_children_->inc();
   Child& c = child(from);
   PerPubend& state = per(msg.pubend);
   auto it = c.streams.find(msg.pubend);
@@ -184,6 +193,7 @@ void IntermediateBroker::on_nack(sim::EndpointId from, const NackMsg& msg) {
     send(parent_,
          std::make_shared<NackMsg>(msg.pubend, msg.ranges, /*authoritative=*/true));
     ++stats_.nacks_forwarded_upstream;
+    m_nacks_consolidated_upstream_->inc();
     return;
   }
 
@@ -194,6 +204,7 @@ void IntermediateBroker::on_nack(sim::EndpointId from, const NackMsg& msg) {
     if (item.value == routing::TickValue::kD) ++served;
   }
   stats_.nack_events_served_from_cache += served;
+  m_cache_hit_events_->inc(served);
   if (!outcome.respond.empty()) {
     cpu_then(static_cast<SimDuration>(served) * config_.costs.per_nack_response_event,
              [this, from, p = msg.pubend, items = std::move(outcome.respond)] {
@@ -212,6 +223,12 @@ void IntermediateBroker::on_nack(sim::EndpointId from, const NackMsg& msg) {
   }
   if (!forward.empty()) {
     ++stats_.nacks_forwarded_upstream;
+    m_nacks_consolidated_upstream_->inc();
+    std::uint64_t miss_ticks = 0;
+    for (const TickRange& r : forward) {
+      miss_ticks += static_cast<std::uint64_t>(r.to - r.from + 1);
+    }
+    m_cache_miss_ticks_->inc(miss_ticks);
     send(parent_, std::make_shared<NackMsg>(msg.pubend, std::move(forward)));
   }
 }

@@ -85,6 +85,13 @@ class IntermediateBroker final : public Broker {
   /// Which child to route a pending SubscribeAck back to.
   std::map<SubscriberId, sim::EndpointId> subscribe_origin_;
   Stats stats_;
+
+  // Registry slots, resolved once at construction.
+  MetricsRegistry::Counter* m_items_relayed_;
+  MetricsRegistry::Counter* m_nacks_from_children_;
+  MetricsRegistry::Counter* m_nacks_consolidated_upstream_;
+  MetricsRegistry::Counter* m_cache_hit_events_;
+  MetricsRegistry::Counter* m_cache_miss_ticks_;
 };
 
 }  // namespace gryphon::core

@@ -7,6 +7,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/config.hpp"
 #include "sim/cpu.hpp"
@@ -16,6 +17,8 @@
 #include "storage/log_volume.hpp"
 #include "storage/sim_disk.hpp"
 #include "util/logging.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace gryphon::core {
 
@@ -29,6 +32,8 @@ class NodeResources {
       : sim(simulator),
         network(network),
         name(std::move(name)),
+        metrics(this->name),
+        tracer(this->name),
         cpu(simulator, this->name + ".cpu", broker_config.cores),
         disk(simulator, this->name + ".disk", disk_config),
         log_volume(disk),
@@ -37,6 +42,39 @@ class NodeResources {
                                                        sim::MessagePtr msg) {
       route(from, std::move(msg));
     });
+    // Pull probes over node-owned storage: read at snapshot time only, and
+    // lifetime-safe because the registry and these objects die together.
+    probes_.push_back(metrics.probe("disk.bytes_written", [this] {
+      return static_cast<double>(disk.total_bytes_written());
+    }));
+    probes_.push_back(metrics.probe("disk.bytes_read", [this] {
+      return static_cast<double>(disk.total_bytes_read());
+    }));
+    probes_.push_back(metrics.probe(
+        "disk.syncs", [this] { return static_cast<double>(disk.total_syncs()); }));
+    probes_.push_back(metrics.probe(
+        "disk.reads", [this] { return static_cast<double>(disk.total_reads()); }));
+    probes_.push_back(metrics.probe("disk.busy_usec", [this] {
+      return static_cast<double>(disk.total_busy());
+    }));
+    probes_.push_back(metrics.probe("disk.stall_time_usec", [this] {
+      return static_cast<double>(disk.total_stall_time());
+    }));
+    probes_.push_back(metrics.probe("disk.torn_syncs", [this] {
+      return static_cast<double>(disk.total_torn_syncs());
+    }));
+    probes_.push_back(metrics.probe("log.appended_records", [this] {
+      return static_cast<double>(log_volume.appended_records());
+    }));
+    probes_.push_back(metrics.probe("log.appended_bytes", [this] {
+      return static_cast<double>(log_volume.appended_bytes());
+    }));
+    probes_.push_back(metrics.probe("log.retained_bytes", [this] {
+      return static_cast<double>(log_volume.retained_bytes());
+    }));
+    probes_.push_back(metrics.probe("log.barrier_batches", [this] {
+      return static_cast<double>(log_volume.barrier_batches());
+    }));
   }
 
   NodeResources(const NodeResources&) = delete;
@@ -46,6 +84,7 @@ class NodeResources {
   /// unsynced storage state are lost. Call before destroying the Broker.
   void crash() {
     GRYPHON_LOG(kWarn, name, "broker process crashed (volatile state lost)");
+    metrics.counter("node.crashes")->inc();
     network.set_down(endpoint, true);
     cpu.clear();
     disk.crash();
@@ -74,6 +113,10 @@ class NodeResources {
   sim::Simulator& sim;
   sim::Network& network;
   std::string name;
+  /// Cumulative per-node instruments + recent-milestone ring; both survive
+  /// broker process crashes (they are the node's external observability).
+  MetricsRegistry metrics;
+  Tracer tracer;
   sim::Cpu cpu;
   storage::SimDisk disk;
   storage::LogVolume log_volume;
@@ -85,6 +128,8 @@ class NodeResources {
 
  private:
   void route(sim::EndpointId from, sim::MessagePtr msg);
+
+  std::vector<MetricsRegistry::Probe> probes_;
 };
 
 }  // namespace gryphon::core

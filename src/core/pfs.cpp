@@ -37,6 +37,9 @@ PersistentFilteringSubsystem::PersistentFilteringSubsystem(NodeResources& resour
                                                            const CostModel& costs)
     : res_(resources), costs_(costs) {
   GRYPHON_CHECK(costs_.pfs_imprecise_batch >= 1);
+  m_records_written_ = res_.metrics.counter("pfs.records_written");
+  m_bytes_written_ = res_.metrics.counter("pfs.record_bytes_written");
+  m_reads_ = res_.metrics.counter("pfs.reads_issued");
 }
 
 std::vector<std::byte> PersistentFilteringSubsystem::encode(
@@ -153,7 +156,12 @@ void PersistentFilteringSubsystem::write_record(PerPubend& state, TickRange rang
   for (SubscriberId s : matching) state.last_index[s] = idx;
   state.last_timestamp = range.to;
   ++records_written_;
-  bytes_written_ += range_record_bytes(matching.size(), range.from != range.to);
+  const std::size_t bytes = range_record_bytes(matching.size(), range.from != range.to);
+  bytes_written_ += bytes;
+  m_records_written_->inc();
+  m_bytes_written_->inc(bytes);
+  res_.tracer.record_range(res_.sim.now(), state.id.value(), range.from, range.to,
+                           TraceMilestone::kPfsLog);
 }
 
 void PersistentFilteringSubsystem::flush_batch(PerPubend& state) {
@@ -309,6 +317,7 @@ void PersistentFilteringSubsystem::read(PubendId pubend, SubscriberId subscriber
   result.q_ranges = std::move(kept);
 
   ++reads_;
+  m_reads_->inc();
   if (result.reached_last) ++reads_reached_last_;
 
   // One seek + sequential transfer of the traversed records.

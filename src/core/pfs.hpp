@@ -170,6 +170,11 @@ class PersistentFilteringSubsystem {
   std::uint64_t bytes_written_ = 0;
   std::uint64_t reads_ = 0;
   std::uint64_t reads_reached_last_ = 0;
+
+  // Registry slots (cumulative per node; resolved once in the constructor).
+  MetricsRegistry::Counter* m_records_written_;
+  MetricsRegistry::Counter* m_bytes_written_;
+  MetricsRegistry::Counter* m_reads_;
 };
 
 }  // namespace gryphon::core

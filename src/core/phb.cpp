@@ -21,6 +21,34 @@ PublisherHostingBroker::PublisherHostingBroker(NodeResources& resources,
   for (PubendId p : pubends) {
     pubends_.emplace(p, std::make_unique<Pubend>(p, res_, policy_));
   }
+  auto& m = res_.metrics;
+  m_publishes_ = m.counter("phb.publishes");
+  m_duplicates_ = m.counter("phb.duplicates");
+  m_nacks_ = m.counter("phb.nacks_received");
+  m_nack_events_served_ = m.counter("phb.nack_events_served");
+  m_ack_floor_ = m.gauge("phb.ack_floor");
+  m_nack_span_ = m.histogram("phb.nack_span_ticks", 1.0, 1e6);
+  // Per-pubend tick-ladder windows, read only at snapshot time.
+  for (auto& [p, pe] : pubends_) {
+    const std::string prefix = "pubend.p" + std::to_string(p.value()) + ".";
+    Pubend* raw = pe.get();
+    probes_.push_back(m.probe(prefix + "head", [raw] {
+      return static_cast<double>(raw->head());
+    }));
+    probes_.push_back(m.probe(prefix + "l_window", [raw] {
+      return static_cast<double>(raw->lost_upto());
+    }));
+    probes_.push_back(m.probe(prefix + "d_window", [raw] {
+      return static_cast<double>(raw->retained_events());
+    }));
+    probes_.push_back(m.probe(prefix + "s_window", [raw] {
+      const double span = static_cast<double>(raw->head() - raw->lost_upto());
+      return std::max(0.0, span - static_cast<double>(raw->retained_events()));
+    }));
+    probes_.push_back(m.probe(prefix + "doubt_span", [raw] {
+      return static_cast<double>(raw->head() - raw->delivered_min());
+    }));
+  }
 }
 
 void PublisherHostingBroker::add_child(sim::EndpointId child) {
@@ -128,11 +156,14 @@ void PublisherHostingBroker::handle(sim::EndpointId from, const Msg& msg) {
 
 void PublisherHostingBroker::on_publish(sim::EndpointId from, const PublishMsg& msg) {
   ++stats_.publishes;
+  m_publishes_->inc();
+  m_ack_floor_->set(static_cast<double>(msg.acked_below));
   Pubend& pe = pubend(msg.pubend);
   const auto accepted =
       pe.accept_publish(msg.publisher, msg.seq, msg.acked_below, msg.event, now());
   if (accepted.duplicate) {
     ++stats_.duplicates;
+    m_duplicates_->inc();
     send(from, std::make_shared<PublishAckMsg>(msg.publisher, msg.seq, accepted.tick));
     return;
   }
@@ -177,6 +208,10 @@ void PublisherHostingBroker::send_items(Child& c, PubendId p,
 
 void PublisherHostingBroker::on_nack(sim::EndpointId from, const NackMsg& msg) {
   ++stats_.nacks_received;
+  m_nacks_->inc();
+  for (const TickRange& r : msg.ranges) {
+    m_nack_span_->add(static_cast<double>(r.to - r.from + 1));
+  }
   Child& c = child(from);
   Pubend& pe = pubend(msg.pubend);
   auto it = c.streams.find(msg.pubend);
@@ -191,6 +226,7 @@ void PublisherHostingBroker::on_nack(sim::EndpointId from, const NackMsg& msg) {
     if (item.value == routing::TickValue::kD) ++served_events;
   }
   stats_.nack_response_events += served_events;
+  m_nack_events_served_->inc(served_events);
   // Serving cached events costs CPU proportional to the events shipped.
   cpu_then(static_cast<SimDuration>(served_events) *
                config_.costs.per_nack_response_event,

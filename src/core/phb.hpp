@@ -84,6 +84,18 @@ class PublisherHostingBroker final : public Broker {
   std::map<sim::EndpointId, Child> children_;
   ReleasePolicyPtr policy_;
   Stats stats_;
+
+  // Registry slots, resolved once at construction (hot path = one add
+  // through the pointer). The probes are broker-owned so a crash removes
+  // their callbacks with the broker; the cumulative slots live on in the
+  // node's registry.
+  MetricsRegistry::Counter* m_publishes_;
+  MetricsRegistry::Counter* m_duplicates_;
+  MetricsRegistry::Counter* m_nacks_;
+  MetricsRegistry::Counter* m_nack_events_served_;
+  MetricsRegistry::Gauge* m_ack_floor_;
+  Histogram* m_nack_span_;
+  std::vector<MetricsRegistry::Probe> probes_;
 };
 
 }  // namespace gryphon::core

@@ -21,6 +21,10 @@ Pubend::Pubend(PubendId id, NodeResources& resources, ReleasePolicyPtr policy)
     : id_(id), res_(resources), policy_(std::move(policy)) {
   GRYPHON_CHECK(policy_ != nullptr);
   log_stream_ = res_.log_volume.open_stream("events:" + std::to_string(id_.value()));
+  auto& m = res_.metrics;
+  m_events_logged_ = m.counter("pubend.events_logged");
+  m_persisted_ = m.counter("pubend.events_persisted");
+  m_ticks_chopped_ = m.counter("pubend.ticks_chopped");
 }
 
 std::string Pubend::meta_key(const char* what) const {
@@ -86,6 +90,8 @@ Pubend::Accepted Pubend::accept_publish(PublisherId publisher, std::uint64_t seq
                                        res_.log_volume.acquire_buffer()));
   retained_records_.emplace_back(tick, idx);
   ++events_logged_;
+  m_events_logged_->inc();
+  res_.tracer.record(now, id_.value(), tick, TraceMilestone::kPublish);
   return {false, tick};
 }
 
@@ -97,6 +103,8 @@ TickRange Pubend::announce_data(Tick tick, matching::EventDataPtr event) {
   if (tick > from) ticks_.set_silence(from, tick - 1);
   ticks_.set_data(tick, std::move(event));
   announced_upto_ = tick;
+  m_persisted_->inc();
+  res_.tracer.record(res_.sim.now(), id_.value(), tick, TraceMilestone::kPersist);
   return {from, tick};
 }
 
@@ -138,6 +146,9 @@ std::optional<TickRange> Pubend::apply_release(SimTime now) {
   }
   if (chop_to != storage::kNoIndex) res_.log_volume.chop(log_stream_, chop_to);
   lost_upto_ = boundary;
+  m_ticks_chopped_->inc(static_cast<std::uint64_t>(lost.to - lost.from + 1));
+  res_.tracer.record_range(now, id_.value(), lost.from, lost.to,
+                           TraceMilestone::kReleaseToL);
   GRYPHON_LOG(kDebug, res_.name,
               "pubend " << id_ << " released ticks " << lost.from << ".." << lost.to
                         << " (Tr=" << released_min_ << " Td=" << delivered_min_ << ")");

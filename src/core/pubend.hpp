@@ -104,6 +104,11 @@ class Pubend {
   std::deque<std::pair<Tick, storage::LogIndex>> retained_records_;
 
   std::uint64_t events_logged_ = 0;
+
+  // Registry slots (cumulative per node; resolved once in the constructor).
+  MetricsRegistry::Counter* m_events_logged_;
+  MetricsRegistry::Counter* m_persisted_;
+  MetricsRegistry::Counter* m_ticks_chopped_;
 };
 
 }  // namespace gryphon::core

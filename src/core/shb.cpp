@@ -42,11 +42,46 @@ SubscriberHostingBroker::SubscriberHostingBroker(NodeResources& resources,
                                                  BrokerConfig config,
                                                  const std::vector<PubendId>& pubends)
     : Broker(resources, config), pubend_ids_(pubends), pfs_(resources, config_.costs) {
+  auto& m = res_.metrics;
   for (PubendId p : pubend_ids_) {
     PerPubend state;
     state.id = p;
+    state.g_latest_delivered =
+        m.gauge("shb.p" + std::to_string(p.value()) + ".latest_delivered");
     pubends_.emplace(p, std::move(state));
   }
+  m_matched_ = m.counter("shb.matched");
+  m_constream_deliveries_ = m.counter("shb.constream_deliveries");
+  m_catchup_deliveries_ = m.counter("shb.catchup_deliveries");
+  m_silences_ = m.counter("shb.silences_sent");
+  m_gaps_ = m.counter("shb.gaps_sent");
+  m_catchup_opened_ = m.counter("shb.catchup_streams_opened");
+  m_catchup_closed_ = m.counter("shb.catchup_streams_closed");
+  m_switchovers_ = m.counter("shb.switchovers");
+  m_catchup_completions_ = m.counter("shb.catchup_completions");
+  m_nacks_upstream_ = m.counter("shb.nacks_sent_upstream");
+  m_catchup_istream_serves_ = m.counter("shb.catchup_events_served_from_istream");
+  m_pfs_read_records_ = m.histogram("shb.pfs_read_records", 1.0, 1e6);
+  // Snapshot-time probes over stream positions (std::map nodes are stable).
+  for (auto& [p, state] : pubends_) {
+    const std::string prefix = "shb.p" + std::to_string(p.value()) + ".";
+    PerPubend* raw = &state;
+    probes_.push_back(m.probe(prefix + "processed_upto", [raw] {
+      return static_cast<double>(raw->processed_upto);
+    }));
+    probes_.push_back(m.probe(prefix + "doubt_span", [raw] {
+      return static_cast<double>(raw->istream.head() - raw->processed_upto);
+    }));
+    probes_.push_back(m.probe(prefix + "istream_events", [raw] {
+      return static_cast<double>(raw->istream.retained_events());
+    }));
+  }
+  probes_.push_back(m.probe("shb.catchup_streams", [this] {
+    return static_cast<double>(catchup_stream_count());
+  }));
+  probes_.push_back(m.probe("shb.connected_subscribers", [this] {
+    return static_cast<double>(connected_subscribers());
+  }));
 }
 
 SubscriberHostingBroker::PerPubend& SubscriberHostingBroker::per(PubendId p) {
@@ -115,6 +150,7 @@ void SubscriberHostingBroker::recover() {
     if (auto v = res_.database.get(kLdTable, std::to_string(p.value()))) {
       state.latest_delivered = decode_i64(*v);
     }
+    state.g_latest_delivered->set(static_cast<double>(state.latest_delivered));
     state.processed_upto = state.latest_delivered;
     state.istream = routing::TickMap(state.latest_delivered);
     committed_ld_[p] = state.latest_delivered;
@@ -295,6 +331,10 @@ void SubscriberHostingBroker::advance_constream(PubendId p) {
       state.processed_upto + 1, dh,
       [&](Tick t, const matching::EventDataPtr& event) {
         const auto matches = hosted_.match(*event);
+        if (!matches.empty()) {
+          m_matched_->inc();
+          res_.tracer.record(now(), p.value(), t, TraceMilestone::kMatch);
+        }
         if (!matches.empty() && t > pfs_.last_accepted(p)) {
           pfs_.append(p, t, matches);
           state.pending_pfs.push_back(t);
@@ -352,7 +392,10 @@ void SubscriberHostingBroker::update_latest_delivered(PerPubend& state) {
   const Tick ld = state.pending_pfs.empty()
                       ? state.processed_upto
                       : std::min(state.processed_upto, state.pending_pfs.front() - 1);
-  if (ld > state.latest_delivered) state.latest_delivered = ld;
+  if (ld > state.latest_delivered) {
+    state.latest_delivered = ld;
+    state.g_latest_delivered->set(static_cast<double>(ld));
+  }
 }
 
 void SubscriberHostingBroker::request_pfs_sync() {
@@ -379,6 +422,11 @@ void SubscriberHostingBroker::deliver_to_subscriber(SubscriberState& s, PubendId
   auto msg = std::make_shared<EventDeliveryMsg>(s.id, p, tick, std::move(event), catchup);
   s.last_delivery = now();
   s.silence_sent_upto[p] = tick;
+  (catchup ? m_catchup_deliveries_ : m_constream_deliveries_)->inc();
+  res_.tracer.record(now(), p.value(), tick,
+                     catchup ? TraceMilestone::kDeliverCatchup
+                             : TraceMilestone::kDeliverConstream,
+                     s.id.value());
   if (s.jms_auto_ack) {
     s.jms_queue.emplace_back(p, std::move(msg));
     pump_jms(s);
@@ -583,6 +631,7 @@ void SubscriberHostingBroker::create_or_resume_session(SubscriberState& s,
         }
       }
       s.catchup.emplace(p, std::move(cs));
+      m_catchup_opened_->inc();
       any_catchup = true;
     }
   }
@@ -614,6 +663,7 @@ void SubscriberHostingBroker::on_disconnect(const DisconnectMsg& msg) {
   SubscriberState& s = it->second;
   s.connected = false;
   ++s.session;
+  m_catchup_closed_->inc(s.catchup.size());
   s.catchup.clear();
   s.jms_queue.clear();
   s.jms_commit_inflight = false;
@@ -628,6 +678,8 @@ void SubscriberHostingBroker::on_ack(const AckMsg& msg) {
     auto r = s.released.find(p);
     GRYPHON_CHECK(r != s.released.end());
     if (t > r->second) {
+      res_.tracer.record_range(now(), p.value(), r->second + 1, t,
+                               TraceMilestone::kAck, s.id.value());
       r->second = t;
       dirty_released_.emplace(s.id, p);
     }
@@ -678,6 +730,8 @@ void SubscriberHostingBroker::issue_pfs_read(SubscriberState& s, PubendId p) {
         cpu_then(static_cast<SimDuration>(result.records_traversed) *
                      config_.costs.pfs_read_per_record,
                  [] {});
+        m_pfs_read_records_->add(
+            static_cast<double>(std::max<std::size_t>(1, result.records_traversed)));
 
         // Chopped prefix (early release raced the read): the region below
         // complete_from is unknown to the PFS. Fill it from the istream
@@ -734,6 +788,7 @@ std::vector<TickRange> SubscriberHostingBroker::fill_catchup_from_istream(
           s.catchup_tokens -= 1.0;
           ++served;
           ++stats_.catchup_events_served_from_istream;
+          m_catchup_istream_serves_->inc();
         } else {
           cs.map.set_silence(item.range.from, item.range.to);
         }
@@ -775,6 +830,7 @@ void SubscriberHostingBroker::consolidate_nack(PubendId p, PerPubend& state,
   }
   if (!forward.empty()) {
     ++stats_.nacks_sent_upstream;
+    m_nacks_upstream_->inc();
     send(parent_, std::make_shared<NackMsg>(p, std::move(forward)));
   }
 }
@@ -830,6 +886,7 @@ void SubscriberHostingBroker::pump_catchup_nacks(SubscriberState& s, PubendId p)
       // Straight to the pubend: intermediate caches may hold silence that
       // predates this subscriber's filter.
       ++stats_.nacks_sent_upstream;
+    m_nacks_upstream_->inc();
       send(parent_, std::make_shared<NackMsg>(p, to_request.ranges(),
                                               /*authoritative=*/true));
     }
@@ -870,6 +927,7 @@ void SubscriberHostingBroker::pump_catchup_nacks(SubscriberState& s, PubendId p)
         }
         ++served;
         ++stats_.catchup_events_served_from_istream;
+          m_catchup_istream_serves_->inc();
         break;
       }
       case routing::TickValue::kS:
@@ -1018,10 +1076,14 @@ void SubscriberHostingBroker::advance_catchup(SubscriberState& s, PubendId p) {
             case OutMsg::Kind::kGap:
               send(s2.client, std::make_shared<GapDeliveryMsg>(s2.id, p, m.range));
               ++stats_.gaps_sent;
+              m_gaps_->inc();
+              res_.tracer.record_range(now(), p.value(), m.range.from, m.range.to,
+                                       TraceMilestone::kGap, s2.id.value());
               break;
             case OutMsg::Kind::kSilence:
               send(s2.client, std::make_shared<SilenceDeliveryMsg>(s2.id, p, m.tick));
               ++stats_.silences_sent;
+              m_silences_->inc();
               break;
           }
         }
@@ -1077,6 +1139,8 @@ void SubscriberHostingBroker::maybe_switchover(SubscriberState& s, PubendId p) {
                             << " at tick " << state.processed_upto);
   s.suppress_upto[p] = state.processed_upto;
   s.catchup.erase(cit);
+  m_catchup_closed_->inc();
+  m_switchovers_->inc();
 
   if (!bridge.empty()) {
     const auto cost = static_cast<SimDuration>(bridge.size()) *
@@ -1100,6 +1164,7 @@ void SubscriberHostingBroker::check_all_caught_up(SubscriberState& s) {
   if (!s.catchup.empty()) return;
   GRYPHON_LOG(kInfo, res_.name, "subscriber " << s.id << " caught up on all pubends");
   ++stats_.catchup_completions;
+  m_catchup_completions_->inc();
   if (on_catchup_complete) on_catchup_complete(s.id, s.reconnect_time, now());
 }
 
@@ -1121,6 +1186,7 @@ void SubscriberHostingBroker::nack_istream_gaps() {
     }
     if (!forward.empty()) {
       ++stats_.nacks_sent_upstream;
+    m_nacks_upstream_->inc();
       send(parent_, std::make_shared<NackMsg>(p, std::move(forward)));
     }
   }
@@ -1188,6 +1254,7 @@ void SubscriberHostingBroker::silence_sweep() {
                  if (s2.catchup.contains(p)) return;
                  send(s2.client, std::make_shared<SilenceDeliveryMsg>(sid2, p, upto));
                  ++stats_.silences_sent;
+                 m_silences_->inc();
                });
     }
   }

@@ -139,6 +139,9 @@ class SubscriberHostingBroker final : public Broker {
     Tick latest_delivered = kTickZero;  // min(processed, PFS-durable); persisted
     std::deque<Tick> pending_pfs;       // PFS'd ticks awaiting durability
     bool released_dirty = true;
+    /// Registry slot mirroring latest_delivered (figure benches plot it
+    /// directly from the node registry); resolved at broker construction.
+    MetricsRegistry::Gauge* g_latest_delivered = nullptr;
   };
 
   PerPubend& per(PubendId p);
@@ -216,6 +219,22 @@ class SubscriberHostingBroker final : public Broker {
   std::set<std::pair<SubscriberId, PubendId>> dirty_released_;
   std::map<SubscriberId, PendingSetup> pending_setups_;
   Stats stats_;
+
+  // Registry slots, resolved once at construction; probes are broker-owned
+  // (RAII-removed on crash) while the cumulative slots persist in the node.
+  MetricsRegistry::Counter* m_matched_;
+  MetricsRegistry::Counter* m_constream_deliveries_;
+  MetricsRegistry::Counter* m_catchup_deliveries_;
+  MetricsRegistry::Counter* m_silences_;
+  MetricsRegistry::Counter* m_gaps_;
+  MetricsRegistry::Counter* m_catchup_opened_;
+  MetricsRegistry::Counter* m_catchup_closed_;
+  MetricsRegistry::Counter* m_switchovers_;
+  MetricsRegistry::Counter* m_catchup_completions_;
+  MetricsRegistry::Counter* m_nacks_upstream_;
+  MetricsRegistry::Counter* m_catchup_istream_serves_;
+  Histogram* m_pfs_read_records_;
+  std::vector<MetricsRegistry::Probe> probes_;
 };
 
 }  // namespace gryphon::core

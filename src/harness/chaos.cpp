@@ -391,6 +391,23 @@ void ChaosSchedule::dump(std::FILE* out) const {
                "fault timeline (times relative to arming at t=%.3fs):\n%s\n",
                config_.seed, to_seconds(system_.simulator().now()), config_.seed,
                to_seconds(armed_at_), timeline_string().c_str());
+
+  // Flight recorder: merge every node's milestone ring into one time-ordered
+  // narrative, focused on the oracle's recorded violation when it has one —
+  // the checklist then says exactly which milestones the offending
+  // (pubend, tick) did and did not pass.
+  const auto& v = system_.oracle().last_violation();
+  FlightRecorderFocus focus;
+  const FlightRecorderFocus* focus_ptr = nullptr;
+  if (v.valid) {
+    std::fprintf(out, "violation focus: subscriber %u, pubend %u, tick %lld — %s\n",
+                 v.subscriber.value(), v.pubend.value(),
+                 static_cast<long long>(v.tick), v.what.c_str());
+    focus.pubend = static_cast<std::int64_t>(v.pubend.value());
+    focus.tick = v.tick;
+    focus_ptr = &focus;
+  }
+  system_.dump_flight_recorder(out, focus_ptr);
 }
 
 }  // namespace gryphon::harness

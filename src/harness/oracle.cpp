@@ -35,10 +35,14 @@ void DeliveryOracle::on_event(SubscriberId s, PubendId p, Tick t,
   GRYPHON_CHECK_MSG(it != subs_.end(), "delivery to unregistered subscriber " << s);
   SubState& state = it->second;
 
+  if (!state.predicate->matches(*event)) {
+    note_violation(s, p, t, "spurious delivery (predicate mismatch)");
+  }
   GRYPHON_CHECK_MSG(state.predicate->matches(*event),
                     "spurious delivery: event at " << p << ':' << t
                                                    << " does not match subscriber " << s);
   const bool fresh = state.delivered[p].insert(t);
+  if (!fresh) note_violation(s, p, t, "duplicate delivery");
   GRYPHON_CHECK_MSG(fresh, "duplicate delivery " << p << ':' << t << " to " << s);
 
   ++delivered_count_;
@@ -70,6 +74,7 @@ void DeliveryOracle::on_gap(SubscriberId s, PubendId p, TickRange range, SimTime
   // already saw delivered …
   if (auto d = state.delivered.find(p); d != state.delivered.end()) {
     const auto covered = d->second.first_in(range.from, range.to);
+    if (covered) note_violation(s, p, *covered, "gap covers delivered event");
     GRYPHON_CHECK_MSG(!covered, "gap [" << range.from << ',' << range.to << "] to " << s
                                         << " covers delivered event " << p << ':'
                                         << covered.value_or(0));
@@ -77,6 +82,9 @@ void DeliveryOracle::on_gap(SubscriberId s, PubendId p, TickRange range, SimTime
   // … and may not open at/behind the live constream position (the constream
   // is lossless; only catchup may declare holes, always ahead of it).
   if (auto f = state.constream_floor.find(p); f != state.constream_floor.end()) {
+    if (range.from <= f->second) {
+      note_violation(s, p, range.from, "gap opens behind the constream position");
+    }
     GRYPHON_CHECK_MSG(range.from > f->second,
                       "gap [" << range.from << ',' << range.to << "] to " << s
                               << " opens behind the constream position " << p << ':'
@@ -142,6 +150,9 @@ void DeliveryOracle::verify_stream(SubscriberId s, const SubState& state, Pubend
       std::ostringstream os;
       os << "subscriber " << s << " missed matching event " << p << ':' << t
          << " (horizon " << upto << ", no gap notification)";
+      // Capture the pass's first finding — the one error messages quote —
+      // as the flight-recorder focus.
+      if (out.empty()) note_violation(s, p, t, os.str());
       out.push_back(os.str());
     }
   }
@@ -151,10 +162,20 @@ void DeliveryOracle::verify_stream(SubscriberId s, const SubState& state, Pubend
       if (!events.contains(t)) {
         std::ostringstream os;
         os << "subscriber " << s << " received unknown event " << p << ':' << t;
+        if (out.empty()) note_violation(s, p, t, os.str());
         out.push_back(os.str());
       }
     });
   }
+}
+
+void DeliveryOracle::note_violation(SubscriberId s, PubendId p, Tick t,
+                                    std::string what) const {
+  last_violation_.valid = true;
+  last_violation_.subscriber = s;
+  last_violation_.pubend = p;
+  last_violation_.tick = t;
+  last_violation_.what = std::move(what);
 }
 
 std::vector<std::string> DeliveryOracle::verify(SubscriberId s) const {

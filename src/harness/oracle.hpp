@@ -89,6 +89,20 @@ class DeliveryOracle final : public core::SubscriberObserver,
   /// Published events of one pubend (tick -> event), for custom assertions.
   [[nodiscard]] const std::map<Tick, matching::EventDataPtr>& published(PubendId p) const;
 
+  /// Structured identity of the most recent contract violation: the fatal
+  /// on_event / on_gap checks record it just before throwing, and each
+  /// verify pass records its *first* finding (the one error messages quote).
+  /// The chaos harness feeds this to the flight recorder so the merged trace
+  /// dump can focus its milestone checklist on the offending (pubend, tick).
+  struct LastViolation {
+    bool valid = false;
+    SubscriberId subscriber{};
+    PubendId pubend{};
+    Tick tick = 0;
+    std::string what;
+  };
+  [[nodiscard]] const LastViolation& last_violation() const { return last_violation_; }
+
  private:
   struct SubState {
     const core::DurableSubscriber* client = nullptr;
@@ -112,6 +126,9 @@ class DeliveryOracle final : public core::SubscriberObserver,
                      const std::map<Tick, matching::EventDataPtr>& events, Tick lo,
                      Tick hi, std::vector<std::string>& out) const;
 
+  /// Records the violation identity (mutable: verification is const).
+  void note_violation(SubscriberId s, PubendId p, Tick t, std::string what) const;
+
   sim::Simulator& sim_;
   std::map<PubendId, std::map<Tick, matching::EventDataPtr>> published_;
   std::map<PubendId, std::unordered_map<Tick, SimTime>> publish_times_;
@@ -125,6 +142,7 @@ class DeliveryOracle final : public core::SubscriberObserver,
   std::uint64_t delivered_count_ = 0;
   std::uint64_t catchup_delivered_count_ = 0;
   std::uint64_t gap_count_ = 0;
+  mutable LastViolation last_violation_;
 };
 
 }  // namespace gryphon::harness

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "sim/simulator.hpp"
+#include "util/metrics.hpp"
 #include "util/stats.hpp"
 
 namespace gryphon::harness {
@@ -19,10 +20,13 @@ class Sampler {
     GRYPHON_CHECK(period_ > 0);
   }
 
+  ~Sampler() { stop(); }
+
   /// Registers a sampled series; `getter` is polled every period. Getters
   /// must tolerate being called at any simulation time (e.g. return the last
   /// value while a broker is crashed). The returned reference is stable.
   TimeSeries& add(std::string name, std::function<double()> getter) {
+    GRYPHON_CHECK_MSG(!stopped_, "Sampler::add after stop()");
     auto entry = std::make_unique<Entry>();
     entry->series = std::make_unique<TimeSeries>(std::move(name));
     entry->getter = std::move(getter);
@@ -32,19 +36,42 @@ class Sampler {
     return *raw->series;
   }
 
+  /// Registers a series polled straight from a registry gauge — the figure
+  /// benches can plot broker-internal state without bespoke getters. The
+  /// gauge slot must outlive the sampler (registry slots do: they live in
+  /// NodeResources, which survives broker crashes).
+  TimeSeries& add_gauge(std::string name, const MetricsRegistry::Gauge* gauge) {
+    GRYPHON_CHECK(gauge != nullptr);
+    return add(std::move(name), [gauge] { return static_cast<double>(gauge->get()); });
+  }
+
+  /// Cancels every pending poll. Terminal: without this, each series
+  /// reschedules itself forever and `run_until` past the measurement window
+  /// burns one wakeup per series per period. Call from a benchmark's
+  /// shutdown path once sampling is no longer wanted.
+  void stop() {
+    stopped_ = true;
+    for (auto& entry : series_) {
+      if (entry->task != sim::kInvalidTask) sim_.cancel(entry->task);
+      entry->task = sim::kInvalidTask;
+    }
+  }
+
  private:
   struct Entry {
     std::unique_ptr<TimeSeries> series;
     std::function<double()> getter;
+    sim::TaskId task = sim::kInvalidTask;
   };
 
   void poll(Entry* entry) {
     entry->series->record(sim_.now(), entry->getter());
-    sim_.schedule_after(period_, [this, entry] { poll(entry); });
+    entry->task = sim_.schedule_after(period_, [this, entry] { poll(entry); });
   }
 
   sim::Simulator& sim_;
   SimDuration period_;
+  bool stopped_ = false;
   std::vector<std::unique_ptr<Entry>> series_;
 };
 

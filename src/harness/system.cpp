@@ -11,6 +11,11 @@ std::vector<PubendId> make_pubend_ids(int n) {
   for (int i = 0; i < n; ++i) out.emplace_back(static_cast<std::uint32_t>(i + 1));
   return out;
 }
+
+void configure_tracer(core::NodeResources& node, const SystemConfig& config) {
+  node.tracer.set_capacity(config.trace_ring_capacity);
+  node.tracer.set_sample_every(config.trace_sample_every);
+}
 }  // namespace
 
 System::System(SystemConfig config)
@@ -25,6 +30,7 @@ System::System(SystemConfig config)
 
   phb_node_ = std::make_unique<core::NodeResources>(sim_, net_, "phb", config_.broker,
                                                     config_.phb_disk);
+  configure_tracer(*phb_node_, config_);
   phb_ = std::make_unique<core::PublisherHostingBroker>(*phb_node_, config_.broker,
                                                         pubend_ids, config_.policy);
 
@@ -32,6 +38,7 @@ System::System(SystemConfig config)
   for (int i = 0; i < config_.num_intermediates; ++i) {
     auto node = std::make_unique<core::NodeResources>(
         sim_, net_, "imb" + std::to_string(i), config_.broker, config_.shb_disk);
+    configure_tracer(*node, config_);
     auto broker = std::make_unique<core::IntermediateBroker>(*node, config_.broker,
                                                              pubend_ids);
     net_.connect(tail, node->endpoint, config_.broker_link);
@@ -51,6 +58,7 @@ System::System(SystemConfig config)
         sim_, net_, "shb" + std::to_string(i), config_.broker, config_.shb_disk,
         config_.shb_db_connections);
     node->database.set_per_txn_overhead(config_.shb_db_per_txn_overhead);
+    configure_tracer(*node, config_);
     auto broker = std::make_unique<core::SubscriberHostingBroker>(*node, config_.broker,
                                                                   pubend_ids);
     net_.connect(tail, node->endpoint, config_.broker_link);
@@ -309,6 +317,60 @@ void System::verify_quiescent(bool require_connected) {
                                       << entry.shb_index << " after quiescence");
     }
   }
+}
+
+core::NodeResources& System::intermediate_node(int i) {
+  GRYPHON_CHECK(i >= 0 && i < static_cast<int>(intermediate_nodes_.size()));
+  return *intermediate_nodes_[static_cast<std::size_t>(i)];
+}
+
+core::NodeResources& System::shb_node(int i) {
+  GRYPHON_CHECK(i >= 0 && i < static_cast<int>(shb_nodes_.size()));
+  return *shb_nodes_[static_cast<std::size_t>(i)];
+}
+
+std::vector<core::NodeResources*> System::nodes() {
+  std::vector<core::NodeResources*> out;
+  out.reserve(1 + intermediate_nodes_.size() + shb_nodes_.size());
+  out.push_back(phb_node_.get());
+  for (auto& node : intermediate_nodes_) out.push_back(node.get());
+  for (auto& node : shb_nodes_) out.push_back(node.get());
+  return out;
+}
+
+void System::append_metrics_json(std::string& out, const std::string& indent) {
+  out += "{\n";
+  const std::string inner = indent + "  ";
+  bool first = true;
+  for (core::NodeResources* node : nodes()) {
+    if (!first) out += ",\n";
+    first = false;
+    out += inner;
+    out += '"';
+    out += node->name;
+    out += "\": ";
+    node->metrics.append_json(out, inner);
+  }
+  out += '\n';
+  out += indent;
+  out += '}';
+}
+
+bool System::write_metrics_json(const std::string& path) {
+  std::string doc;
+  append_metrics_json(doc, "");
+  doc += '\n';
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+void System::dump_flight_recorder(std::FILE* out, const FlightRecorderFocus* focus) {
+  std::vector<const Tracer*> tracers;
+  for (core::NodeResources* node : nodes()) tracers.push_back(&node->tracer);
+  write_flight_record(out, tracers, focus);
 }
 
 InvariantMonitor& System::enable_invariants(InvariantMonitor::Options options) {

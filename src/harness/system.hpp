@@ -5,6 +5,7 @@
 // chain of intermediate brokers, and N SHBs fanning out from the chain tail.
 #pragma once
 
+#include <cstdio>
 #include <functional>
 #include <memory>
 #include <string>
@@ -40,6 +41,12 @@ struct SystemConfig {
   SimDuration shb_gc_period = 0;
   SimDuration shb_gc_pause = 0;
   core::ReleasePolicyPtr policy = std::make_shared<core::NoEarlyReleasePolicy>();
+  /// Causal tick tracing (util/trace.hpp): tick T is traced iff
+  /// T % trace_sample_every == 0 (rounded up to a power of two; 1 = trace
+  /// everything, what chaos/debug runs want). Applied to every node tracer.
+  std::uint32_t trace_sample_every = 64;
+  /// Per-node flight-recorder ring size (records; preallocated).
+  std::size_t trace_ring_capacity = 4096;
 };
 
 class System {
@@ -132,6 +139,27 @@ class System {
   /// existing monitor, ignoring the new options.
   InvariantMonitor& enable_invariants(InvariantMonitor::Options options = {});
   [[nodiscard]] InvariantMonitor* invariants() { return monitor_.get(); }
+
+  // --- observability (ROADMAP "metrics registry + flight recorder") ---
+  /// Node resources (metrics registry + tracer) survive broker crashes, so
+  /// these are valid even while the corresponding broker is down.
+  [[nodiscard]] core::NodeResources& phb_node() { return *phb_node_; }
+  [[nodiscard]] core::NodeResources& intermediate_node(int i);
+  [[nodiscard]] core::NodeResources& shb_node(int i = 0);
+  /// Every node in deterministic topology order: PHB, intermediates, SHBs.
+  [[nodiscard]] std::vector<core::NodeResources*> nodes();
+
+  /// Appends a JSON object `{ "node": {snapshot}, ... }` covering every
+  /// node's registry (probes refreshed; sorted names => deterministic).
+  void append_metrics_json(std::string& out, const std::string& indent = "");
+  /// Writes the per-node snapshots as one JSON document. Returns false if
+  /// the file could not be opened.
+  bool write_metrics_json(const std::string& path);
+
+  /// Merges every node's trace ring into one time-ordered dump; with a
+  /// focus, appends the milestone checklist for that (pubend, tick).
+  void dump_flight_recorder(std::FILE* out,
+                            const FlightRecorderFocus* focus = nullptr);
 
  private:
   struct SubEntry {

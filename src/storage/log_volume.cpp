@@ -45,6 +45,7 @@ void LogVolume::sync(std::function<void()> on_durable) {
 void LogVolume::maybe_start_barrier() {
   if (barrier_in_flight_ || waiters_.empty()) return;
   barrier_in_flight_ = true;
+  ++barrier_batches_;
 
   // The barrier covers everything appended before it starts.
   const std::uint64_t watermark = append_seq_;

@@ -91,6 +91,8 @@ class LogVolume {
   [[nodiscard]] std::uint64_t retained_bytes() const { return retained_bytes_; }
   [[nodiscard]] std::uint64_t appended_records() const { return appended_records_; }
   [[nodiscard]] std::uint64_t appended_bytes() const { return appended_bytes_; }
+  /// Disk barriers issued; appends/barriers is the group-commit batch size.
+  [[nodiscard]] std::uint64_t barrier_batches() const { return barrier_batches_; }
 
  private:
   struct Stream {
@@ -145,6 +147,7 @@ class LogVolume {
   std::uint64_t retained_bytes_ = 0;
   std::uint64_t appended_records_ = 0;
   std::uint64_t appended_bytes_ = 0;
+  std::uint64_t barrier_batches_ = 0;
 };
 
 }  // namespace gryphon::storage

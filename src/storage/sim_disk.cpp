@@ -76,6 +76,7 @@ void SimDisk::inject_stall(SimDuration duration) {
   // committed workload) eats the stall. Good enough for a fault model.
   free_at_ = std::max(free_at_, sim_.now()) + duration;
   ++stalls_;
+  stall_time_ += duration;
 }
 
 void SimDisk::drop_unsynced() {

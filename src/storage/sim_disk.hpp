@@ -86,6 +86,8 @@ class SimDisk {
   [[nodiscard]] std::uint64_t total_reads() const { return reads_; }
   [[nodiscard]] SimDuration total_busy() const { return busy_; }
   [[nodiscard]] std::uint64_t total_stalls() const { return stalls_; }
+  /// Cumulative injected stall time (sum of inject_stall durations).
+  [[nodiscard]] SimDuration total_stall_time() const { return stall_time_; }
   [[nodiscard]] std::uint64_t total_torn_syncs() const { return dropped_syncs_; }
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] const DiskConfig& config() const { return config_; }
@@ -99,6 +101,7 @@ class SimDisk {
   std::uint64_t generation_ = 0;   // bumped by crash(): drops all completions
   std::uint64_t sync_epoch_ = 0;   // bumped by drop_unsynced(): writes only
   std::uint64_t stalls_ = 0;
+  SimDuration stall_time_ = 0;
   std::uint64_t dropped_syncs_ = 0;
   std::uint64_t bytes_written_ = 0;
   std::uint64_t bytes_read_ = 0;

@@ -1,0 +1,141 @@
+#include "util/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace gryphon {
+
+MetricsRegistry::Probe& MetricsRegistry::Probe::operator=(Probe&& o) noexcept {
+  if (this != &o) {
+    release();
+    registry_ = o.registry_;
+    token_ = o.token_;
+    o.registry_ = nullptr;
+  }
+  return *this;
+}
+
+void MetricsRegistry::Probe::release() {
+  if (registry_ == nullptr) return;
+  auto& probes = registry_->probes_;
+  probes.erase(std::remove_if(probes.begin(), probes.end(),
+                              [this](const ProbeEntry& e) { return e.token == token_; }),
+               probes.end());
+  registry_ = nullptr;
+}
+
+MetricsRegistry::Counter* MetricsRegistry::counter(std::string_view name) {
+  if (auto it = counter_index_.find(name); it != counter_index_.end()) {
+    return &counters_[it->second];
+  }
+  counters_.emplace_back();
+  counter_index_.emplace(std::string(name), counters_.size() - 1);
+  return &counters_.back();
+}
+
+MetricsRegistry::Gauge* MetricsRegistry::gauge(std::string_view name) {
+  if (auto it = gauge_index_.find(name); it != gauge_index_.end()) {
+    return &gauges_[it->second];
+  }
+  gauges_.emplace_back();
+  gauge_index_.emplace(std::string(name), gauges_.size() - 1);
+  return &gauges_.back();
+}
+
+Histogram* MetricsRegistry::histogram(std::string_view name, double min_value,
+                                      double max_value, int buckets_per_decade) {
+  if (auto it = histogram_index_.find(name); it != histogram_index_.end()) {
+    return &histograms_[it->second];
+  }
+  histograms_.emplace_back(min_value, max_value, buckets_per_decade);
+  histogram_index_.emplace(std::string(name), histograms_.size() - 1);
+  return &histograms_.back();
+}
+
+MetricsRegistry::Probe MetricsRegistry::probe(std::string_view gauge_name,
+                                              std::function<double()> fn) {
+  ProbeEntry e;
+  e.token = next_token_++;
+  e.target = gauge(gauge_name);
+  e.fn = std::move(fn);
+  probes_.push_back(std::move(e));
+  return Probe(this, probes_.back().token);
+}
+
+void MetricsRegistry::refresh_probes() {
+  for (ProbeEntry& e : probes_) e.target->set(e.fn());
+}
+
+void MetricsRegistry::for_each_counter(
+    const std::function<void(const std::string&, std::uint64_t)>& f) const {
+  for (const auto& [name, idx] : counter_index_) f(name, counters_[idx].get());
+}
+
+void MetricsRegistry::for_each_gauge(
+    const std::function<void(const std::string&, double)>& f) const {
+  for (const auto& [name, idx] : gauge_index_) f(name, gauges_[idx].get());
+}
+
+namespace {
+void append_number(std::string& out, double v) {
+  char buf[48];
+  // Integral values (the common case: counters mirrored into gauges) print
+  // without a fractional part so the JSON is stable and diffable.
+  if (v == static_cast<double>(static_cast<long long>(v)) && v > -1e15 && v < 1e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+  }
+  out += buf;
+}
+}  // namespace
+
+void MetricsRegistry::append_json(std::string& out, const std::string& indent) {
+  refresh_probes();
+  const std::string in2 = indent + "  ";
+  const std::string in3 = in2 + "  ";
+  out += "{\n";
+
+  out += in2 + "\"counters\": {";
+  bool first = true;
+  for (const auto& [name, idx] : counter_index_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += in3 + "\"" + name + "\": ";
+    append_number(out, static_cast<double>(counters_[idx].get()));
+  }
+  out += first ? "},\n" : "\n" + in2 + "},\n";
+
+  out += in2 + "\"gauges\": {";
+  first = true;
+  for (const auto& [name, idx] : gauge_index_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += in3 + "\"" + name + "\": ";
+    append_number(out, gauges_[idx].get());
+  }
+  out += first ? "},\n" : "\n" + in2 + "},\n";
+
+  out += in2 + "\"histograms\": {";
+  first = true;
+  for (const auto& [name, idx] : histogram_index_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    const Histogram& h = histograms_[idx];
+    out += in3 + "\"" + name + "\": {\"count\": ";
+    append_number(out, static_cast<double>(h.count()));
+    for (const auto& [label, p] :
+         {std::pair<const char*, double>{"p50", 50.0}, {"p95", 95.0}, {"p99", 99.0}}) {
+      out += ", \"";
+      out += label;
+      out += "\": ";
+      append_number(out, h.count() > 0 ? h.percentile(p) : 0.0);
+    }
+    out += "}";
+  }
+  out += first ? "}\n" : "\n" + in2 + "}\n";
+
+  out += indent + "}";
+}
+
+}  // namespace gryphon

@@ -63,9 +63,21 @@ class TimeSeries {
   /// Resamples the series onto fixed windows and reports the per-second rate
   /// of change of the value in each window (used to plot "rate of advance of
   /// latestDelivered in tick-ms per second", Fig. 6).
+  ///
+  /// Degenerate inputs: with fewer than two points there is no measurable
+  /// change, so the result is empty (not a zero-rate window) — callers must
+  /// not assume at least one window exists. Windows are anchored at the
+  /// first point's time; a trailing partial window is dropped.
   [[nodiscard]] std::vector<Point> rate_of_change(SimDuration window) const;
 
-  /// Average value of the series in [from, to) by step interpolation.
+  /// Average value of the series in [from, to) by step interpolation
+  /// (requires from < to).
+  ///
+  /// Degenerate inputs: an empty series averages to 0.0. A series whose
+  /// first point lies after `from` is extrapolated backwards at that first
+  /// value (a sampler's first poll defines the value "since the start"), so
+  /// a single-point series averages to exactly that point's value over any
+  /// window.
   [[nodiscard]] double average_over(SimTime from, SimTime to) const;
 
  private:
@@ -109,7 +121,11 @@ class Histogram {
   void add(double v);
 
   [[nodiscard]] std::uint64_t count() const { return count_; }
-  [[nodiscard]] double percentile(double p) const;  // p in [0, 100]
+  /// p in [0, 100]. Returns a bucket upper bound: p=0 reports the first
+  /// non-empty bucket, p=100 the last; values at or below min_value clamp
+  /// into the first bucket and values above max_value into the overflow
+  /// bucket. An empty histogram reports 0.0 for every p.
+  [[nodiscard]] double percentile(double p) const;
 
  private:
   [[nodiscard]] std::size_t bucket_of(double v) const;

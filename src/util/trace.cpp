@@ -1,0 +1,149 @@
+#include "util/trace.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cinttypes>
+
+#include "util/assert.hpp"
+
+namespace gryphon {
+
+const char* trace_milestone_name(TraceMilestone m) {
+  switch (m) {
+    case TraceMilestone::kPublish: return "publish";
+    case TraceMilestone::kPersist: return "persist";
+    case TraceMilestone::kMatch: return "match";
+    case TraceMilestone::kPfsLog: return "pfs-log";
+    case TraceMilestone::kDeliverConstream: return "deliver-constream";
+    case TraceMilestone::kDeliverCatchup: return "deliver-catchup";
+    case TraceMilestone::kAck: return "ack";
+    case TraceMilestone::kReleaseToL: return "release-to-L";
+    case TraceMilestone::kGap: return "gap";
+  }
+  return "?";
+}
+
+void Tracer::set_sample_every(std::uint32_t n) {
+  GRYPHON_CHECK(n >= 1);
+  std::uint64_t pow2 = 1;
+  while (pow2 < n) pow2 <<= 1;
+  mask_ = pow2 - 1;
+}
+
+void Tracer::set_capacity(std::size_t capacity) {
+  GRYPHON_CHECK(capacity >= 1);
+  ring_.assign(capacity, TraceRecord{});
+  next_ = 0;
+  total_ = 0;
+}
+
+std::vector<TraceRecord> Tracer::in_order() const {
+  std::vector<TraceRecord> out;
+  const std::size_t n = std::min<std::uint64_t>(total_, ring_.size());
+  out.reserve(n);
+  // Oldest record sits at next_ once the ring has wrapped, at 0 before.
+  const std::size_t start = total_ > ring_.size() ? next_ : 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void Tracer::clear() {
+  next_ = 0;
+  total_ = 0;
+}
+
+std::string format_trace_record(const TraceRecord& r, const std::string& node) {
+  char buf[192];
+  if (r.tick2 != r.tick) {
+    std::snprintf(buf, sizeof buf, "t=%10.6fs  %-12s %" PRId64 ":%" PRId64 "..%" PRId64
+                  "  %-17s",
+                  to_seconds(r.at), node.c_str(), r.pubend, r.tick, r.tick2,
+                  trace_milestone_name(r.milestone));
+  } else {
+    std::snprintf(buf, sizeof buf, "t=%10.6fs  %-12s %" PRId64 ":%-8" PRId64 "  %-17s",
+                  to_seconds(r.at), node.c_str(), r.pubend, r.tick,
+                  trace_milestone_name(r.milestone));
+  }
+  std::string out = buf;
+  if (r.detail != 0) {
+    std::snprintf(buf, sizeof buf, " sub=%u", r.detail);
+    out += buf;
+  }
+  return out;
+}
+
+std::string merged_flight_record(const std::vector<const Tracer*>& tracers,
+                                 const FlightRecorderFocus* focus) {
+  struct Entry {
+    TraceRecord rec;
+    std::size_t node_index;  // position in `tracers`: deterministic tiebreak
+    std::uint64_t seq;       // ring order within the node
+  };
+  std::vector<Entry> all;
+  for (std::size_t n = 0; n < tracers.size(); ++n) {
+    const auto recs = tracers[n]->in_order();
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+      all.push_back({recs[i], n, i});
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const Entry& a, const Entry& b) {
+    if (a.rec.at != b.rec.at) return a.rec.at < b.rec.at;
+    if (a.node_index != b.node_index) return a.node_index < b.node_index;
+    return a.seq < b.seq;
+  });
+
+  std::string out = "=== flight recorder: merged tick trace (" +
+                    std::to_string(all.size()) + " records";
+  if (!tracers.empty()) {
+    out += ", sample_every=" + std::to_string(tracers.front()->sample_every());
+  }
+  out += ") ===\n";
+  for (const Entry& e : all) {
+    out += format_trace_record(e.rec, tracers[e.node_index]->node());
+    out += '\n';
+  }
+
+  if (focus != nullptr) {
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "--- milestone checklist for pubend %" PRId64 " tick %" PRId64 " ---\n",
+                  focus->pubend, focus->tick);
+    out += buf;
+    if (!tracers.empty() && !tracers.front()->sampled(focus->tick)) {
+      std::snprintf(buf, sizeof buf,
+                    "(tick %" PRId64 " not in trace sample; sample_every=%u — rerun "
+                    "with sample_every=1 for full coverage)\n",
+                    focus->tick, tracers.front()->sample_every());
+      out += buf;
+    }
+    std::array<const Entry*, kNumTraceMilestones> first{};
+    for (const Entry& e : all) {
+      if (e.rec.pubend != focus->pubend) continue;
+      if (focus->tick < e.rec.tick || focus->tick > e.rec.tick2) continue;
+      auto& slot = first[static_cast<std::size_t>(e.rec.milestone)];
+      if (slot == nullptr) slot = &e;
+    }
+    for (std::size_t m = 0; m < kNumTraceMilestones; ++m) {
+      const char* name = trace_milestone_name(static_cast<TraceMilestone>(m));
+      if (first[m] != nullptr) {
+        std::snprintf(buf, sizeof buf, "  %-17s PASSED   t=%10.6fs on %s\n", name,
+                      to_seconds(first[m]->rec.at),
+                      tracers[first[m]->node_index]->node().c_str());
+      } else {
+        std::snprintf(buf, sizeof buf, "  %-17s NOT REACHED\n", name);
+      }
+      out += buf;
+    }
+  }
+  return out;
+}
+
+void write_flight_record(std::FILE* out, const std::vector<const Tracer*>& tracers,
+                         const FlightRecorderFocus* focus) {
+  const std::string dump = merged_flight_record(tracers, focus);
+  std::fwrite(dump.data(), 1, dump.size(), out);
+}
+
+}  // namespace gryphon

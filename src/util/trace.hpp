@@ -1,0 +1,142 @@
+// Causal tick tracing + flight recorder.
+//
+// An event's journey through the broker graph is keyed by its (pubend, tick)
+// identity (the paper's knowledge/curiosity streams are all phrased over
+// ticks), so the trace layer records protocol *milestones* against that key:
+// publish accept, durable persist, match, PFS log, constream/catchup
+// delivery, ack, release-to-L, gap. Each record is stamped with sim time and
+// implicitly with the node (one Tracer per NodeResources).
+//
+// Sampling: milestones fire on every event on the hot path, so recording is
+// gated by a deterministic power-of-two tick mask — tick T is traced iff
+// (T & (sample_every-1)) == 0. Same seed + same sample rate => bit-identical
+// trace streams (no RNG involved), and the untraced-path cost is one AND and
+// one compare. sample_every == 1 traces everything (chaos runs want this).
+//
+// Flight recorder: each Tracer is a fixed-size ring (preallocated, no
+// steady-state allocation). The Tracer lives in NodeResources, so the ring
+// survives broker process crashes — after a violation the harness merges all
+// node rings into one time-ordered narrative and, given a focus
+// (pubend, tick), prints which milestones that tick did and did not pass.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace gryphon {
+
+enum class TraceMilestone : std::uint8_t {
+  kPublish,          // pubend accepted the publish and assigned the tick
+  kPersist,          // event durable at the PHB, announced into the stream
+  kMatch,            // SHB constream matched the event against hosted subs
+  kPfsLog,           // filtering record handed to the PFS log
+  kDeliverConstream, // live delivery to a subscriber (detail = subscriber)
+  kDeliverCatchup,   // catchup-stream delivery (detail = subscriber)
+  kAck,              // subscriber CT ack consumed the tick (detail = subscriber)
+  kReleaseToL,       // early release forced the range to L, log chopped
+  kGap,              // gap notification sent to a subscriber (detail = subscriber)
+};
+constexpr std::size_t kNumTraceMilestones = 9;
+
+[[nodiscard]] const char* trace_milestone_name(TraceMilestone m);
+
+struct TraceRecord {
+  SimTime at = 0;
+  std::int64_t pubend = 0;  // PubendId::value()
+  Tick tick = 0;            // range [tick, tick2]; single-tick records have tick2 == tick
+  Tick tick2 = 0;
+  TraceMilestone milestone{};
+  std::uint32_t detail = 0;  // subscriber id where applicable, else 0
+};
+
+class Tracer {
+ public:
+  explicit Tracer(std::string node, std::size_t capacity = 4096,
+                  std::uint32_t sample_every = 64)
+      : node_(std::move(node)) {
+    set_capacity(capacity);
+    set_sample_every(sample_every);
+  }
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Rounds up to a power of two; 1 => trace every tick.
+  void set_sample_every(std::uint32_t n);
+  [[nodiscard]] std::uint32_t sample_every() const { return mask_ + 1; }
+
+  /// Resizes the ring (drops recorded history).
+  void set_capacity(std::size_t capacity);
+
+  /// Hot-path gate: is this tick in the deterministic sample?
+  [[nodiscard]] bool sampled(Tick t) const {
+    return (static_cast<std::uint64_t>(t) & mask_) == 0;
+  }
+  /// Range gate: does [from, to] contain any sampled tick?
+  [[nodiscard]] bool sampled_range(Tick from, Tick to) const {
+    const auto f = static_cast<std::uint64_t>(from);
+    return ((f + mask_) & ~static_cast<std::uint64_t>(mask_)) <=
+           static_cast<std::uint64_t>(to);
+  }
+
+  /// Records a single-tick milestone if sampled. `now` is the caller's sim
+  /// clock (the tracer deliberately holds no simulator reference).
+  void record(SimTime now, std::int64_t pubend, Tick tick, TraceMilestone m,
+              std::uint32_t detail = 0) {
+    if (!sampled(tick)) return;
+    push({now, pubend, tick, tick, m, detail});
+  }
+
+  /// Records a range milestone (release-to-L, gap) if any tick is sampled.
+  void record_range(SimTime now, std::int64_t pubend, Tick from, Tick to,
+                    TraceMilestone m, std::uint32_t detail = 0) {
+    if (!sampled_range(from, to)) return;
+    push({now, pubend, from, to, m, detail});
+  }
+
+  [[nodiscard]] const std::string& node() const { return node_; }
+  [[nodiscard]] std::uint64_t total_recorded() const { return total_; }
+  /// Ring contents, oldest first (preallocated scratch-free copy-out).
+  [[nodiscard]] std::vector<TraceRecord> in_order() const;
+
+  void clear();
+
+ private:
+  void push(const TraceRecord& r) {
+    ring_[next_] = r;
+    next_ = (next_ + 1) % ring_.size();
+    ++total_;
+  }
+
+  std::string node_;
+  std::vector<TraceRecord> ring_;
+  std::size_t next_ = 0;
+  std::uint64_t total_ = 0;
+  std::uint64_t mask_ = 63;
+};
+
+/// One line per record: "t=...s node pubend:tick[..tick2] milestone [sub=N]".
+[[nodiscard]] std::string format_trace_record(const TraceRecord& r,
+                                              const std::string& node);
+
+struct FlightRecorderFocus {
+  std::int64_t pubend = 0;
+  Tick tick = 0;
+};
+
+/// Merges the given rings into one time-ordered dump (ties broken by node
+/// order then ring order, so output is deterministic). With a focus, appends
+/// a milestone checklist for that (pubend, tick): first time each milestone
+/// was reached, or "NOT REACHED". Returns the dump; write_flight_record
+/// prints it.
+[[nodiscard]] std::string merged_flight_record(
+    const std::vector<const Tracer*>& tracers,
+    const FlightRecorderFocus* focus = nullptr);
+
+void write_flight_record(std::FILE* out, const std::vector<const Tracer*>& tracers,
+                         const FlightRecorderFocus* focus = nullptr);
+
+}  // namespace gryphon

@@ -102,6 +102,38 @@ TEST(Sampler, PollsAtThePeriodAndTracksGetters) {
   EXPECT_EQ(series.points()[1].time - series.points()[0].time, msec(100));
 }
 
+TEST(Sampler, StopCancelsPollingAndDrainsTheHeap) {
+  sim::Simulator sim;
+  Sampler sampler(sim, msec(100));
+  double value = 1.0;
+  auto& series = sampler.add("v", [&] { return value; });
+  sim.run_until(msec(450));
+  const auto frozen = series.points().size();
+  sampler.stop();
+  // No further samples: the pending poll tasks were cancelled, so the sim
+  // goes quiescent instead of polling forever.
+  sim.run_until(sec(60));
+  EXPECT_EQ(series.points().size(), frozen);
+  EXPECT_THROW(sampler.add("late", [] { return 0.0; }), InvariantViolation);
+  sampler.stop();  // idempotent
+}
+
+TEST(Sampler, GaugeSeriesTracksRegistrySlot) {
+  sim::Simulator sim;
+  Sampler sampler(sim, msec(100));
+  MetricsRegistry reg("node");
+  auto* gauge = reg.gauge("depth");
+  gauge->set(3.0);
+  auto& series = sampler.add_gauge("depth", gauge);
+  sim.run_until(msec(250));
+  gauge->set(8.0);
+  sim.run_until(msec(550));
+  sampler.stop();
+  ASSERT_GE(series.points().size(), 4u);
+  EXPECT_EQ(series.points().front().value, 3.0);
+  EXPECT_EQ(series.points().back().value, 8.0);
+}
+
 TEST(SystemHarness, MigrateGuards) {
   SystemConfig config;
   config.num_shbs = 2;

@@ -1,0 +1,202 @@
+// Unit tests for the observability layer: MetricsRegistry slots and probes,
+// deterministic trace sampling, the flight-recorder ring, and the merged
+// dump's milestone checklist.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
+namespace gryphon {
+namespace {
+
+// --------------------------------------------------------------- registry
+
+TEST(MetricsRegistry, CounterSlotsAreGetOrCreateWithStableAddresses) {
+  MetricsRegistry reg("node");
+  auto* a = reg.counter("phb.publishes");
+  a->inc(3);
+  // Re-resolving (what a restarted broker does) yields the same cumulative
+  // slot, and creating many other slots must not move it.
+  for (int i = 0; i < 100; ++i) reg.counter("filler." + std::to_string(i));
+  auto* b = reg.counter("phb.publishes");
+  EXPECT_EQ(a, b);
+  b->inc(2);
+  EXPECT_EQ(a->get(), 5u);
+}
+
+TEST(MetricsRegistry, GaugeAndHistogramSlots) {
+  MetricsRegistry reg("node");
+  auto* g = reg.gauge("depth");
+  g->set(4.5);
+  EXPECT_DOUBLE_EQ(reg.gauge("depth")->get(), 4.5);
+
+  auto* h = reg.histogram("lat", 1.0, 1000.0);
+  h->add(10.0);
+  EXPECT_EQ(reg.histogram("lat", 1.0, 1000.0), h);
+  EXPECT_EQ(h->count(), 1u);
+}
+
+TEST(MetricsRegistry, ProbesEvaluateOnlyAtRefreshAndDieWithTheirToken) {
+  MetricsRegistry reg("node");
+  int calls = 0;
+  double source = 7.0;
+  {
+    auto probe = reg.probe("pulled", [&] {
+      ++calls;
+      return source;
+    });
+    EXPECT_EQ(calls, 0);  // lazily evaluated: zero steady-state cost
+    reg.refresh_probes();
+    EXPECT_EQ(calls, 1);
+    EXPECT_DOUBLE_EQ(reg.gauge("pulled")->get(), 7.0);
+    source = 9.0;
+  }
+  // Token destroyed (the "broker" crashed): the callback must not run
+  // again, and the gauge retains its last refreshed value.
+  reg.refresh_probes();
+  EXPECT_EQ(calls, 1);
+  EXPECT_DOUBLE_EQ(reg.gauge("pulled")->get(), 7.0);
+}
+
+TEST(MetricsRegistry, JsonSnapshotIsSortedAndDeterministic) {
+  auto build = [] {
+    MetricsRegistry reg("n");
+    reg.counter("zeta")->inc(2);
+    reg.counter("alpha")->inc(1);
+    reg.gauge("mid")->set(3.0);
+    std::string out;
+    reg.append_json(out, "");
+    return out;
+  };
+  const std::string a = build();
+  EXPECT_EQ(a, build());
+  // Sorted iteration: "alpha" precedes "zeta" regardless of creation order.
+  EXPECT_LT(a.find("\"alpha\""), a.find("\"zeta\""));
+  EXPECT_NE(a.find("\"counters\""), std::string::npos);
+  EXPECT_NE(a.find("\"gauges\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------- tracing
+
+TEST(Tracer, SampleMaskIsDeterministicPowerOfTwo) {
+  Tracer t("n", 16, 64);
+  EXPECT_EQ(t.sample_every(), 64u);
+  EXPECT_TRUE(t.sampled(0));
+  EXPECT_TRUE(t.sampled(64));
+  EXPECT_TRUE(t.sampled(128));
+  EXPECT_FALSE(t.sampled(1));
+  EXPECT_FALSE(t.sampled(63));
+  EXPECT_FALSE(t.sampled(65));
+
+  t.set_sample_every(50);  // rounds up to 64
+  EXPECT_EQ(t.sample_every(), 64u);
+  t.set_sample_every(1);  // everything sampled
+  EXPECT_TRUE(t.sampled(63));
+}
+
+TEST(Tracer, RangeGateDetectsAnySampledTick) {
+  Tracer t("n", 16, 64);
+  EXPECT_TRUE(t.sampled_range(0, 10));     // contains 0
+  EXPECT_TRUE(t.sampled_range(60, 70));    // contains 64
+  EXPECT_FALSE(t.sampled_range(1, 63));    // between sample points
+  EXPECT_FALSE(t.sampled_range(65, 127));  // between sample points
+  EXPECT_TRUE(t.sampled_range(65, 128));
+}
+
+TEST(Tracer, RingKeepsNewestRecordsInOrder) {
+  Tracer t("n", 4, 1);
+  for (Tick tick = 1; tick <= 6; ++tick) {
+    t.record(tick * 10, 1, tick, TraceMilestone::kPublish);
+  }
+  EXPECT_EQ(t.total_recorded(), 6u);
+  const auto recs = t.in_order();
+  ASSERT_EQ(recs.size(), 4u);  // capacity bound: oldest two evicted
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    EXPECT_EQ(recs[i].tick, static_cast<Tick>(3 + i));
+  }
+}
+
+TEST(Tracer, UnsampledTicksCostNoRingSpace) {
+  Tracer t("n", 8, 64);
+  t.record(1, 1, 5, TraceMilestone::kPublish);  // 5 not sampled at 1/64
+  EXPECT_EQ(t.total_recorded(), 0u);
+  t.record(2, 1, 64, TraceMilestone::kPublish);
+  EXPECT_EQ(t.total_recorded(), 1u);
+}
+
+// --------------------------------------------------------- flight recorder
+
+// Checklist lines pad the milestone name to a fixed width; build the
+// expected prefix the same way trace.cpp does instead of hand-counting.
+std::string checklist_prefix(const char* milestone, const char* status) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "  %-17s %s", milestone, status);
+  return buf;
+}
+
+TEST(FlightRecorder, MergesNodeRingsInTimeOrderWithChecklist) {
+  Tracer phb("phb", 16, 1);
+  Tracer shb("shb0", 16, 1);
+  phb.record(/*now=*/100, /*pubend=*/1, /*tick=*/7, TraceMilestone::kPublish);
+  phb.record(200, 1, 7, TraceMilestone::kPersist);
+  shb.record(300, 1, 7, TraceMilestone::kMatch);
+  shb.record(400, 1, 7, TraceMilestone::kDeliverConstream, /*detail=*/42);
+  // tick 8: published but never matched (the "violation" narrative).
+  phb.record(150, 1, 8, TraceMilestone::kPublish);
+
+  const FlightRecorderFocus focus{1, 7};
+  const std::string dump = merged_flight_record({&phb, &shb}, &focus);
+
+  // Time order across nodes: publish(7) < publish(8) < persist < match.
+  EXPECT_LT(dump.find("publish"), dump.find("persist"));
+  EXPECT_LT(dump.find("persist"), dump.find("match"));
+  EXPECT_NE(dump.find("sub=42"), std::string::npos);
+
+  // Checklist: reached milestones say PASSED with the node, others NOT.
+  EXPECT_NE(dump.find("milestone checklist for pubend 1 tick 7"),
+            std::string::npos);
+  EXPECT_NE(dump.find(checklist_prefix("match", "PASSED")), std::string::npos);
+  EXPECT_NE(dump.find(checklist_prefix("ack", "NOT REACHED")), std::string::npos);
+  EXPECT_NE(dump.find(checklist_prefix("pfs-log", "NOT REACHED")),
+            std::string::npos);
+}
+
+TEST(FlightRecorder, RangeRecordsSatisfyContainedFocusTicks) {
+  Tracer t("phb", 16, 1);
+  t.record_range(50, 1, 10, 20, TraceMilestone::kReleaseToL);
+  const FlightRecorderFocus inside{1, 15};
+  const FlightRecorderFocus outside{1, 25};
+  EXPECT_NE(merged_flight_record({&t}, &inside)
+                .find(checklist_prefix("release-to-L", "PASSED")),
+            std::string::npos);
+  EXPECT_NE(merged_flight_record({&t}, &outside)
+                .find(checklist_prefix("release-to-L", "NOT REACHED")),
+            std::string::npos);
+}
+
+TEST(FlightRecorder, WarnsWhenFocusTickIsOutsideTheSample) {
+  Tracer t("phb", 16, 64);
+  const FlightRecorderFocus focus{1, 7};  // 7 is not sampled at 1-in-64
+  const std::string dump = merged_flight_record({&t}, &focus);
+  EXPECT_NE(dump.find("not in trace sample"), std::string::npos);
+  EXPECT_NE(dump.find("sample_every=1 for full coverage"), std::string::npos);
+}
+
+TEST(FlightRecorder, MergedDumpIsDeterministic) {
+  auto build = [] {
+    Tracer a("phb", 8, 1);
+    Tracer b("shb0", 8, 1);
+    // Identical timestamps: the tiebreak is node order then ring order.
+    a.record(100, 1, 3, TraceMilestone::kPublish);
+    b.record(100, 1, 3, TraceMilestone::kMatch);
+    b.record(100, 1, 3, TraceMilestone::kDeliverConstream, 9);
+    return merged_flight_record({&a, &b}, nullptr);
+  };
+  EXPECT_EQ(build(), build());
+}
+
+}  // namespace
+}  // namespace gryphon

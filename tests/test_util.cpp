@@ -184,6 +184,34 @@ TEST(RateMeter, WindowsCountPerSecond) {
   EXPECT_EQ(m.total(), 151u);
 }
 
+TEST(RateMeter, IdleGapWindowsReportZeroRate) {
+  RateMeter m(sec(1));
+  m.record(msec(500), 10);
+  // Nothing for three full windows, then a burst in window 4. The idle
+  // windows must appear as explicit zero-rate entries, not be elided — a
+  // plot over windows() would otherwise silently skip the quiet span.
+  m.record(sec(4) + msec(100), 20);
+  m.record(sec(5) + msec(1));  // opens window 5 so window 4 completes
+  const auto w = m.windows();
+  ASSERT_EQ(w.size(), 5u);
+  EXPECT_DOUBLE_EQ(w[0].per_second, 10.0);
+  EXPECT_DOUBLE_EQ(w[1].per_second, 0.0);
+  EXPECT_DOUBLE_EQ(w[2].per_second, 0.0);
+  EXPECT_DOUBLE_EQ(w[3].per_second, 0.0);
+  EXPECT_DOUBLE_EQ(w[4].per_second, 20.0);
+  EXPECT_EQ(w[4].start, sec(4));
+}
+
+TEST(RateMeter, LeadingIdleWindowsBeforeFirstRecord) {
+  RateMeter m(sec(1));
+  m.record(sec(3), 7);  // first ever event lands in window 3
+  m.record(sec(4));     // completes window 3
+  const auto w = m.windows();
+  ASSERT_EQ(w.size(), 4u);
+  for (int i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(w[i].per_second, 0.0);
+  EXPECT_DOUBLE_EQ(w[3].per_second, 7.0);
+}
+
 TEST(TimeSeries, RateOfChange) {
   TimeSeries ts("x");
   // Value advances 1000 per second of sim time.
@@ -207,6 +235,48 @@ TEST(Histogram, Percentiles) {
   EXPECT_EQ(h.count(), 1000u);
   EXPECT_NEAR(h.percentile(50), 50.0, 15.0);
   EXPECT_NEAR(h.percentile(99), 99.0, 30.0);
+}
+
+TEST(TimeSeries, DegenerateSeriesHaveDefinedResults) {
+  TimeSeries empty("e");
+  EXPECT_TRUE(empty.rate_of_change(sec(1)).empty());
+  EXPECT_DOUBLE_EQ(empty.average_over(0, sec(1)), 0.0);
+
+  TimeSeries one("o");
+  one.record(sec(5), 42.0);
+  // One point: no measurable change, and the single value extends over any
+  // averaging window (including windows entirely before the point).
+  EXPECT_TRUE(one.rate_of_change(sec(1)).empty());
+  EXPECT_DOUBLE_EQ(one.average_over(0, sec(1)), 42.0);
+  EXPECT_DOUBLE_EQ(one.average_over(sec(4), sec(6)), 42.0);
+  EXPECT_DOUBLE_EQ(one.average_over(sec(10), sec(11)), 42.0);
+}
+
+TEST(Histogram, PercentileEdgesAndClamping) {
+  Histogram empty(1.0, 100.0);
+  EXPECT_DOUBLE_EQ(empty.percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(empty.percentile(100), 0.0);
+
+  Histogram h(1.0, 100.0);
+  h.add(10.0);
+  h.add(20.0);
+  // p=0 reports the first non-empty bucket, p=100 the last; both are bucket
+  // upper bounds, so compare with log-bucket slack.
+  EXPECT_NEAR(h.percentile(0), 10.0, 3.0);
+  EXPECT_NEAR(h.percentile(100), 20.0, 6.0);
+  EXPECT_LE(h.percentile(0), h.percentile(100));
+
+  // Out-of-range values clamp into the edge buckets instead of being lost.
+  Histogram clamped(1.0, 100.0);
+  clamped.add(0.001);   // below min: first bucket, reported as min_value
+  clamped.add(1e9);     // above max: overflow bucket
+  EXPECT_EQ(clamped.count(), 2u);
+  EXPECT_DOUBLE_EQ(clamped.percentile(0), 1.0);
+  EXPECT_GE(clamped.percentile(100), 100.0);
+
+  EXPECT_THROW(h.percentile(-0.5), InvariantViolation);
+  EXPECT_THROW(h.percentile(100.5), InvariantViolation);
 }
 
 // ------------------------------------------------------------------- rng

@@ -37,6 +37,8 @@ struct Flags {
   double crash_down_s = 5.0;
   double max_retain_s = 0.0;  // 0 = no early release
   int imprecise_batch = 1;
+  int trace_sample = 64;
+  std::string metrics_json;  // empty = no snapshot file
   bool quiet = false;
 };
 
@@ -56,6 +58,8 @@ void usage() {
       "  --crash-down S       ...restarting after S               [5]\n"
       "  --max-retain S       early-release retention window      [off]\n"
       "  --imprecise-batch N  PFS precision (1 = precise)         [1]\n"
+      "  --trace-sample N     trace 1-in-N ticks (power of two)   [64]\n"
+      "  --metrics-json PATH  write per-node registry snapshots\n"
       "  --quiet              suppress the per-second rate table\n");
 }
 
@@ -97,6 +101,10 @@ bool parse_flags(int argc, char** argv, Flags& flags) {
       flags.max_retain_s = v;
     } else if (arg == "--imprecise-batch" && next_value(v)) {
       flags.imprecise_batch = static_cast<int>(v);
+    } else if (arg == "--trace-sample" && next_value(v)) {
+      flags.trace_sample = static_cast<int>(v);
+    } else if (arg == "--metrics-json" && i + 1 < argc) {
+      flags.metrics_json = argv[++i];
     } else {
       std::fprintf(stderr, "unknown or incomplete flag: %s\n", arg.c_str());
       return false;
@@ -123,6 +131,9 @@ int main(int argc, char** argv) {
   if (flags.max_retain_s > 0) {
     config.policy = std::make_shared<core::MaxRetainPolicy>(
         static_cast<Tick>(flags.max_retain_s * 1000));
+  }
+  if (flags.trace_sample >= 1) {
+    config.trace_sample_every = static_cast<std::uint32_t>(flags.trace_sample);
   }
   harness::System system(config);
 
@@ -209,6 +220,15 @@ int main(int argc, char** argv) {
     for (const auto& w : system.oracle().delivery_rate().windows()) {
       if (w.start < measure_from || w.start >= measure_to) continue;
       std::printf("  t=%-5.0f %8.0f ev/s\n", to_seconds(w.start), w.per_second);
+    }
+  }
+  if (!flags.metrics_json.empty()) {
+    if (system.write_metrics_json(flags.metrics_json)) {
+      std::printf("wrote per-node metrics snapshot to %s\n",
+                  flags.metrics_json.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", flags.metrics_json.c_str());
+      return 1;
     }
   }
   std::printf("\nexactly-once contract verified for all %d subscribers.\n",

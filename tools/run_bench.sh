@@ -10,6 +10,12 @@
 # file; after an intentional perf change, re-record with
 #   ./build-release/bench/bench_wallclock --out BENCH_substrate.json
 # and update the variant tags (pre_pr_baseline / post_pr) by hand.
+#
+# Each workload entry in the JSON also carries a nested "metrics" block of
+# broker-internal registry counters (summed over nodes). bench_wallclock
+# itself fails on protocol-counter regressions (e.g. shb.gaps_sent > 0 on
+# the steady fig4 workload), so a counter drifting into pathological
+# territory fails this gate even when throughput looks fine.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,3 +30,10 @@ cmake --build --preset release -j "$(nproc)" --target bench_wallclock
   --check BENCH_substrate.json \
   --tolerance "${TOLERANCE}" \
   --reps "${REPS}"
+
+# The metrics block must have been recorded for the steady workload —
+# guards against the registry silently going dark.
+if ! grep -qF '"metrics": {' BENCH_substrate.json.new; then
+  echo "ERROR: BENCH_substrate.json.new has no registry metrics block" >&2
+  exit 1
+fi

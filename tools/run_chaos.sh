@@ -22,5 +22,31 @@ echo "== chaos test suite (asan-ubsan) =="
 echo "== substrate smoke (asan-ubsan): bench_wallclock 1 seed =="
 ./build-asan/bench/bench_wallclock --smoke
 
+echo "== flight recorder negative test: injected violation must dump =="
+# A fabricated exactly-once violation must (a) fail the run and (b) produce
+# the merged flight-recorder dump with a milestone checklist focused on the
+# offending (pubend, tick). A "passing" injected run means the recorder is
+# broken, so this asserts the failure.
+INJECT_LOG="$(mktemp)"
+if ./build-asan/bench/bench_chaos_soak 1 "${FIRST_SEED}" 5 --inject-violation \
+    >"${INJECT_LOG}" 2>&1; then
+  echo "ERROR: injected violation did not fail the run" >&2
+  cat "${INJECT_LOG}" >&2
+  rm -f "${INJECT_LOG}"
+  exit 1
+fi
+for marker in "=== flight recorder: merged tick trace" \
+              "--- milestone checklist for pubend" \
+              "violation focus:"; do
+  if ! grep -qF -e "${marker}" "${INJECT_LOG}"; then
+    echo "ERROR: flight-recorder dump missing marker: ${marker}" >&2
+    cat "${INJECT_LOG}" >&2
+    rm -f "${INJECT_LOG}"
+    exit 1
+  fi
+done
+rm -f "${INJECT_LOG}"
+echo "ok: injected violation produced the focused flight-recorder dump"
+
 echo "== chaos soak: ${NUM_SEEDS} seeds from ${FIRST_SEED}, ${HORIZON_S}s horizon =="
 ./build-asan/bench/bench_chaos_soak "${NUM_SEEDS}" "${FIRST_SEED}" "${HORIZON_S}"
