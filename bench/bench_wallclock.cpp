@@ -261,6 +261,16 @@ int main(int argc, char** argv) {
                     name.c_str(), gaps);
         regression = true;
       }
+      // No broker crashes in the steady workload: a recovery scan that had
+      // to discard a torn WAL tail means the persistence engine corrupted or
+      // lost bytes on a fault-free run.
+      const double truncated = best.registry_counter("wal.recovery_truncated_bytes");
+      if (truncated > 0) {
+        std::printf("  METRIC REGRESSION: %s truncated %.0f WAL bytes on a "
+                    "steady workload (expected 0)\n",
+                    name.c_str(), truncated);
+        regression = true;
+      }
     }
 
     if (!check_path.empty()) {

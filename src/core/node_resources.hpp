@@ -28,7 +28,7 @@ class NodeResources {
  public:
   NodeResources(sim::Simulator& simulator, sim::Network& network, std::string name,
                 const BrokerConfig& broker_config, storage::DiskConfig disk_config,
-                int db_connections = 1)
+                int db_connections = 1, storage::StorageOptions storage_options = {})
       : sim(simulator),
         network(network),
         name(std::move(name)),
@@ -36,8 +36,23 @@ class NodeResources {
         tracer(this->name),
         cpu(simulator, this->name + ".cpu", broker_config.cores),
         disk(simulator, this->name + ".disk", disk_config),
-        log_volume(disk),
-        database(disk, db_connections) {
+        log_volume(disk, storage_options, "log"),
+        database(disk, db_connections, storage_options, "db") {
+    // wal.* torn-tail totals are *counters* (not probes) so they land in the
+    // bench JSON metrics block; the two WALs of a node share the slots.
+    {
+      storage::LogVolume::Instruments ins;
+      ins.recoveries = metrics.counter("wal.recoveries");
+      ins.recovery_truncated_bytes = metrics.counter("wal.recovery_truncated_bytes");
+      ins.torn_tail_recoveries = metrics.counter("wal.torn_tail_recoveries");
+      ins.group_commit_bytes = metrics.histogram("wal.group_commit_size", 1.0, 1e8);
+      log_volume.bind_instruments(ins);
+      storage::Database::Instruments db_ins;
+      db_ins.recoveries = ins.recoveries;
+      db_ins.recovery_truncated_bytes = ins.recovery_truncated_bytes;
+      db_ins.torn_tail_recoveries = ins.torn_tail_recoveries;
+      database.bind_instruments(db_ins);
+    }
     endpoint = network.add_endpoint(this->name, [this](sim::EndpointId from,
                                                        sim::MessagePtr msg) {
       route(from, std::move(msg));
@@ -75,6 +90,24 @@ class NodeResources {
     probes_.push_back(metrics.probe("log.barrier_batches", [this] {
       return static_cast<double>(log_volume.barrier_batches());
     }));
+    probes_.push_back(metrics.probe("disk.synced_bytes", [this] {
+      return static_cast<double>(disk.total_synced_bytes());
+    }));
+    probes_.push_back(metrics.probe("disk.dropped_bytes", [this] {
+      return static_cast<double>(disk.total_dropped_bytes());
+    }));
+    probes_.push_back(metrics.probe("wal.segments", [this] {
+      return static_cast<double>(log_volume.wal().segment_count() +
+                                 database.wal().segment_count());
+    }));
+    probes_.push_back(metrics.probe("wal.live_bytes", [this] {
+      return static_cast<double>(log_volume.wal().live_bytes() +
+                                 database.wal().live_bytes());
+    }));
+    probes_.push_back(metrics.probe("wal.gc_dropped_segments", [this] {
+      return static_cast<double>(log_volume.wal().gc_dropped_segments() +
+                                 database.wal().gc_dropped_segments());
+    }));
   }
 
   NodeResources(const NodeResources&) = delete;
@@ -103,8 +136,12 @@ class NodeResources {
 
   /// Torn sync on the node's disk: dirty data under the in-flight barrier
   /// is lost but the process stays up; LogVolume/Database re-issue it.
-  void torn_sync() {
+  /// `entropy` seeds how much of the torn barrier's WAL bytes a crash that
+  /// beats the retry would find on disk (a mid-frame tail, usually).
+  void torn_sync(std::uint64_t entropy = 0) {
     GRYPHON_LOG(kWarn, name, "torn sync: in-flight disk barrier lost, retrying");
+    log_volume.set_crash_entropy(entropy);
+    database.set_crash_entropy(entropy >> 7);
     disk.drop_unsynced();
     log_volume.on_torn_sync();
     database.on_torn_sync();

@@ -42,6 +42,23 @@ PersistentFilteringSubsystem::PersistentFilteringSubsystem(NodeResources& resour
   m_reads_ = res_.metrics.counter("pfs.reads_issued");
 }
 
+// Format-drift guards for the paper's "8 + 16·n bytes" accounting: each
+// wire entry is a u32 subscriber id + u64 back-pointer and must fit the
+// per-subscriber budget; the fixed part (two i64 timestamps + u32 entry
+// count) must fit the ranged-record budget plus the u32 the accounting
+// model leaves to the volume's record header. If the encoder below gains a
+// field, these fire before any benchmark number quietly moves.
+static_assert(sizeof(std::uint32_t) + sizeof(storage::LogIndex) <=
+                  PersistentFilteringSubsystem::kPerSubscriberBytes,
+              "PFS wire entry outgrew the paper's 16-byte/subscriber budget");
+static_assert(2 * sizeof(std::int64_t) + sizeof(std::uint32_t) <=
+                  PersistentFilteringSubsystem::kRangeRecordFixedBytes +
+                      sizeof(std::uint32_t),
+              "PFS wire fixed part outgrew the paper's record budget");
+static_assert(PersistentFilteringSubsystem::record_bytes(1) == 8 + 16 &&
+                  PersistentFilteringSubsystem::record_bytes(200) == 8 + 16 * 200,
+              "record_bytes must stay the paper's 8 + 16*n formula");
+
 std::vector<std::byte> PersistentFilteringSubsystem::encode(
     const Record& r, std::vector<std::byte> reuse) {
   BufWriter w(std::move(reuse));
@@ -138,6 +155,17 @@ void PersistentFilteringSubsystem::open(const std::vector<PubendId>& pubends) {
     state.durable_last_index = state.last_index;
     state.last_accepted = state.last_timestamp;
     state.meta_dirty = true;
+
+    // Re-chop records resurrected below the committed chop boundary: the
+    // byte-level recovery can bring back records whose chop frame was still
+    // in the page cache when the crash hit, while the DB commit of
+    // `chopped` was already durable.
+    while (volume.first_index(state.stream) < volume.next_index(state.stream)) {
+      const storage::LogIndex first = volume.first_index(state.stream);
+      const auto* bytes = volume.read(state.stream, first);
+      if (bytes == nullptr || decode(*bytes).range.to > state.chopped_upto) break;
+      volume.chop(state.stream, first);
+    }
   }
 }
 

@@ -116,13 +116,25 @@ class PersistentFilteringSubsystem {
   [[nodiscard]] std::uint64_t reads_issued() const { return reads_; }
   [[nodiscard]] std::uint64_t reads_reached_last() const { return reads_reached_last_; }
 
+  /// Paper §4.2 accounting constants: a single-tick record is charged
+  /// kRecordFixedBytes + kPerSubscriberBytes·n ("8 + 16·n bytes per matched
+  /// timestamp"); an imprecise record pays kRangeRecordFixedBytes for its
+  /// two timestamps. The wire encoding must fit these budgets — static-
+  /// asserted next to encode() in pfs.cpp, unit-tested in test_pfs.cpp —
+  /// so format drift fails the build, not the Fig. 8 byte counts.
+  static constexpr std::size_t kRecordFixedBytes = 8;        // one timestamp
+  static constexpr std::size_t kRangeRecordFixedBytes = 16;  // two timestamps
+  static constexpr std::size_t kPerSubscriberBytes = 16;     // id + back-pointer
+
   /// Per-record byte size as the paper counts it (single-tick record).
-  static std::size_t record_bytes(std::size_t n_subscribers) {
-    return 8 + 16 * n_subscribers;
+  static constexpr std::size_t record_bytes(std::size_t n_subscribers) {
+    return kRecordFixedBytes + kPerSubscriberBytes * n_subscribers;
   }
   /// Imprecise records carry a range (two timestamps).
-  static std::size_t range_record_bytes(std::size_t n_subscribers, bool ranged) {
-    return (ranged ? 16 : 8) + 16 * n_subscribers;
+  static constexpr std::size_t range_record_bytes(std::size_t n_subscribers,
+                                                  bool ranged) {
+    return (ranged ? kRangeRecordFixedBytes : kRecordFixedBytes) +
+           kPerSubscriberBytes * n_subscribers;
   }
 
  private:

@@ -47,11 +47,21 @@ void Pubend::recover() {
   // authoritative — every non-D tick up to the last logged one is S).
   auto& volume = res_.log_volume;
   Tick prev = lost_upto_;
+  storage::LogIndex rechop_upto = storage::kNoIndex;
   for (storage::LogIndex i = volume.first_index(log_stream_);
        i <= volume.durable_index(log_stream_); ++i) {
     const auto* bytes = volume.read(log_stream_, i);
     if (bytes == nullptr) continue;
     LoggedEvent e = decode_logged_event(*bytes);
+    if (e.tick <= lost_upto_) {
+      // Resurrected below the released boundary: the release-protocol chop
+      // frame for these records was still in the page cache at the crash,
+      // but the DB commit of lost_upto was durable. The ticks are already
+      // forced-lost; drop the records again instead of replaying them.
+      rechop_upto = i;
+      last_assigned_ = std::max(last_assigned_, e.tick);
+      continue;
+    }
     GRYPHON_CHECK(e.tick > prev);
     if (e.tick > prev + 1) ticks_.set_silence(prev + 1, e.tick - 1);
     ticks_.set_data(e.tick, e.event);
@@ -60,6 +70,7 @@ void Pubend::recover() {
     prev = e.tick;
     last_assigned_ = std::max(last_assigned_, e.tick);
   }
+  if (rechop_upto != storage::kNoIndex) volume.chop(log_stream_, rechop_upto);
   announced_upto_ = std::max(prev, lost_upto_);
   last_assigned_ = std::max(last_assigned_, announced_upto_);
   released_min_ = std::min(released_min_, announced_upto_);

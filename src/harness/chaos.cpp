@@ -240,21 +240,33 @@ void ChaosSchedule::plan_disk_stall(SimTime t, std::size_t broker) {
          fmt_line(t - armed_at_, fault_kind_name(FaultKind::kDiskStall), d));
 }
 
-void ChaosSchedule::torn_sync_at(SimTime t, const BrokerTarget& b) {
+core::NodeResources& ChaosSchedule::node_of(const BrokerTarget& b) {
+  switch (b.type) {
+    case BrokerTarget::Type::kIntermediate: return system_.intermediate_node(b.index);
+    case BrokerTarget::Type::kShb: return system_.shb_node(b.index);
+    case BrokerTarget::Type::kPhb:
+    default: return system_.phb_node();
+  }
+}
+
+void ChaosSchedule::torn_sync_at(SimTime t, const BrokerTarget& b,
+                                 std::uint64_t entropy) {
   const auto type = b.type;
   const int index = b.index;
-  system_.simulator().schedule_at(t, [this, type, index] {
+  system_.simulator().schedule_at(t, [this, type, index, entropy] {
     switch (type) {
-      case BrokerTarget::Type::kPhb: system_.torn_sync_phb(); break;
-      case BrokerTarget::Type::kIntermediate: system_.torn_sync_intermediate(index); break;
-      case BrokerTarget::Type::kShb: system_.torn_sync_shb(index); break;
+      case BrokerTarget::Type::kPhb: system_.torn_sync_phb(entropy); break;
+      case BrokerTarget::Type::kIntermediate:
+        system_.torn_sync_intermediate(index, entropy);
+        break;
+      case BrokerTarget::Type::kShb: system_.torn_sync_shb(index, entropy); break;
     }
   });
 }
 
 void ChaosSchedule::plan_torn_sync(SimTime t, std::size_t broker) {
   const BrokerTarget& b = brokers_[broker];
-  torn_sync_at(t, b);
+  torn_sync_at(t, b, rng_.next_u64());
   broker_busy_until_[broker] = t + kTargetCooldown;
   note_repair(t);
   record(t, FaultKind::kTornSync,
@@ -262,10 +274,17 @@ void ChaosSchedule::plan_torn_sync(SimTime t, std::size_t broker) {
                   b.name + ".disk in-flight barriers lost"));
 }
 
-void ChaosSchedule::crash_broker_at(SimTime t, const BrokerTarget& b) {
+void ChaosSchedule::crash_broker_at(SimTime t, const BrokerTarget& b,
+                                    std::uint64_t entropy) {
   const auto type = b.type;
   const int index = b.index;
-  system_.simulator().schedule_at(t, [this, type, index] {
+  system_.simulator().schedule_at(t, [this, type, index, entropy] {
+    // Seed the WAL tear point before the crash so recovery scans a tail torn
+    // somewhere inside the dirty window, not always at the durable watermark.
+    BrokerTarget key{type, index, ""};
+    core::NodeResources& node = node_of(key);
+    node.log_volume.set_crash_entropy(entropy);
+    node.database.set_crash_entropy(entropy >> 7);
     switch (type) {
       case BrokerTarget::Type::kPhb: system_.crash_phb(); break;
       case BrokerTarget::Type::kIntermediate: system_.crash_intermediate(index); break;
@@ -289,7 +308,7 @@ void ChaosSchedule::restart_broker_at(SimTime t, const BrokerTarget& b) {
 void ChaosSchedule::plan_crash_restart(SimTime t, std::size_t broker) {
   const BrokerTarget& b = brokers_[broker];
   const SimDuration outage = draw_duration(msec(300), sec(3));
-  crash_broker_at(t, b);
+  crash_broker_at(t, b, rng_.next_u64());
   restart_broker_at(t + outage, b);
   broker_busy_until_[broker] = t + outage + kTargetCooldown;
   note_repair(t + outage);
@@ -306,9 +325,9 @@ void ChaosSchedule::plan_crash_during_recovery(SimTime t, std::size_t broker) {
   // 1-40ms into the restart reliably lands inside recovery IO.
   const SimDuration recovery_window = draw_duration(msec(1), msec(40));
   const SimDuration outage2 = draw_duration(msec(300), sec(2));
-  crash_broker_at(t, b);
+  crash_broker_at(t, b, rng_.next_u64());
   restart_broker_at(t + outage1, b);
-  crash_broker_at(t + outage1 + recovery_window, b);
+  crash_broker_at(t + outage1 + recovery_window, b, rng_.next_u64());
   const SimTime back = t + outage1 + recovery_window + outage2;
   restart_broker_at(back, b);
   broker_busy_until_[broker] = back + kTargetCooldown;
@@ -334,7 +353,7 @@ void ChaosSchedule::plan_double_fault(SimTime t, std::size_t link) {
   sim.schedule_at(t, [this, link] {
     system_.network().partition(links_[link].a, links_[link].b);
   });
-  crash_broker_at(t + crash_offset, b);
+  crash_broker_at(t + crash_offset, b, rng_.next_u64());
   // The restart may land inside or after the partition window: a broker
   // recovering behind a severed uplink must keep retrying its nacks until
   // the heal, not wedge on the first refused send.

@@ -138,9 +138,12 @@ class ChaosSchedule {
   void plan_crash_during_recovery(SimTime t, std::size_t broker);
   void plan_double_fault(SimTime t, std::size_t link);
 
-  void crash_broker_at(SimTime t, const BrokerTarget& b);
+  // `entropy` is drawn at PLAN time (the rng must not be touched while the
+  // simulation runs) and seeds where the WAL tail tears on the byte store.
+  void crash_broker_at(SimTime t, const BrokerTarget& b, std::uint64_t entropy);
   void restart_broker_at(SimTime t, const BrokerTarget& b);
-  void torn_sync_at(SimTime t, const BrokerTarget& b);
+  void torn_sync_at(SimTime t, const BrokerTarget& b, std::uint64_t entropy);
+  core::NodeResources& node_of(const BrokerTarget& b);
 
   System& system_;
   ChaosConfig config_;

@@ -29,7 +29,8 @@ System::System(SystemConfig config)
   const auto pubend_ids = make_pubend_ids(config_.num_pubends);
 
   phb_node_ = std::make_unique<core::NodeResources>(sim_, net_, "phb", config_.broker,
-                                                    config_.phb_disk);
+                                                    config_.phb_disk,
+                                                    /*db_connections=*/1, config_.storage);
   configure_tracer(*phb_node_, config_);
   phb_ = std::make_unique<core::PublisherHostingBroker>(*phb_node_, config_.broker,
                                                         pubend_ids, config_.policy);
@@ -37,7 +38,8 @@ System::System(SystemConfig config)
   sim::EndpointId tail = phb_node_->endpoint;
   for (int i = 0; i < config_.num_intermediates; ++i) {
     auto node = std::make_unique<core::NodeResources>(
-        sim_, net_, "imb" + std::to_string(i), config_.broker, config_.shb_disk);
+        sim_, net_, "imb" + std::to_string(i), config_.broker, config_.shb_disk,
+        /*db_connections=*/1, config_.storage);
     configure_tracer(*node, config_);
     auto broker = std::make_unique<core::IntermediateBroker>(*node, config_.broker,
                                                              pubend_ids);
@@ -56,7 +58,7 @@ System::System(SystemConfig config)
   for (int i = 0; i < config_.num_shbs; ++i) {
     auto node = std::make_unique<core::NodeResources>(
         sim_, net_, "shb" + std::to_string(i), config_.broker, config_.shb_disk,
-        config_.shb_db_connections);
+        config_.shb_db_connections, config_.storage);
     node->database.set_per_txn_overhead(config_.shb_db_per_txn_overhead);
     configure_tracer(*node, config_);
     auto broker = std::make_unique<core::SubscriberHostingBroker>(*node, config_.broker,
@@ -276,21 +278,21 @@ void System::restart_intermediate(int i) {
   ptr->start(/*fresh=*/false);
 }
 
-void System::torn_sync_phb() {
+void System::torn_sync_phb(std::uint64_t entropy) {
   GRYPHON_CHECK_MSG(phb_ != nullptr, "torn sync on crashed PHB");
-  phb_node_->torn_sync();
+  phb_node_->torn_sync(entropy);
 }
 
-void System::torn_sync_intermediate(int i) {
+void System::torn_sync_intermediate(int i, std::uint64_t entropy) {
   GRYPHON_CHECK(i >= 0 && i < static_cast<int>(intermediates_.size()));
   GRYPHON_CHECK_MSG(intermediate_alive(i), "torn sync on crashed intermediate " << i);
-  intermediate_nodes_[static_cast<std::size_t>(i)]->torn_sync();
+  intermediate_nodes_[static_cast<std::size_t>(i)]->torn_sync(entropy);
 }
 
-void System::torn_sync_shb(int i) {
+void System::torn_sync_shb(int i, std::uint64_t entropy) {
   GRYPHON_CHECK(i >= 0 && i < static_cast<int>(shbs_.size()));
   GRYPHON_CHECK_MSG(shb_alive(i), "torn sync on crashed SHB " << i);
-  shb_nodes_[static_cast<std::size_t>(i)]->torn_sync();
+  shb_nodes_[static_cast<std::size_t>(i)]->torn_sync(entropy);
 }
 
 void System::verify_exactly_once() {

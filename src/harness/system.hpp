@@ -30,6 +30,9 @@ struct SystemConfig {
   core::BrokerConfig broker{};
   storage::DiskConfig phb_disk{};
   storage::DiskConfig shb_disk{};
+  /// Byte-level WAL knobs shared by every node's LogVolume + Database
+  /// (segment roll size, DB compaction threshold, optional real-file dir).
+  storage::StorageOptions storage{};
   int shb_db_connections = 1;
   /// Per-transaction DB-engine cost at the SHB (JMS auto-ack bottleneck).
   SimDuration shb_db_per_txn_overhead = 0;
@@ -118,9 +121,11 @@ class System {
 
   /// Torn sync on a live broker's disk (in-flight write barriers lost, the
   /// process stays up; LogVolume/Database re-issue the lost barriers).
-  void torn_sync_phb();
-  void torn_sync_intermediate(int i);
-  void torn_sync_shb(int i = 0);
+  /// `entropy` seeds the byte offset a subsequent crash would tear the WAL
+  /// tail at (0 = tear exactly at the durable watermark).
+  void torn_sync_phb(std::uint64_t entropy = 0);
+  void torn_sync_intermediate(int i, std::uint64_t entropy = 0);
+  void torn_sync_shb(int i = 0, std::uint64_t entropy = 0);
 
   /// Runs the simulation for `d` of simulated time.
   void run_for(SimDuration d) { sim_.run_until(sim_.now() + d); }

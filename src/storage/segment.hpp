@@ -1,0 +1,114 @@
+// On-disk WAL wire format: segment headers and CRC32C-framed records.
+//
+// A WAL is a sequence of segments; each segment is
+//
+//   +--------------------------------------------------------------+
+//   | segment header: magic(8) version(2) node(4) seq(8)           |
+//   |                 body_len(4) crc32c(4) body                   |
+//   |   body = stream-registry snapshot at segment creation:       |
+//   |          count(4) then per stream id(4) name(str) base(8)    |
+//   |          next(8)                                             |
+//   +--------------------------------------------------------------+
+//   | frame | frame | frame | ...                                  |
+//   +--------------------------------------------------------------+
+//
+// and each frame is length-prefixed and checksummed:
+//
+//   +------------+-----------+---------+------------+----------+---------+
+//   | len u32    | crc32c u32| kind u8 | stream u32 | index u64| payload |
+//   +------------+-----------+---------+------------+----------+---------+
+//        |             |________ crc covers kind..payload ________|
+//        |______ len = payload bytes (frame total = 21 + len) ____|
+//
+// Parsing never throws: a torn or corrupt frame yields FrameParse with
+// consumed == 0 and a reason + expected/found CRC, which the recovery
+// scanner turns into a truncate-the-tail decision (DESIGN.md §4.4).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "storage/crc32c.hpp"
+
+namespace gryphon::storage {
+
+using LogStreamId = std::uint32_t;
+using LogIndex = std::uint64_t;
+
+/// Sentinel: "no previous record" (the paper's ⊥ back-pointer).
+constexpr LogIndex kNoIndex = 0;
+
+namespace wire {
+
+/// "GRYWAL01" little-endian; bump the trailing digits with the version.
+constexpr std::uint64_t kSegmentMagic = 0x31304C4157595247ull;
+constexpr std::uint16_t kWalVersion = 1;
+
+/// magic(8) + version(2) + node(4) + seq(8) + body_len(4) + crc(4).
+constexpr std::size_t kSegmentPreambleBytes = 8 + 2 + 4 + 8 + 4 + 4;
+
+/// len(4) + crc(4) + kind(1) + stream(4) + index(8).
+constexpr std::size_t kFrameHeaderBytes = 4 + 4 + 1 + 4 + 8;
+
+/// Upper bound on a single frame payload; anything larger in a length
+/// prefix is treated as corruption, bounding how far a scan can be fooled.
+constexpr std::size_t kMaxFramePayloadBytes = 64u << 20;
+
+enum class FrameKind : std::uint8_t {
+  kOpenStream = 1,  // payload = stream name; index = initial base
+  kAppend = 2,      // payload = record bytes; index = record index
+  kChop = 3,        // index = chopped-upto boundary; empty payload
+  kDbBatch = 4,     // payload = serialized commit batch; index = batch seq
+  kDbSnapshot = 5,  // payload = full table snapshot; index = snapshot seq
+};
+
+/// Stream registry entry snapshotted into each segment header, so chop/open
+/// frames living only in GC'd segments stay recoverable.
+struct StreamSnapshot {
+  LogStreamId id = 0;
+  std::string name;
+  LogIndex base = 1;       // first retained index (chopped_upto + 1)
+  LogIndex next = 1;       // one past the last appended index
+};
+
+struct SegmentHeader {
+  std::uint32_t node_id = 0;
+  std::uint64_t seq = 0;
+  std::vector<StreamSnapshot> streams;
+};
+
+void append_segment_header(std::vector<std::byte>& out, const SegmentHeader& header);
+
+struct HeaderParse {
+  std::size_t consumed = 0;  // 0 => torn/corrupt
+  SegmentHeader header;
+  std::uint32_t crc_expected = 0;
+  std::uint32_t crc_found = 0;
+  const char* reason = nullptr;  // set when consumed == 0
+};
+[[nodiscard]] HeaderParse parse_segment_header(std::span<const std::byte> bytes);
+
+void append_frame(std::vector<std::byte>& out, FrameKind kind, LogStreamId stream,
+                  LogIndex index, std::span<const std::byte> payload);
+
+struct FrameView {
+  FrameKind kind{};
+  LogStreamId stream = 0;
+  LogIndex index = 0;
+  std::span<const std::byte> payload;
+};
+
+struct FrameParse {
+  std::size_t consumed = 0;  // 0 => torn/corrupt
+  FrameView frame;
+  std::uint32_t crc_expected = 0;
+  std::uint32_t crc_found = 0;
+  const char* reason = nullptr;  // set when consumed == 0
+};
+[[nodiscard]] FrameParse parse_frame(std::span<const std::byte> bytes);
+
+}  // namespace wire
+}  // namespace gryphon::storage

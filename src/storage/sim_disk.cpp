@@ -32,9 +32,12 @@ void SimDisk::write_and_sync(std::size_t bytes, std::function<void()> done) {
 
   const std::uint64_t gen = generation_;
   const std::uint64_t epoch = sync_epoch_;
-  sim_.schedule_at(end, [this, gen, epoch, done = std::move(done)] {
-    if (gen != generation_) return;    // lost to a crash
-    if (epoch != sync_epoch_) return;  // lost to a torn sync
+  sim_.schedule_at(end, [this, gen, epoch, bytes, done = std::move(done)] {
+    if (gen != generation_ || epoch != sync_epoch_) {
+      bytes_dropped_ += bytes;  // lost to a crash / torn sync
+      return;
+    }
+    bytes_synced_ += bytes;
     done();
   });
 }

@@ -81,6 +81,12 @@ class SimDisk {
   void drop_unsynced();
 
   [[nodiscard]] std::uint64_t total_bytes_written() const { return bytes_written_; }
+  /// Dirty bytes whose covering barrier actually completed, vs. bytes whose
+  /// barrier was lost to a crash or torn sync before acking. Counted when
+  /// the (simulated) completion fires, so `written == synced + dropped +
+  /// in-flight` at any instant.
+  [[nodiscard]] std::uint64_t total_synced_bytes() const { return bytes_synced_; }
+  [[nodiscard]] std::uint64_t total_dropped_bytes() const { return bytes_dropped_; }
   [[nodiscard]] std::uint64_t total_bytes_read() const { return bytes_read_; }
   [[nodiscard]] std::uint64_t total_syncs() const { return syncs_; }
   [[nodiscard]] std::uint64_t total_reads() const { return reads_; }
@@ -104,6 +110,8 @@ class SimDisk {
   SimDuration stall_time_ = 0;
   std::uint64_t dropped_syncs_ = 0;
   std::uint64_t bytes_written_ = 0;
+  std::uint64_t bytes_synced_ = 0;
+  std::uint64_t bytes_dropped_ = 0;
   std::uint64_t bytes_read_ = 0;
   std::uint64_t syncs_ = 0;
   std::uint64_t reads_ = 0;

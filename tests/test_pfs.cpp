@@ -48,6 +48,18 @@ TEST_F(PfsFixture, RecordBytesMatchPaperFormula) {
   EXPECT_EQ(PersistentFilteringSubsystem::record_bytes(25), 8u + 16 * 25);
 }
 
+TEST(PfsRecordFormat, PaperAccountingConstants) {
+  // §4.2's "8 + 16·n bytes" split into its named constants; the wire encoder
+  // is static-asserted against these in pfs.cpp, so drift fails the build.
+  using P = PersistentFilteringSubsystem;
+  EXPECT_EQ(P::kRecordFixedBytes, 8u);
+  EXPECT_EQ(P::kRangeRecordFixedBytes, 16u);
+  EXPECT_EQ(P::kPerSubscriberBytes, 16u);
+  EXPECT_EQ(P::record_bytes(200), 8u + 16u * 200u);
+  EXPECT_EQ(P::range_record_bytes(3, /*ranged=*/true), 16u + 16u * 3u);
+  EXPECT_EQ(P::range_record_bytes(3, /*ranged=*/false), P::record_bytes(3));
+}
+
 TEST_F(PfsFixture, AppendTracksLastTimestampAndBytes) {
   pfs.append(p1, 10, {SubscriberId{1}, SubscriberId{2}});
   pfs.append(p1, 12, {SubscriberId{2}});

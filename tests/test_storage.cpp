@@ -126,6 +126,30 @@ TEST(SimDisk, DropUnsyncedLosesPendingBarriersButNotReads) {
   EXPECT_EQ(disk.total_torn_syncs(), 1u);
 }
 
+TEST(SimDisk, SyncedAndDroppedByteAccounting) {
+  sim::Simulator sim;
+  SimDisk disk(sim, "d", {msec(4), 1e6, 1e6, msec(6)});
+  disk.write_and_sync(1'000, [] {});
+  sim.run_until_idle();
+  EXPECT_EQ(disk.total_synced_bytes(), 1'000u);
+  EXPECT_EQ(disk.total_dropped_bytes(), 0u);
+
+  disk.write_and_sync(2'000, [] {});
+  disk.drop_unsynced();  // barrier torn: its bytes count as dropped
+  disk.write_and_sync(500, [] {});
+  sim.run_until_idle();
+  EXPECT_EQ(disk.total_synced_bytes(), 1'500u);
+  EXPECT_EQ(disk.total_dropped_bytes(), 2'000u);
+  // Every written byte is accounted exactly once at completion time.
+  EXPECT_EQ(disk.total_bytes_written(),
+            disk.total_synced_bytes() + disk.total_dropped_bytes());
+
+  disk.write_and_sync(4'000, [] {});
+  disk.crash();  // crash drops in-flight barriers the same way
+  sim.run_until_idle();
+  EXPECT_EQ(disk.total_dropped_bytes(), 6'000u);
+}
+
 // -------------------------------------------------------------- LogVolume
 
 struct VolumeFixture : ::testing::Test {
@@ -223,6 +247,41 @@ TEST_F(VolumeFixture, CrashDropsPendingSyncWaiters) {
   disk.crash();
   sim.run_until_idle();
   EXPECT_FALSE(fired);
+}
+
+TEST_F(VolumeFixture, TornSyncRacingChopReissuesOnlyLiveRecords) {
+  // A release-protocol chop lands between a torn sync and its retry: the
+  // re-issued barrier must cover only the still-live dirty records, and a
+  // crash afterwards must recover exactly the post-chop suffix from bytes.
+  const auto s = volume.open_stream("a");
+  for (int i = 1; i <= 5; ++i) volume.append(s, payload("r" + std::to_string(i)));
+  volume.sync([] {});
+  sim.run_until_idle();
+  ASSERT_EQ(volume.durable_index(s), 5u);
+
+  for (int i = 6; i <= 10; ++i) volume.append(s, payload("r" + std::to_string(i)));
+  bool synced = false;
+  volume.sync([&] { synced = true; });  // barrier in flight covering 6..10
+
+  disk.drop_unsynced();  // the covering barrier tears...
+  volume.chop(s, 7);     // ...and the release protocol chops into the window
+  volume.on_torn_sync();
+  sim.run_until_idle();
+
+  EXPECT_TRUE(synced);  // the waiter still got its durability, via the retry
+  EXPECT_EQ(volume.durable_index(s), 10u);
+  EXPECT_EQ(volume.first_index(s), 8u);
+
+  // Recovery from bytes: appends 1..10 replay, the durable chop frame drops
+  // 1..7 again, leaving exactly 8..10.
+  volume.crash();
+  EXPECT_EQ(volume.first_index(s), 8u);
+  EXPECT_EQ(volume.next_index(s), 11u);
+  EXPECT_EQ(volume.durable_index(s), 10u);
+  EXPECT_EQ(volume.read(s, 7), nullptr);
+  EXPECT_EQ(as_string(*volume.read(s, 8)), "r8");
+  EXPECT_EQ(as_string(*volume.read(s, 10)), "r10");
+  EXPECT_EQ(volume.append(s, payload("r11")), 11u);
 }
 
 TEST_F(VolumeFixture, RetainedBytesTracksChops) {

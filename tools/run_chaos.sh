@@ -14,13 +14,16 @@ FIRST_SEED="${2:-1}"
 HORIZON_S="${3:-10}"
 
 cmake --preset asan-ubsan
-cmake --build --preset asan-ubsan -j "$(nproc)" --target test_chaos bench_chaos_soak bench_wallclock
+cmake --build --preset asan-ubsan -j "$(nproc)" --target test_chaos bench_chaos_soak bench_wallclock bench_recovery_fuzz
 
 echo "== chaos test suite (asan-ubsan) =="
 ./build-asan/tests/test_chaos
 
 echo "== substrate smoke (asan-ubsan): bench_wallclock 1 seed =="
 ./build-asan/bench/bench_wallclock --smoke
+
+echo "== recovery fuzz smoke (asan-ubsan): seeded crash points =="
+./build-asan/bench/bench_recovery_fuzz --smoke
 
 echo "== flight recorder negative test: injected violation must dump =="
 # A fabricated exactly-once violation must (a) fail the run and (b) produce
