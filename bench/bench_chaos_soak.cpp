@@ -2,12 +2,15 @@
 // workload, with the always-on invariant monitor armed the whole time.
 //
 //   bench_chaos_soak [num_seeds] [first_seed] [horizon_s] [--inject-violation]
+//                    [--wire=codec] [--frame-faults]
 //
 // Each seed plans a fresh randomized fault sequence (partitions, flaps,
 // degradations, disk stalls, torn syncs, crashes, crash-during-recovery,
 // double faults) over a 5-broker topology with 8 churning subscribers, runs
 // it to quiescence, and verifies exactly-once + zero residual catchup
-// streams. On a violation the decoded fault timeline, the seed, and the
+// streams. --wire=codec runs every link through the byte codec transport;
+// --frame-faults additionally arms seeded frame-corruption windows (byte
+// flips / truncations the receiving transport must reject and survive). On a violation the decoded fault timeline, the seed, and the
 // flight-recorder trace dump are printed, and the process exits non-zero —
 // rerunning with that first_seed replays the identical schedule.
 //
@@ -29,10 +32,15 @@ int main(int argc, char** argv) {
   using namespace gryphon::bench;
 
   bool inject_violation = false;
+  bool codec_wire = false;
+  bool frame_faults = false;
   std::vector<std::string> pos;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--inject-violation") inject_violation = true;
+    else if (arg == "--wire=codec") codec_wire = true;
+    else if (arg == "--wire=struct") codec_wire = false;
+    else if (arg == "--frame-faults") frame_faults = true;
     else pos.push_back(arg);
   }
   const int num_seeds = !pos.empty() ? std::atoi(pos[0].c_str()) : 10;
@@ -41,8 +49,11 @@ int main(int argc, char** argv) {
   const double horizon_s = pos.size() > 2 ? std::atof(pos[2].c_str()) : 10.0;
 
   print_header("Chaos soak: " + std::to_string(num_seeds) + " seeded schedules, " +
-               fmt(horizon_s, 0) + "s fault horizon each");
-  print_row({"seed", "faults", "published", "delivered", "catchup", "sim_s", "verdict"});
+               fmt(horizon_s, 0) + "s fault horizon each, wire=" +
+               (codec_wire ? "codec" : "struct") +
+               (frame_faults ? " + frame faults" : ""));
+  print_row({"seed", "faults", "published", "delivered", "catchup", "rejects",
+             "sim_s", "verdict"});
 
   int failures = 0;
   for (int i = 0; i < num_seeds; ++i) {
@@ -52,6 +63,7 @@ int main(int argc, char** argv) {
     sc.num_pubends = 2;
     sc.num_shbs = 2;
     sc.num_intermediates = 1;
+    if (codec_wire) sc.wire = harness::WireMode::kCodec;
     if (inject_violation) {
       // Full-resolution tracing so the injected tick is guaranteed to be in
       // the sample, with a deeper ring so its milestones are still there.
@@ -74,6 +86,7 @@ int main(int argc, char** argv) {
     harness::ChaosConfig config;
     config.seed = seed;
     config.horizon = static_cast<SimDuration>(horizon_s * 1e6);
+    if (frame_faults) config.weights.frame_corrupt = 3;
     harness::ChaosSchedule chaos(system, config);
     system.simulator().schedule_at(chaos.repaired_at(), [&churn] { churn.stop(); });
 
@@ -98,6 +111,7 @@ int main(int argc, char** argv) {
                  std::to_string(system.oracle().published_count()),
                  std::to_string(system.oracle().delivered_count()),
                  std::to_string(system.oracle().catchup_delivered_count()),
+                 std::to_string(system.network().decode_rejects()),
                  fmt(to_seconds(system.simulator().now()), 1), "ok"});
     } catch (const std::exception& e) {
       ++failures;
@@ -105,6 +119,7 @@ int main(int argc, char** argv) {
                  std::to_string(system.oracle().published_count()),
                  std::to_string(system.oracle().delivered_count()),
                  std::to_string(system.oracle().catchup_delivered_count()),
+                 std::to_string(system.network().decode_rejects()),
                  fmt(to_seconds(system.simulator().now()), 1), "VIOLATION"});
       std::printf("\n%s\n", e.what());
     }

@@ -1,7 +1,8 @@
 // Crash-point recovery fuzzer for the byte-level persistence engine.
 //
-// Each seed builds a small deployment (2 pubends -> PHB -> 1 SHB, 4 durable
-// subscribers), warms it up, then injects a sequence of seeded broker
+// Each seed builds a small deployment (2 pubends -> PHB -> intermediate ->
+// 1 SHB, 4 durable subscribers), warms it up, then injects a sequence of
+// seeded broker
 // crashes. Before every crash the target node's LogVolume and Database WALs
 // are seeded with crash entropy, so recovery finds a surviving byte prefix
 // torn somewhere inside the in-flight group-commit window — usually
@@ -14,8 +15,10 @@
 //   bench_recovery_fuzz [num_seeds] [first_seed] [--smoke] [--out FILE]
 //                       [--wal-dir DIR]
 //
-// Defaults: 100 seeds x 2 crashes per seed = 200 seeded crash points across
-// PHB and SHB WALs. The run fails (exit 1) if any seed violates the oracle,
+// Defaults: 100 seeds x 2 crashes per seed = 200 seeded crash points spread
+// across PHB, intermediate and SHB WALs (the intermediate's knowledge/DB
+// recovery path crashes just like the edges do). The run fails (exit 1) if
+// any seed violates the oracle,
 // and — unless --smoke — if not a single crash point produced a torn-tail
 // truncation (that would mean the fuzzer stopped reaching the interesting
 // crash points, not that the engine got better). --smoke runs 3 seeds with
@@ -68,6 +71,7 @@ SeedResult run_seed(std::uint64_t seed, const std::string& wal_dir) {
   Rng rng(seed);
   harness::SystemConfig sc;
   sc.num_pubends = 2;
+  sc.num_intermediates = 1;  // crash points also land mid-chain
   sc.num_shbs = 1;
   // Small segments + an aggressive DB compaction budget so a few seconds of
   // traffic already rolls, GCs and snapshot-compacts segments — recovery
@@ -99,22 +103,26 @@ SeedResult run_seed(std::uint64_t seed, const std::string& wal_dir) {
       // Drift a seed-dependent slice so the crash instant (and with it the
       // barrier phase the entropy tears into) varies across seeds.
       system.run_for(msec(50 + static_cast<SimDuration>(rng.next_below(400))));
-      const bool hit_phb = rng.next_below(2) == 0;
+      // 0 = PHB, 1 = intermediate, 2 = SHB — every hop in the chain is a
+      // legal crash target.
+      const std::uint64_t target = rng.next_below(3);
       const std::uint64_t entropy = rng.next_u64();
-      core::NodeResources& node = hit_phb ? system.phb_node() : system.shb_node(0);
+      core::NodeResources& node = target == 0   ? system.phb_node()
+                                  : target == 1 ? system.intermediate_node(0)
+                                                : system.shb_node(0);
       node.log_volume.set_crash_entropy(entropy);
       node.database.set_crash_entropy(entropy >> 7);
-      if (hit_phb) {
-        system.crash_phb();
-      } else {
-        system.crash_shb(0);
+      switch (target) {
+        case 0: system.crash_phb(); break;
+        case 1: system.crash_intermediate(0); break;
+        default: system.crash_shb(0); break;
       }
       ++r.crashes;
       system.run_for(msec(300 + static_cast<SimDuration>(rng.next_below(1200))));
-      if (hit_phb) {
-        system.restart_phb();
-      } else {
-        system.restart_shb(0);
+      switch (target) {
+        case 0: system.restart_phb(); break;
+        case 1: system.restart_intermediate(0); break;
+        default: system.restart_shb(0); break;
       }
       system.run_for(sec(2));
     }

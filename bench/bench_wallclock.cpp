@@ -119,9 +119,12 @@ Measurement measure(harness::System& system, Body&& body) {
 }
 
 /// Figure-4 4-SHB steady state: build, warm up, then time a fixed window.
-Measurement run_fig4_steady() {
+/// Run once per wire mode: the codec variant prices the encode/decode tax
+/// (every message framed + CRC'd + parsed) against the struct fast path.
+Measurement run_fig4_steady(harness::WireMode wire) {
   auto config = paper_config();
   config.num_shbs = 4;
+  config.wire = wire;
   harness::System system(config);
   harness::start_paper_publishers(system, paper_workload());
   for (int i = 0; i < config.num_shbs; ++i) {
@@ -137,6 +140,10 @@ Measurement run_fig4_steady() {
   WorkloadReport snapshot;
   attach_registry_metrics(snapshot, system);
   m.registry = std::move(snapshot.registry);
+  // A clean steady-state run must never reject a frame: any decode reject
+  // here means the codec (not the network) corrupted a message.
+  m.registry.push_back(
+      {"net.decode_rejects", static_cast<double>(system.network().decode_rejects())});
   return m;
 }
 
@@ -230,7 +237,9 @@ int main(int argc, char** argv) {
 
   const auto run_chaos = [] { return run_chaos_soak(/*seed=*/1, /*horizon_s=*/8.0); };
   const std::vector<std::pair<std::string, std::function<Measurement()>>> specs = {
-      {"fig4_steady_4shb", run_fig4_steady},
+      {"fig4_steady_4shb", [] { return run_fig4_steady(harness::WireMode::kStruct); }},
+      {"fig4_steady_4shb_codec",
+       [] { return run_fig4_steady(harness::WireMode::kCodec); }},
       {"chaos_soak_seed1", run_chaos},
   };
 
@@ -253,7 +262,7 @@ int main(int argc, char** argv) {
     // Counter regression guard: the steady fig4 workload never loses
     // knowledge, so any gap notification means the protocol (not the clock)
     // regressed. Checked unconditionally — it needs no committed reference.
-    if (name == "fig4_steady_4shb") {
+    if (name.rfind("fig4_steady_4shb", 0) == 0) {
       const double gaps = best.registry_counter("shb.gaps_sent");
       if (gaps > 0) {
         std::printf("  METRIC REGRESSION: %s sent %.0f gap notifications on a "
@@ -269,6 +278,15 @@ int main(int argc, char** argv) {
         std::printf("  METRIC REGRESSION: %s truncated %.0f WAL bytes on a "
                     "steady workload (expected 0)\n",
                     name.c_str(), truncated);
+        regression = true;
+      }
+      // No frame corruption is injected here, so a transport decode reject
+      // means the wire codec itself produced or mis-parsed a frame.
+      const double rejects = best.registry_counter("net.decode_rejects");
+      if (rejects > 0) {
+        std::printf("  METRIC REGRESSION: %s rejected %.0f frames on a clean "
+                    "steady workload (expected 0)\n",
+                    name.c_str(), rejects);
         regression = true;
       }
     }

@@ -46,7 +46,8 @@ class CheckpointToken {
     return true;
   }
 
-  [[nodiscard]] std::size_t encoded_size() const { return 12 * entries_.size(); }
+  /// Exact serialize() output size: entry-count u32 + 12 bytes per entry.
+  [[nodiscard]] std::size_t encoded_size() const { return 4 + 12 * entries_.size(); }
 
   void serialize(BufWriter& w) const {
     w.put_u32(static_cast<std::uint32_t>(entries_.size()));

@@ -90,10 +90,9 @@ struct CostModel {
   /// knowledge+events for serving catchup nacks locally.
   Tick cache_span_ticks = 30'000;
 
-  // --- wire sizes ---
-  /// Fixed per-message envelope (matches the paper's 418-byte events with a
-  /// 250-byte payload once attributes are counted).
-  std::size_t msg_header_bytes = 64;
+  // Per-message envelope bytes are NOT configurable: the envelope is the
+  // wire frame header, core::kEnvelopeBytes (messages.hpp), static-asserted
+  // against wire::kFrameHeaderBytes.
 };
 
 /// Client reconnect backoff (see DESIGN.md "Fault model"). Retry k (0-based)

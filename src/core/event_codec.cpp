@@ -49,34 +49,22 @@ matching::Value decode_value(BufReader& r) {
 
 }  // namespace
 
-std::vector<std::byte> encode_logged_event(const LoggedEvent& e,
-                                           std::vector<std::byte> reuse) {
-  GRYPHON_CHECK(e.event != nullptr);
-  BufWriter w(std::move(reuse));
-  w.put_i64(e.tick);
-  w.put_u32(e.publisher.value());
-  w.put_u64(e.seq);
-  w.put_u32(static_cast<std::uint32_t>(e.event->attributes().size()));
-  for (const auto& [name, value] : e.event->attributes()) {
+void encode_event_data(BufWriter& w, const matching::EventData& e) {
+  w.put_u32(static_cast<std::uint32_t>(e.attributes().size()));
+  for (const auto& [name, value] : e.attributes()) {
     w.put_string(name);
     encode_value(w, value);
   }
   // The record carries the full application payload: payload_size() bytes
-  // on disk (workload generators pad without materializing, but the log —
-  // and its byte accounting — must store the real size).
-  w.put_string(e.event->payload());
-  const auto padded = static_cast<std::uint32_t>(e.event->payload_size());
+  // on disk and on the wire (workload generators pad without materializing,
+  // but the byte accounting must reflect the real size).
+  w.put_string(e.payload());
+  const auto padded = static_cast<std::uint32_t>(e.payload_size());
   w.put_u32(padded);
-  for (std::size_t i = e.event->payload().size(); i < padded; ++i) w.put_u8(0);
-  return w.take();
+  for (std::size_t i = e.payload().size(); i < padded; ++i) w.put_u8(0);
 }
 
-LoggedEvent decode_logged_event(std::span<const std::byte> bytes) {
-  BufReader r(bytes);
-  LoggedEvent e;
-  e.tick = r.get_i64();
-  e.publisher = PublisherId{r.get_u32()};
-  e.seq = r.get_u64();
+matching::EventDataPtr decode_event_data(BufReader& r) {
   const auto n_attrs = r.get_u32();
   matching::EventData::AttributeList attrs;
   attrs.reserve(n_attrs);
@@ -87,8 +75,43 @@ LoggedEvent decode_logged_event(std::span<const std::byte> bytes) {
   std::string payload = r.get_string();
   const auto padded = r.get_u32();
   if (padded > payload.size()) r.get_bytes(padded - payload.size());
-  e.event = std::make_shared<matching::EventData>(std::move(attrs), std::move(payload),
-                                                  padded);
+  return std::make_shared<matching::EventData>(std::move(attrs), std::move(payload),
+                                               padded);
+}
+
+std::size_t encoded_event_bytes(const matching::EventData& e) {
+  std::size_t n = 4;  // attribute count
+  for (const auto& [name, value] : e.attributes()) {
+    n += 4 + name.size() + 1;  // length-prefixed name + value tag
+    if (value.is_string()) {
+      n += 4 + value.as_string().size();
+    } else if (value.is_bool()) {
+      n += 1;
+    } else {
+      n += 8;  // int64 and double both travel as a double
+    }
+  }
+  return n + 8 + e.payload_size();  // payload string + padded-size u32
+}
+
+std::vector<std::byte> encode_logged_event(const LoggedEvent& e,
+                                           std::vector<std::byte> reuse) {
+  GRYPHON_CHECK(e.event != nullptr);
+  BufWriter w(std::move(reuse));
+  w.put_i64(e.tick);
+  w.put_u32(e.publisher.value());
+  w.put_u64(e.seq);
+  encode_event_data(w, *e.event);
+  return w.take();
+}
+
+LoggedEvent decode_logged_event(std::span<const std::byte> bytes) {
+  BufReader r(bytes);
+  LoggedEvent e;
+  e.tick = r.get_i64();
+  e.publisher = PublisherId{r.get_u32()};
+  e.seq = r.get_u64();
+  e.event = decode_event_data(r);
   GRYPHON_CHECK_MSG(r.done(), "trailing bytes in event record");
   return e;
 }

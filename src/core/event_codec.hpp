@@ -28,4 +28,17 @@ struct LoggedEvent {
     const LoggedEvent& e, std::vector<std::byte> reuse = {});
 [[nodiscard]] LoggedEvent decode_logged_event(std::span<const std::byte> bytes);
 
+// The event-data portion of a record — attributes then payload — shared by
+// the persistent log format above and the wire codecs (src/wire/): one
+// encoding of an event, on disk and on the wire.
+
+void encode_event_data(BufWriter& w, const matching::EventData& e);
+[[nodiscard]] matching::EventDataPtr decode_event_data(BufReader& r);
+
+/// Exact byte count encode_event_data() produces. This differs from
+/// EventData::encoded_size() (the cache/log *cost-model* size, which omits
+/// count/tag/length framing): it is the measured wire size, and the wire
+/// message wire_size() formulas are stated in terms of it.
+[[nodiscard]] std::size_t encoded_event_bytes(const matching::EventData& e);
+
 }  // namespace gryphon::core

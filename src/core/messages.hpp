@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/checkpoint_token.hpp"
+#include "core/event_codec.hpp"
 #include "matching/event.hpp"
 #include "routing/tick_map.hpp"
 #include "sim/message.hpp"
@@ -55,7 +56,13 @@ enum class MsgKind : std::uint8_t {
   kJmsConsumed,
 };
 
-/// Fixed per-message envelope size; see CostModel::msg_header_bytes.
+/// Fixed per-message envelope size — exactly the wire frame header
+/// (wire/frame.hpp: magic, version, kind, length, CRC32C, padded to 64
+/// bytes). Single source of truth; the frame static-asserts against it.
+///
+/// Every wire_size() below is kEnvelopeBytes + the exact payload byte count
+/// the wire codec (src/wire/codec.cpp) produces for that kind — CodecTransport
+/// asserts the parity on every send, so the timing model stays honest.
 constexpr std::size_t kEnvelopeBytes = 64;
 
 class Msg : public sim::Message {
@@ -77,9 +84,10 @@ struct StreamDataMsg final : Msg {
   std::vector<routing::KnowledgeItem> items;
 
   [[nodiscard]] std::size_t wire_size() const override {
-    std::size_t n = kEnvelopeBytes;
+    std::size_t n = kEnvelopeBytes + 8;  // pubend + item count
     for (const auto& item : items) {
-      n += item.event ? 24 + item.event->encoded_size() : 24;
+      n += 17;  // value tag + range {from, to}
+      if (item.event) n += encoded_event_bytes(*item.event);
     }
     return n;
   }
@@ -100,7 +108,7 @@ struct NackMsg final : Msg {
   bool authoritative_only;
 
   [[nodiscard]] std::size_t wire_size() const override {
-    return kEnvelopeBytes + 1 + 16 * ranges.size();
+    return kEnvelopeBytes + 9 + 16 * ranges.size();
   }
 };
 
@@ -148,7 +156,7 @@ struct UnsubscribeMsg final : Msg {
 
   SubscriberId subscriber;
 
-  [[nodiscard]] std::size_t wire_size() const override { return kEnvelopeBytes + 8; }
+  [[nodiscard]] std::size_t wire_size() const override { return kEnvelopeBytes + 4; }
 };
 
 struct BrokerResumeMsg final : Msg {
@@ -159,7 +167,7 @@ struct BrokerResumeMsg final : Msg {
   std::vector<std::pair<PubendId, Tick>> resume_from;
 
   [[nodiscard]] std::size_t wire_size() const override {
-    return kEnvelopeBytes + 12 * resume_from.size();
+    return kEnvelopeBytes + 4 + 12 * resume_from.size();
   }
 };
 
@@ -187,7 +195,7 @@ struct PublishMsg final : Msg {
   matching::EventDataPtr event;
 
   [[nodiscard]] std::size_t wire_size() const override {
-    return kEnvelopeBytes + 24 + event->encoded_size();
+    return kEnvelopeBytes + 24 + encoded_event_bytes(*event);
   }
 };
 
@@ -199,7 +207,7 @@ struct PublishAckMsg final : Msg {
   std::uint64_t seq;
   Tick assigned_tick;
 
-  [[nodiscard]] std::size_t wire_size() const override { return kEnvelopeBytes + 24; }
+  [[nodiscard]] std::size_t wire_size() const override { return kEnvelopeBytes + 20; }
 };
 
 // ---------------------------------------------------------------- subscribers
@@ -236,7 +244,7 @@ struct ConnectedMsg final : Msg {
   CheckpointToken initial_ct;
 
   [[nodiscard]] std::size_t wire_size() const override {
-    return kEnvelopeBytes + 8 + initial_ct.encoded_size();
+    return kEnvelopeBytes + 4 + initial_ct.encoded_size();
   }
 };
 
@@ -245,7 +253,7 @@ struct DisconnectMsg final : Msg {
 
   SubscriberId subscriber;
 
-  [[nodiscard]] std::size_t wire_size() const override { return kEnvelopeBytes + 8; }
+  [[nodiscard]] std::size_t wire_size() const override { return kEnvelopeBytes + 4; }
 };
 
 struct UnsubscribeReqMsg final : Msg {
@@ -254,7 +262,7 @@ struct UnsubscribeReqMsg final : Msg {
 
   SubscriberId subscriber;
 
-  [[nodiscard]] std::size_t wire_size() const override { return kEnvelopeBytes + 8; }
+  [[nodiscard]] std::size_t wire_size() const override { return kEnvelopeBytes + 4; }
 };
 
 struct AckMsg final : Msg {
@@ -265,7 +273,7 @@ struct AckMsg final : Msg {
   CheckpointToken ct;
 
   [[nodiscard]] std::size_t wire_size() const override {
-    return kEnvelopeBytes + 8 + ct.encoded_size();
+    return kEnvelopeBytes + 4 + ct.encoded_size();
   }
 };
 
@@ -286,7 +294,7 @@ struct EventDeliveryMsg final : Msg {
   bool from_catchup;  // diagnostics only
 
   [[nodiscard]] std::size_t wire_size() const override {
-    return kEnvelopeBytes + 21 + event->encoded_size();
+    return kEnvelopeBytes + 17 + encoded_event_bytes(*event);
   }
 };
 
@@ -298,7 +306,7 @@ struct SilenceDeliveryMsg final : Msg {
   PubendId pubend;
   Tick upto;  // guarantees no matching events in (previous, upto]
 
-  [[nodiscard]] std::size_t wire_size() const override { return kEnvelopeBytes + 20; }
+  [[nodiscard]] std::size_t wire_size() const override { return kEnvelopeBytes + 16; }
 };
 
 struct JmsConsumedMsg final : Msg {
@@ -309,7 +317,7 @@ struct JmsConsumedMsg final : Msg {
   PubendId pubend;
   Tick tick;
 
-  [[nodiscard]] std::size_t wire_size() const override { return kEnvelopeBytes + 20; }
+  [[nodiscard]] std::size_t wire_size() const override { return kEnvelopeBytes + 16; }
 };
 
 struct GapDeliveryMsg final : Msg {
@@ -320,7 +328,7 @@ struct GapDeliveryMsg final : Msg {
   PubendId pubend;
   TickRange range;  // there MAY have been matching events in (prev, range.to]
 
-  [[nodiscard]] std::size_t wire_size() const override { return kEnvelopeBytes + 28; }
+  [[nodiscard]] std::size_t wire_size() const override { return kEnvelopeBytes + 24; }
 };
 
 }  // namespace gryphon::core

@@ -108,6 +108,18 @@ class NodeResources {
       return static_cast<double>(log_volume.wal().gc_dropped_segments() +
                                  database.wal().gc_dropped_segments());
     }));
+    // Per-link wire accounting (Transport seam): what this node put on the
+    // wire, what arrived, and how many frames the transport rejected as
+    // corrupt (always 0 in struct mode and in clean codec runs).
+    probes_.push_back(metrics.probe("net.tx_bytes", [this] {
+      return static_cast<double>(this->network.sent_bytes_from(endpoint));
+    }));
+    probes_.push_back(metrics.probe("net.rx_bytes", [this] {
+      return static_cast<double>(this->network.delivered_bytes_to(endpoint));
+    }));
+    probes_.push_back(metrics.probe("net.decode_rejects", [this] {
+      return static_cast<double>(this->network.decode_rejects_at(endpoint));
+    }));
   }
 
   NodeResources(const NodeResources&) = delete;

@@ -28,6 +28,7 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::kCrashRestart: return "crash";
     case FaultKind::kCrashDuringRecovery: return "crash-in-recovery";
     case FaultKind::kDoubleFault: return "double-fault";
+    case FaultKind::kFrameCorrupt: return "frame-corrupt";
   }
   return "?";
 }
@@ -123,6 +124,8 @@ void ChaosSchedule::plan() {
           {FaultKind::kCrashDuringRecovery, w.crash_during_recovery, &free_brokers});
     if (w.double_fault > 0 && !free_double_links.empty())
       cands.push_back({FaultKind::kDoubleFault, w.double_fault, &free_double_links});
+    if (w.frame_corrupt > 0 && !free_links.empty())
+      cands.push_back({FaultKind::kFrameCorrupt, w.frame_corrupt, &free_links});
 
     if (cands.empty()) {
       // Everything is busy with an outstanding fault: skip forward.
@@ -147,6 +150,7 @@ void ChaosSchedule::plan() {
       case FaultKind::kCrashRestart: plan_crash_restart(t, target); break;
       case FaultKind::kCrashDuringRecovery: plan_crash_during_recovery(t, target); break;
       case FaultKind::kDoubleFault: plan_double_fault(t, target); break;
+      case FaultKind::kFrameCorrupt: plan_frame_corrupt(t, target); break;
     }
     t += draw_duration(config_.min_gap, config_.max_gap);
   }
@@ -374,6 +378,36 @@ void ChaosSchedule::plan_double_fault(SimTime t, std::size_t link) {
                 crash_offset + outage < partition_len ? "before" : "after");
   record(t, FaultKind::kDoubleFault,
          fmt_line(t - armed_at_, fault_kind_name(FaultKind::kDoubleFault), d));
+}
+
+void ChaosSchedule::plan_frame_corrupt(SimTime t, std::size_t link) {
+  const LinkTarget& l = links_[link];
+  // Direction matters: upstream frames (nacks, acks) and downstream frames
+  // (stream data, deliveries) exercise different retransmission paths.
+  const bool downstream = rng_.next_below(2) == 0;
+  const int count = static_cast<int>(rng_.next_in(3, 12));
+  const std::uint64_t seed = rng_.next_u64();
+  const SimDuration window = draw_duration(msec(500), sec(2));
+  const sim::EndpointId from = downstream ? l.a : l.b;
+  const sim::EndpointId to = downstream ? l.b : l.a;
+  auto& sim = system_.simulator();
+  sim.schedule_at(t, [this, from, to, count, seed] {
+    system_.network().corrupt_frames(from, to, count, seed);
+  });
+  // The budget usually drains inside the window; the explicit disarm bounds
+  // the fault so an idle link cannot carry armed corruption into the settle
+  // phase and break quiescence.
+  sim.schedule_at(t + window, [this, from, to] {
+    system_.network().clear_corruption(from, to);
+  });
+  link_busy_until_[link] = t + window + kTargetCooldown;
+  note_repair(t + window);
+  char d[128];
+  std::snprintf(d, sizeof d, "%s %s: next %d frames mangled (window %.3fs)",
+                l.name.c_str(), downstream ? "downstream" : "upstream", count,
+                to_seconds(window));
+  record(t, FaultKind::kFrameCorrupt,
+         fmt_line(t - armed_at_, fault_kind_name(FaultKind::kFrameCorrupt), d));
 }
 
 void ChaosSchedule::run() {

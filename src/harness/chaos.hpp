@@ -2,7 +2,9 @@
 //
 // Draws a random sequence of faults (link partitions, flaps, degradation
 // windows, disk stalls, torn syncs, broker crash/restart cycles, crashes
-// landing inside recovery, and partition+crash double faults) over a running
+// landing inside recovery, partition+crash double faults, and — under
+// WireMode::kCodec — frame-corruption windows of seeded byte flips and
+// truncations) over a running
 // System, entirely from one seed: the same seed over the same topology
 // always produces a byte-identical fault timeline, and — because the
 // simulator itself is deterministic — a bit-identical run. A failing seed is
@@ -47,6 +49,7 @@ enum class FaultKind {
   kCrashRestart,         // whole-broker crash + restart
   kCrashDuringRecovery,  // second crash lands milliseconds into recovery
   kDoubleFault,          // SHB uplink partitioned, then the SHB crashes
+  kFrameCorrupt,         // seeded byte flips / truncations on a link's frames
 };
 
 [[nodiscard]] const char* fault_kind_name(FaultKind kind);
@@ -61,6 +64,12 @@ struct ChaosWeights {
   int crash_restart = 3;
   int crash_during_recovery = 1;
   int double_fault = 2;
+  /// Frame-level corruption (byte flips / truncations the receiving
+  /// transport must reject). Off by default: it is meaningful under
+  /// WireMode::kCodec — in struct mode an armed window silently drops the
+  /// affected messages instead (there are no bytes to flip) — and existing
+  /// struct-mode schedules must not shift. Enable in codec chaos runs.
+  int frame_corrupt = 0;
 };
 
 struct ChaosConfig {
@@ -137,6 +146,7 @@ class ChaosSchedule {
   void plan_crash_restart(SimTime t, std::size_t broker);
   void plan_crash_during_recovery(SimTime t, std::size_t broker);
   void plan_double_fault(SimTime t, std::size_t link);
+  void plan_frame_corrupt(SimTime t, std::size_t link);
 
   // `entropy` is drawn at PLAN time (the rng must not be touched while the
   // simulation runs) and seeds where the WAL tail tears on the byte store.

@@ -1,6 +1,7 @@
 #include "harness/system.hpp"
 
 #include "matching/parser.hpp"
+#include "wire/codec_transport.hpp"
 
 namespace gryphon::harness {
 
@@ -25,6 +26,11 @@ System::System(SystemConfig config)
   GRYPHON_CHECK(config_.num_pubends >= 1);
   GRYPHON_CHECK(config_.num_intermediates >= 0);
   GRYPHON_CHECK(config_.num_shbs >= 1);
+
+  if (config_.wire == WireMode::kCodec) {
+    transport_ = std::make_unique<wire::CodecTransport>();
+    net_.set_transport(transport_.get());
+  }
 
   const auto pubend_ids = make_pubend_ids(config_.num_pubends);
 

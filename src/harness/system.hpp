@@ -23,6 +23,15 @@
 
 namespace gryphon::harness {
 
+/// What travels on the simulated links: shared in-memory structs (the fast
+/// default) or CRC32C-framed encoded bytes (wire::CodecTransport — byte-
+/// accurate, corruptible, schedule-identical on the same seed).
+enum class WireMode { kStruct, kCodec };
+
+[[nodiscard]] constexpr const char* to_string(WireMode mode) {
+  return mode == WireMode::kCodec ? "codec" : "struct";
+}
+
 struct SystemConfig {
   int num_pubends = 4;
   int num_intermediates = 0;  // chain length between the PHB and the SHBs
@@ -50,6 +59,8 @@ struct SystemConfig {
   std::uint32_t trace_sample_every = 64;
   /// Per-node flight-recorder ring size (records; preallocated).
   std::size_t trace_ring_capacity = 4096;
+  /// Transport under every link (gryphon_sim --wire=struct|codec).
+  WireMode wire = WireMode::kStruct;
 };
 
 class System {
@@ -177,6 +188,9 @@ class System {
   SystemConfig config_;
   sim::Simulator sim_;
   sim::Network net_;
+  /// Owned transport installed into net_ (nullptr in struct mode: the
+  /// Network's no-transport path is already the struct pass-through).
+  std::unique_ptr<sim::Transport> transport_;
   DeliveryOracle oracle_;
 
   std::unique_ptr<core::NodeResources> phb_node_;

@@ -4,10 +4,18 @@
 // intermediate caches and receivers), so they are passed as
 // shared_ptr<const Message>. wire_size() feeds the bandwidth model and the
 // byte counters that several of the paper's claims are stated in.
+//
+// Two representations travel on links, selected by the Transport seam
+// (sim/transport.hpp):
+//  * struct messages (wire_bytes() == nullptr): shared in-memory protocol
+//    structs, the default pass-through;
+//  * FrameMessage: an encoded byte frame (wire/ codecs). Only this form can
+//    be corrupted at the byte level by Network link faults.
 #pragma once
 
 #include <cstddef>
 #include <memory>
+#include <vector>
 
 namespace gryphon::sim {
 
@@ -17,8 +25,30 @@ class Message {
 
   /// Serialized size in bytes, headers included.
   [[nodiscard]] virtual std::size_t wire_size() const = 0;
+
+  /// Encoded frame bytes when this message *is* its own serialization
+  /// (CodecTransport); nullptr for in-memory struct messages. Byte-level
+  /// link faults (flips, truncations) only apply when this is non-null.
+  [[nodiscard]] virtual const std::vector<std::byte>* wire_bytes() const {
+    return nullptr;
+  }
 };
 
 using MessagePtr = std::shared_ptr<const Message>;
+
+/// An opaque byte frame in flight: its wire size IS its byte count, so the
+/// bandwidth model charges exactly what the codec produced.
+class FrameMessage final : public Message {
+ public:
+  explicit FrameMessage(std::vector<std::byte> bytes) : bytes_(std::move(bytes)) {}
+
+  [[nodiscard]] std::size_t wire_size() const override { return bytes_.size(); }
+  [[nodiscard]] const std::vector<std::byte>* wire_bytes() const override {
+    return &bytes_;
+  }
+
+ private:
+  std::vector<std::byte> bytes_;
+};
 
 }  // namespace gryphon::sim

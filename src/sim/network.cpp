@@ -43,6 +43,16 @@ const Network::Link& Network::link(EndpointId a, EndpointId b) const {
   return it->second;
 }
 
+namespace {
+/// splitmix64 — the deterministic mixer behind seeded frame mangling.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
 bool Network::send(EndpointId from, EndpointId to, MessagePtr msg) {
   GRYPHON_CHECK(msg != nullptr);
   Link& l = link(from, to);
@@ -54,8 +64,20 @@ bool Network::send(EndpointId from, EndpointId to, MessagePtr msg) {
     return false;
   }
 
+  // Transport seam: what travels (and what the bandwidth model prices) is
+  // the wire form — the struct itself, or its encoded frame.
+  if (transport_ != nullptr) {
+    msg = transport_->to_wire(from, to, std::move(msg));
+    GRYPHON_CHECK_MSG(msg != nullptr, "transport refused to encode a message");
+  }
+
+  const std::size_t sent_bytes = msg->wire_size();
+  Endpoint& src = endpoint(from);
+  ++src.sent_msgs;
+  src.sent_bytes += sent_bytes;
+
   const auto ser_time = static_cast<SimDuration>(
-      std::ceil(static_cast<double>(msg->wire_size()) /
+      std::ceil(static_cast<double>(sent_bytes) /
                 l.config.bandwidth_bytes_per_sec * 1e6));
   const SimTime departure = std::max(sim_.now(), l.free_at) + ser_time;
   l.free_at = departure;
@@ -75,14 +97,50 @@ bool Network::send(EndpointId from, EndpointId to, MessagePtr msg) {
     // … or the destination crashed after the send (connection severed) or is
     // currently down.
     if (dst.down || dst.epoch != send_epoch) return;
+    if (lp->corrupt_remaining > 0) {
+      --lp->corrupt_remaining;
+      msg = mangle(*lp, msg);
+      if (msg == nullptr) return;  // struct message under corruption: dropped
+    }
     const std::size_t bytes = msg->wire_size();
     ++delivered_msgs_;
     delivered_bytes_ += bytes;
     ++dst.delivered_msgs;
     dst.delivered_bytes += bytes;
+    if (transport_ != nullptr) {
+      msg = transport_->from_wire(from, to, std::move(msg));
+      if (msg == nullptr) {
+        // Corrupt frame: counted, then dropped exactly like a lost message —
+        // the protocols recover by retransmission.
+        ++decode_rejects_;
+        ++dst.decode_rejects;
+        return;
+      }
+    }
     dst.handler(from, std::move(msg));
   });
   return true;
+}
+
+MessagePtr Network::mangle(Link& l, const MessagePtr& msg) {
+  ++corrupted_frames_;
+  const std::uint64_t draw = mix64(l.corrupt_seed + l.corrupt_drawn++);
+  const std::vector<std::byte>* bytes = msg->wire_bytes();
+  if (bytes == nullptr || bytes->empty()) {
+    // Struct messages have no byte representation to flip: the closest
+    // struct-mode equivalent of an unreadable frame is losing the message.
+    return nullptr;
+  }
+  std::vector<std::byte> mutated = *bytes;
+  const std::size_t pos = (draw >> 1) % mutated.size();
+  if ((draw & 1) == 0) {
+    // Byte flip: XOR with a non-zero pattern so the frame always changes.
+    mutated[pos] ^= static_cast<std::byte>(0x5A | ((draw >> 8) & 0xA5) | 1);
+  } else {
+    // Truncation: a torn prefix, as if the connection died mid-frame.
+    mutated.resize(pos);
+  }
+  return std::make_shared<FrameMessage>(std::move(mutated));
 }
 
 void Network::set_down(EndpointId id, bool down) {
@@ -142,6 +200,19 @@ void Network::schedule_flaps(EndpointId a, EndpointId b, SimDuration down,
   }
 }
 
+void Network::corrupt_frames(EndpointId from, EndpointId to, int count,
+                             std::uint64_t seed) {
+  GRYPHON_CHECK(count > 0);
+  Link& l = link(from, to);
+  l.corrupt_remaining = count;
+  l.corrupt_seed = seed;
+  l.corrupt_drawn = 0;
+}
+
+void Network::clear_corruption(EndpointId from, EndpointId to) {
+  link(from, to).corrupt_remaining = 0;
+}
+
 const std::string& Network::name_of(EndpointId id) const {
   return endpoint(id).name;
 }
@@ -152,6 +223,18 @@ std::uint64_t Network::delivered_messages_to(EndpointId id) const {
 
 std::uint64_t Network::delivered_bytes_to(EndpointId id) const {
   return endpoint(id).delivered_bytes;
+}
+
+std::uint64_t Network::sent_messages_from(EndpointId id) const {
+  return endpoint(id).sent_msgs;
+}
+
+std::uint64_t Network::sent_bytes_from(EndpointId id) const {
+  return endpoint(id).sent_bytes;
+}
+
+std::uint64_t Network::decode_rejects_at(EndpointId id) const {
+  return endpoint(id).decode_rejects;
 }
 
 }  // namespace gryphon::sim

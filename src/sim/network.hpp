@@ -21,6 +21,16 @@
 //    factors (a congested or flaky path); restore(a, b) reverts to the
 //    configured values.
 //  * schedule_flaps(a, b, ...) scripts a partition/heal square wave.
+//  * corrupt_frames(a, b, ...) mangles the next N frames delivered on a
+//    directed link (seeded byte flips / truncations). Only byte-encoded
+//    messages (Transport = codec) can be mangled; struct messages under a
+//    corruption window are dropped outright, the closest struct-mode
+//    equivalent. A mangled frame that the transport then rejects is counted
+//    as a decode reject at the destination and dropped like a lost message.
+//
+// All traffic crosses the Transport seam (sim/transport.hpp): to_wire() at
+// send time — before the bandwidth model prices the message — and
+// from_wire() at delivery time, before the endpoint handler runs.
 #pragma once
 
 #include <cstdint>
@@ -31,11 +41,10 @@
 
 #include "sim/message.hpp"
 #include "sim/simulator.hpp"
+#include "sim/transport.hpp"
 #include "util/assert.hpp"
 
 namespace gryphon::sim {
-
-using EndpointId = std::uint32_t;
 
 struct LinkConfig {
   SimDuration latency = msec(1);
@@ -50,6 +59,12 @@ class Network {
   explicit Network(Simulator& simulator) : sim_(simulator) {}
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
+
+  /// Installs the transport every send/delivery is translated through. The
+  /// default (none installed) behaves like StructTransport. The transport
+  /// must outlive the network.
+  void set_transport(Transport* transport) { transport_ = transport; }
+  [[nodiscard]] Transport* transport() const { return transport_; }
 
   /// Registers an endpoint. The handler is invoked at delivery time.
   EndpointId add_endpoint(std::string name, Handler handler);
@@ -103,6 +118,16 @@ class Network {
   void schedule_flaps(EndpointId a, EndpointId b, SimDuration down,
                       SimDuration up, int cycles);
 
+  /// Arms frame corruption on the *directed* from->to link: the next `count`
+  /// messages delivered on it are mangled (a seeded byte flip or truncation
+  /// when the message carries wire bytes; dropped outright when it does
+  /// not). Deterministic in (seed, delivery order). Re-arming replaces any
+  /// remaining budget.
+  void corrupt_frames(EndpointId from, EndpointId to, int count, std::uint64_t seed);
+
+  /// Disarms any remaining corruption budget on the directed from->to link.
+  void clear_corruption(EndpointId from, EndpointId to);
+
   [[nodiscard]] const std::string& name_of(EndpointId id) const;
 
   /// Total messages/bytes ever delivered (diagnostics & tests).
@@ -113,8 +138,19 @@ class Network {
   [[nodiscard]] std::uint64_t delivered_messages_to(EndpointId id) const;
   [[nodiscard]] std::uint64_t delivered_bytes_to(EndpointId id) const;
 
+  /// Messages/bytes accepted onto the wire per source endpoint.
+  [[nodiscard]] std::uint64_t sent_messages_from(EndpointId id) const;
+  [[nodiscard]] std::uint64_t sent_bytes_from(EndpointId id) const;
+
+  /// Deliveries the transport rejected (corrupt frame) at this endpoint.
+  [[nodiscard]] std::uint64_t decode_rejects_at(EndpointId id) const;
+
   /// Sends refused because the link was partitioned (diagnostics & tests).
   [[nodiscard]] std::uint64_t refused_sends() const { return refused_sends_; }
+
+  /// Total transport decode rejects / frames mangled by corrupt_frames().
+  [[nodiscard]] std::uint64_t decode_rejects() const { return decode_rejects_; }
+  [[nodiscard]] std::uint64_t corrupted_frames() const { return corrupted_frames_; }
 
  private:
   struct Endpoint {
@@ -124,6 +160,9 @@ class Network {
     std::uint64_t epoch = 0;  // bumped on set_down(true); stale deliveries drop
     std::uint64_t delivered_msgs = 0;
     std::uint64_t delivered_bytes = 0;
+    std::uint64_t sent_msgs = 0;
+    std::uint64_t sent_bytes = 0;
+    std::uint64_t decode_rejects = 0;
   };
 
   struct Link {
@@ -132,6 +171,9 @@ class Network {
     SimTime free_at = 0;      // serialization point for FIFO + bandwidth
     bool partitioned = false;
     std::uint64_t epoch = 0;  // bumped on partition(); in-flight msgs drop
+    int corrupt_remaining = 0;     // frames still to mangle on this link
+    std::uint64_t corrupt_seed = 0;
+    std::uint64_t corrupt_drawn = 0;  // mangles performed (mixer input)
   };
 
   static std::uint64_t link_key(EndpointId a, EndpointId b) {
@@ -150,12 +192,19 @@ class Network {
   Link& link(EndpointId a, EndpointId b);
   [[nodiscard]] const Link& link(EndpointId a, EndpointId b) const;
 
+  /// Applies one armed corruption to a wire message: a mangled copy, or
+  /// nullptr when the message must be dropped instead (no bytes to flip).
+  [[nodiscard]] MessagePtr mangle(Link& l, const MessagePtr& msg);
+
   Simulator& sim_;
+  Transport* transport_ = nullptr;
   std::vector<Endpoint> endpoints_;
   std::unordered_map<std::uint64_t, Link> links_;
   std::uint64_t delivered_msgs_ = 0;
   std::uint64_t delivered_bytes_ = 0;
   std::uint64_t refused_sends_ = 0;
+  std::uint64_t decode_rejects_ = 0;
+  std::uint64_t corrupted_frames_ = 0;
 };
 
 }  // namespace gryphon::sim

@@ -1,0 +1,43 @@
+// encode()/decode() between core::Msg protocol structs and wire frames.
+//
+// One canonical encoding per message: encode(decode(bytes)) == bytes for
+// every frame decode accepts, and encode always produces exactly
+// msg.wire_size() bytes (CodecTransport asserts both, so the analytic
+// formulas in core/messages.hpp and the timing model stay honest).
+//
+// decode() never throws. A torn or corrupt frame — or a structurally
+// invalid payload behind a valid CRC (encoder version skew) — yields
+// consumed == 0, msg == nullptr and a reason, exactly like
+// storage/segment.*'s parse contract.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/messages.hpp"
+#include "wire/frame.hpp"
+
+namespace gryphon::wire {
+
+// The envelope constant every wire_size() formula charges IS the frame
+// header: satellite of ISSUE 5, single source of truth.
+static_assert(kFrameHeaderBytes == core::kEnvelopeBytes,
+              "wire frame header must equal the analytic envelope size");
+
+/// Encodes `msg` into a complete frame (header + payload). The result's
+/// size equals msg.wire_size() for every message kind.
+[[nodiscard]] std::vector<std::byte> encode(const core::Msg& msg);
+
+struct DecodeResult {
+  std::size_t consumed = 0;  // 0 => rejected
+  std::shared_ptr<const core::Msg> msg;
+  const char* reason = nullptr;  // set when rejected
+};
+
+/// Decodes exactly one frame spanning all of `bytes` (trailing bytes are a
+/// reject: the network delivers whole frames).
+[[nodiscard]] DecodeResult decode(std::span<const std::byte> bytes);
+
+}  // namespace gryphon::wire

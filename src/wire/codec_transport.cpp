@@ -1,0 +1,40 @@
+#include "wire/codec_transport.hpp"
+
+#include "wire/codec.hpp"
+
+namespace gryphon::wire {
+
+sim::MessagePtr CodecTransport::to_wire(sim::EndpointId, sim::EndpointId,
+                                        sim::MessagePtr msg) {
+  const auto* m = dynamic_cast<const core::Msg*>(msg.get());
+  GRYPHON_CHECK_MSG(m != nullptr, "non-protocol message on a codec link");
+  std::vector<std::byte> frame = encode(*m);
+  GRYPHON_CHECK_MSG(frame.size() == m->wire_size(),
+                    "wire-size parity violation for kind "
+                        << static_cast<int>(m->kind()) << ": encoded "
+                        << frame.size() << " bytes, wire_size() says "
+                        << m->wire_size());
+  ++frames_encoded_;
+  return std::make_shared<sim::FrameMessage>(std::move(frame));
+}
+
+sim::MessagePtr CodecTransport::from_wire(sim::EndpointId, sim::EndpointId,
+                                          sim::MessagePtr msg) {
+  const std::vector<std::byte>* bytes = msg->wire_bytes();
+  GRYPHON_CHECK_MSG(bytes != nullptr, "struct message delivered on a codec link");
+  DecodeResult r = decode(*bytes);
+  if (r.msg == nullptr) {
+    ++frames_rejected_;
+    return nullptr;  // corrupt frame: Network counts + drops
+  }
+  // Canonical-encoding rule: the decoded struct must re-encode to the exact
+  // frame that arrived; anything else means sender and receiver disagree
+  // about the message, which must never be silent.
+  GRYPHON_CHECK_MSG(encode(*r.msg) == *bytes,
+                    "non-canonical re-encode for kind "
+                        << static_cast<int>(r.msg->kind()));
+  ++frames_decoded_;
+  return r.msg;
+}
+
+}  // namespace gryphon::wire

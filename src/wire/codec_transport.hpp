@@ -1,0 +1,45 @@
+// CodecTransport — the byte-accurate Transport: every send is encoded into
+// a CRC32C-framed byte frame and every delivery is decoded back.
+//
+// Two honesty checks run on every message (GRYPHON_CHECK — a failure is a
+// bug, not a tolerable fault):
+//  * wire-size parity at send: the encoded frame must be exactly
+//    msg.wire_size() bytes, so struct- and codec-mode runs price identical
+//    byte counts and stay schedule-identical on the same seed;
+//  * canonical re-encode at receive: re-encoding the decoded message must
+//    reproduce the frame bit-for-bit, so no state can silently diverge
+//    between the struct that was sent and the struct that was handled.
+//
+// A frame that fails to decode (chaos byte flips / truncations) is not a
+// bug: from_wire() returns nullptr and the Network counts a decode reject
+// and drops the delivery, which the protocols must survive like any lost
+// message.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/transport.hpp"
+
+namespace gryphon::wire {
+
+class CodecTransport final : public sim::Transport {
+ public:
+  [[nodiscard]] const char* name() const override { return "codec"; }
+
+  [[nodiscard]] sim::MessagePtr to_wire(sim::EndpointId from, sim::EndpointId to,
+                                        sim::MessagePtr msg) override;
+  [[nodiscard]] sim::MessagePtr from_wire(sim::EndpointId from, sim::EndpointId to,
+                                          sim::MessagePtr msg) override;
+
+  /// Codec-tax accounting (bench_wallclock reports these).
+  [[nodiscard]] std::uint64_t frames_encoded() const { return frames_encoded_; }
+  [[nodiscard]] std::uint64_t frames_decoded() const { return frames_decoded_; }
+  [[nodiscard]] std::uint64_t frames_rejected() const { return frames_rejected_; }
+
+ private:
+  std::uint64_t frames_encoded_ = 0;
+  std::uint64_t frames_decoded_ = 0;
+  std::uint64_t frames_rejected_ = 0;
+};
+
+}  // namespace gryphon::wire

@@ -1,0 +1,106 @@
+#include "wire/frame.hpp"
+
+#include <cstring>
+
+#include "storage/crc32c.hpp"
+
+namespace gryphon::wire {
+namespace {
+
+/// Tolerant little-endian reads: the parser must classify arbitrary bytes,
+/// so it never throws (unlike BufReader).
+template <typename T>
+T read_le(std::span<const std::byte> bytes, std::size_t at) {
+  T v;
+  std::memcpy(&v, bytes.data() + at, sizeof(T));
+  return v;
+}
+
+// Header field offsets.
+constexpr std::size_t kVersionAt = 8;
+constexpr std::size_t kKindAt = 10;
+constexpr std::size_t kPadAt = 11;
+constexpr std::size_t kLenAt = 12;
+constexpr std::size_t kCrcAt = 16;
+constexpr std::size_t kReservedAt = 20;
+
+}  // namespace
+
+void append_frame(std::vector<std::byte>& out, std::uint8_t kind,
+                  std::span<const std::byte> payload) {
+  const std::size_t base = out.size();
+  out.resize(base + kFrameHeaderBytes, std::byte{0});
+  std::byte* h = out.data() + base;
+  std::memcpy(h, &kFrameMagic, sizeof kFrameMagic);
+  std::memcpy(h + kVersionAt, &kWireVersion, sizeof kWireVersion);
+  h[kKindAt] = static_cast<std::byte>(kind);
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  std::memcpy(h + kLenAt, &len, sizeof len);
+  out.insert(out.end(), payload.begin(), payload.end());
+
+  // CRC over every frame byte except the CRC field itself. Computed after
+  // the insert (which may reallocate), through fresh pointers.
+  const std::byte* f = out.data() + base;
+  std::uint32_t crc = storage::crc32c({f, kCrcAt});
+  crc = storage::crc32c({f + kReservedAt, kFrameHeaderBytes - kReservedAt + len}, crc);
+  std::memcpy(out.data() + base + kCrcAt, &crc, sizeof crc);
+}
+
+FrameParse parse_frame(std::span<const std::byte> bytes, std::uint8_t max_kind) {
+  FrameParse r;
+  if (bytes.size() < kFrameHeaderBytes) {
+    r.reason = "torn frame header";
+    return r;
+  }
+  if (read_le<std::uint64_t>(bytes, 0) != kFrameMagic) {
+    r.reason = "bad frame magic";
+    return r;
+  }
+  if (read_le<std::uint16_t>(bytes, kVersionAt) != kWireVersion) {
+    r.reason = "unsupported wire version";
+    return r;
+  }
+  const auto len = read_le<std::uint32_t>(bytes, kLenAt);
+  r.crc_found = read_le<std::uint32_t>(bytes, kCrcAt);
+  if (len > kMaxFramePayloadBytes) {
+    r.reason = "implausible frame length";
+    return r;
+  }
+  if (bytes.size() < kFrameHeaderBytes + len) {
+    r.reason = "torn frame payload";
+    return r;
+  }
+  r.crc_expected = storage::crc32c(bytes.first(kCrcAt));
+  r.crc_expected = storage::crc32c(
+      bytes.subspan(kReservedAt, kFrameHeaderBytes - kReservedAt + len),
+      r.crc_expected);
+  if (r.crc_expected != r.crc_found) {
+    r.reason = "bad frame crc";
+    return r;
+  }
+  // CRC has passed: anything wrong past this point is encoder version skew,
+  // not wire damage — still rejected, never trusted.
+  const auto kind = static_cast<std::uint8_t>(bytes[kKindAt]);
+  if (kind > max_kind) {
+    r.reason = "unknown message kind";
+    return r;
+  }
+  // Canonical frames zero-fill the pad byte and the whole reserved region;
+  // anything else would survive decode but fail the canonical re-encode.
+  if (bytes[kPadAt] != std::byte{0}) {
+    r.reason = "nonzero header padding";
+    return r;
+  }
+  for (std::size_t i = kReservedAt; i < kFrameHeaderBytes; ++i) {
+    if (bytes[i] != std::byte{0}) {
+      r.reason = "nonzero header padding";
+      return r;
+    }
+  }
+  r.kind = kind;
+  r.payload = bytes.subspan(kFrameHeaderBytes, len);
+  r.consumed = kFrameHeaderBytes + len;
+  return r;
+}
+
+}  // namespace gryphon::wire

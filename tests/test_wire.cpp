@@ -1,0 +1,441 @@
+// Wire-protocol tests: frame/codec round-trips for every MsgKind, the
+// decode-never-throws rejection contract (every torn prefix and every
+// flipped byte of every sample frame must be rejected), wire-size parity
+// between the analytic formulas and the byte codec, structural rejects
+// behind a valid CRC, and the System-level guarantees: struct- and
+// codec-mode runs are schedule-identical on the same seed, and seeded
+// frame corruption under chaos never breaks exactly-once.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/chaos.hpp"
+#include "harness/system.hpp"
+#include "harness/workload.hpp"
+#include "storage/crc32c.hpp"
+#include "util/byte_buffer.hpp"
+#include "wire/codec.hpp"
+#include "wire/codec_transport.hpp"
+#include "wire/frame.hpp"
+
+namespace gryphon {
+namespace {
+
+using core::CheckpointToken;
+using core::MsgKind;
+
+matching::EventDataPtr sample_event() {
+  return std::make_shared<matching::EventData>(
+      std::map<std::string, matching::Value>{{"sym", matching::Value("IBM")},
+                                             {"price", matching::Value(101.5)},
+                                             {"g", matching::Value(3)},
+                                             {"urgent", matching::Value(true)}},
+      "payload-bytes", 250);
+}
+
+CheckpointToken sample_ct() {
+  CheckpointToken ct;
+  ct.set(PubendId{1}, 100);
+  ct.set(PubendId{7}, 12345678901LL);
+  return ct;
+}
+
+/// One representative message per MsgKind (several with both empty and
+/// populated variants) — the corpus every frame-level test runs over.
+std::vector<std::shared_ptr<core::Msg>> sample_messages() {
+  std::vector<std::shared_ptr<core::Msg>> msgs;
+
+  std::vector<routing::KnowledgeItem> items;
+  items.push_back({routing::TickValue::kS, TickRange{1, 9}, nullptr});
+  items.push_back({routing::TickValue::kD, TickRange{10, 10}, sample_event()});
+  items.push_back({routing::TickValue::kL, TickRange{11, 20}, nullptr});
+  msgs.push_back(std::make_shared<core::StreamDataMsg>(PubendId{3}, std::move(items)));
+  msgs.push_back(std::make_shared<core::StreamDataMsg>(
+      PubendId{4}, std::vector<routing::KnowledgeItem>{}));
+
+  msgs.push_back(std::make_shared<core::NackMsg>(
+      PubendId{2}, std::vector<TickRange>{{5, 9}, {20, 31}}, true));
+  msgs.push_back(
+      std::make_shared<core::NackMsg>(PubendId{2}, std::vector<TickRange>{}, false));
+  msgs.push_back(std::make_shared<core::ReleaseUpdateMsg>(PubendId{1}, 500, 777));
+  msgs.push_back(std::make_shared<core::SubscribeMsg>(SubscriberId{9}, "g = 3"));
+  msgs.push_back(std::make_shared<core::SubscribeMsg>(SubscriberId{10}, ""));
+  msgs.push_back(std::make_shared<core::SubscribeAckMsg>(
+      SubscriberId{9},
+      std::vector<std::pair<PubendId, Tick>>{{PubendId{1}, 40}, {PubendId{2}, 0}}));
+  msgs.push_back(std::make_shared<core::UnsubscribeMsg>(SubscriberId{9}));
+  msgs.push_back(std::make_shared<core::BrokerResumeMsg>(
+      std::vector<std::pair<PubendId, Tick>>{{PubendId{1}, 123}}));
+  msgs.push_back(std::make_shared<core::BrokerResumeMsg>(
+      std::vector<std::pair<PubendId, Tick>>{}));
+
+  msgs.push_back(std::make_shared<core::PublishMsg>(PublisherId{5}, 42, 40,
+                                                    PubendId{1}, sample_event()));
+  msgs.push_back(std::make_shared<core::PublishAckMsg>(PublisherId{5}, 42, 999));
+
+  msgs.push_back(std::make_shared<core::ConnectMsg>(SubscriberId{7}, true, "g = 1",
+                                                    CheckpointToken{}));
+  msgs.push_back(std::make_shared<core::ConnectMsg>(SubscriberId{7}, false, "",
+                                                    sample_ct(), true, true));
+  msgs.push_back(std::make_shared<core::ConnectedMsg>(SubscriberId{7}, sample_ct()));
+  msgs.push_back(std::make_shared<core::DisconnectMsg>(SubscriberId{7}));
+  msgs.push_back(std::make_shared<core::UnsubscribeReqMsg>(SubscriberId{7}));
+  msgs.push_back(std::make_shared<core::AckMsg>(SubscriberId{7}, sample_ct()));
+  msgs.push_back(std::make_shared<core::EventDeliveryMsg>(
+      SubscriberId{7}, PubendId{1}, 1234, sample_event(), true));
+  msgs.push_back(std::make_shared<core::SilenceDeliveryMsg>(SubscriberId{7},
+                                                            PubendId{1}, 1300));
+  msgs.push_back(
+      std::make_shared<core::GapDeliveryMsg>(SubscriberId{7}, PubendId{1},
+                                             TickRange{1301, 1400}));
+  msgs.push_back(std::make_shared<core::JmsConsumedMsg>(SubscriberId{7}, PubendId{1},
+                                                        1234));
+  return msgs;
+}
+
+/// Recomputes and patches the frame CRC after a deliberate header mutation,
+/// so structural checks *behind* the CRC can be exercised in isolation.
+void patch_crc(std::vector<std::byte>& frame) {
+  std::span<const std::byte> all(frame);
+  std::uint32_t crc = storage::crc32c(all.subspan(0, 16));
+  crc = storage::crc32c(all.subspan(20), crc);
+  std::memcpy(frame.data() + 16, &crc, sizeof crc);
+}
+
+// ------------------------------------------------------------- round trips
+
+TEST(WireCodec, SampleCorpusCoversEveryMsgKind) {
+  std::vector<bool> seen(static_cast<std::size_t>(MsgKind::kJmsConsumed) + 1, false);
+  for (const auto& msg : sample_messages()) {
+    seen[static_cast<std::size_t>(msg->kind())] = true;
+  }
+  for (std::size_t k = 0; k < seen.size(); ++k) {
+    EXPECT_TRUE(seen[k]) << "no sample message for kind " << k;
+  }
+}
+
+TEST(WireCodec, EveryKindRoundTripsCanonicallyAtParity) {
+  for (const auto& msg : sample_messages()) {
+    const auto frame = wire::encode(*msg);
+    // Wire-size parity: the analytic formula IS the encoded size.
+    EXPECT_EQ(frame.size(), msg->wire_size())
+        << "kind " << static_cast<int>(msg->kind());
+    const auto r = wire::decode(frame);
+    ASSERT_NE(r.msg, nullptr) << "kind " << static_cast<int>(msg->kind())
+                              << " rejected: " << (r.reason ? r.reason : "?");
+    EXPECT_EQ(r.consumed, frame.size());
+    EXPECT_EQ(r.msg->kind(), msg->kind());
+    // One canonical encoding: re-encoding the decode reproduces the frame.
+    EXPECT_EQ(wire::encode(*r.msg), frame)
+        << "kind " << static_cast<int>(msg->kind());
+  }
+}
+
+TEST(WireCodec, DecodedFieldsSurviveTheTrip) {
+  {
+    const core::PublishMsg in(PublisherId{5}, 42, 40, PubendId{1}, sample_event());
+    const auto r = wire::decode(wire::encode(in));
+    ASSERT_NE(r.msg, nullptr);
+    const auto& out = static_cast<const core::PublishMsg&>(*r.msg);
+    EXPECT_EQ(out.publisher, PublisherId{5});
+    EXPECT_EQ(out.seq, 42u);
+    EXPECT_EQ(out.acked_below, 40u);
+    EXPECT_EQ(out.pubend, PubendId{1});
+    EXPECT_EQ(out.event->payload(), "payload-bytes");
+    EXPECT_EQ(out.event->payload_size(), 250u);
+    EXPECT_EQ(*out.event->attribute("sym"), matching::Value("IBM"));
+    EXPECT_EQ(*out.event->attribute("urgent"), matching::Value(true));
+  }
+  {
+    const core::ConnectMsg in(SubscriberId{7}, false, "g = 2", sample_ct(), true,
+                              false);
+    const auto r = wire::decode(wire::encode(in));
+    ASSERT_NE(r.msg, nullptr);
+    const auto& out = static_cast<const core::ConnectMsg&>(*r.msg);
+    EXPECT_FALSE(out.first_connect);
+    EXPECT_TRUE(out.jms_auto_ack);
+    EXPECT_FALSE(out.use_stored_ct);
+    EXPECT_EQ(out.predicate_text, "g = 2");
+    EXPECT_EQ(out.ct.of(PubendId{7}), 12345678901LL);
+  }
+  {
+    std::vector<routing::KnowledgeItem> items;
+    items.push_back({routing::TickValue::kD, TickRange{10, 10}, sample_event()});
+    const core::StreamDataMsg in(PubendId{3}, std::move(items));
+    const auto r = wire::decode(wire::encode(in));
+    ASSERT_NE(r.msg, nullptr);
+    const auto& out = static_cast<const core::StreamDataMsg&>(*r.msg);
+    ASSERT_EQ(out.items.size(), 1u);
+    EXPECT_EQ(out.items[0].value, routing::TickValue::kD);
+    EXPECT_EQ(out.items[0].range.from, 10);
+    ASSERT_NE(out.items[0].event, nullptr);
+    EXPECT_EQ(*out.items[0].event->attribute("g"), matching::Value(3));
+  }
+}
+
+// --------------------------------------------------------------- rejection
+
+TEST(WireCodec, EveryTornPrefixOfEveryFrameIsRejected) {
+  for (const auto& msg : sample_messages()) {
+    const auto frame = wire::encode(*msg);
+    for (std::size_t len = 0; len < frame.size(); ++len) {
+      const auto r = wire::decode({frame.data(), len});
+      EXPECT_EQ(r.consumed, 0u) << "kind " << static_cast<int>(msg->kind())
+                                << " prefix " << len;
+      EXPECT_EQ(r.msg, nullptr);
+      EXPECT_NE(r.reason, nullptr);
+    }
+  }
+}
+
+TEST(WireCodec, EveryFlippedByteOfEveryFrameIsRejected) {
+  for (const auto& msg : sample_messages()) {
+    const auto frame = wire::encode(*msg);
+    for (std::size_t pos = 0; pos < frame.size(); ++pos) {
+      for (const std::uint8_t pattern : {0x01, 0xFF}) {
+        auto mutated = frame;
+        mutated[pos] ^= static_cast<std::byte>(pattern);
+        const auto r = wire::decode(mutated);
+        EXPECT_EQ(r.msg, nullptr) << "kind " << static_cast<int>(msg->kind())
+                                  << " byte " << pos << " xor "
+                                  << static_cast<int>(pattern);
+        EXPECT_NE(r.reason, nullptr);
+      }
+    }
+  }
+}
+
+TEST(WireCodec, TrailingBytesAfterAFrameAreRejected) {
+  auto frame = wire::encode(core::DisconnectMsg(SubscriberId{1}));
+  frame.push_back(std::byte{0});
+  const auto r = wire::decode(frame);
+  EXPECT_EQ(r.msg, nullptr);
+  EXPECT_STREQ(r.reason, "trailing bytes after frame");
+}
+
+// A valid CRC does not make a payload valid: structural failures are
+// encoder version skew and must be rejected (never thrown) all the same.
+TEST(WireCodec, StructurallyInvalidPayloadsBehindAValidCrcAreRejected) {
+  const auto reject_reason = [](std::uint8_t kind,
+                                const std::vector<std::byte>& payload) {
+    std::vector<std::byte> frame;
+    wire::append_frame(frame, kind, payload);
+    const auto r = wire::decode(frame);
+    EXPECT_EQ(r.msg, nullptr);
+    return std::string(r.reason ? r.reason : "(accepted)");
+  };
+
+  // Unknown message kind (frame layer is vocabulary-agnostic, codec is not).
+  EXPECT_EQ(reject_reason(static_cast<std::uint8_t>(MsgKind::kJmsConsumed) + 1, {}),
+            "unknown message kind");
+
+  // A truncated payload field: Disconnect needs 4 bytes, gets none.
+  EXPECT_EQ(reject_reason(static_cast<std::uint8_t>(MsgKind::kDisconnect), {}),
+            "truncated payload field");
+
+  {  // Trailing payload bytes behind a complete Disconnect.
+    BufWriter w;
+    w.put_u32(7);
+    w.put_u8(0);
+    EXPECT_EQ(reject_reason(static_cast<std::uint8_t>(MsgKind::kDisconnect),
+                            w.take()),
+              "trailing payload bytes");
+  }
+  {  // Unknown connect flag bits.
+    BufWriter w;
+    w.put_u32(7);
+    w.put_u8(0xF8);        // flags beyond the known three bits
+    w.put_string("");      // predicate
+    w.put_u32(0);          // empty checkpoint token
+    EXPECT_EQ(reject_reason(static_cast<std::uint8_t>(MsgKind::kConnect), w.take()),
+              "bad connect flags");
+  }
+  {  // A wire bool must be exactly 0 or 1.
+    BufWriter w;
+    w.put_u32(1);  // pubend
+    w.put_u8(2);   // authoritative_only = 2?
+    w.put_u32(0);  // no ranges
+    EXPECT_EQ(reject_reason(static_cast<std::uint8_t>(MsgKind::kNack), w.take()),
+              "bad bool byte");
+  }
+  {  // Knowledge tag outside [kS, kL] (kQ never travels).
+    BufWriter w;
+    w.put_u32(1);  // pubend
+    w.put_u32(1);  // one item
+    w.put_u8(0);   // kQ
+    w.put_i64(1);
+    w.put_i64(1);
+    EXPECT_EQ(reject_reason(static_cast<std::uint8_t>(MsgKind::kStreamData),
+                            w.take()),
+              "bad knowledge tag");
+  }
+}
+
+TEST(WireCodec, NonzeroHeaderPaddingIsRejectedEvenWithAValidCrc) {
+  auto frame = wire::encode(core::DisconnectMsg(SubscriberId{1}));
+  frame[wire::kFrameHeaderBytes - 1] = std::byte{1};
+  patch_crc(frame);
+  const auto r = wire::decode(frame);
+  EXPECT_EQ(r.msg, nullptr);
+  EXPECT_STREQ(r.reason, "nonzero header padding");
+}
+
+TEST(WireCodec, FrameHeaderEqualsTheAnalyticEnvelope) {
+  EXPECT_EQ(wire::kFrameHeaderBytes, core::kEnvelopeBytes);
+  // The envelope-only messages really are header + tiny payload.
+  const core::DisconnectMsg m(SubscriberId{1});
+  EXPECT_EQ(wire::encode(m).size(), core::kEnvelopeBytes + 4);
+}
+
+// ---------------------------------------------------------------- transport
+
+TEST(CodecTransport, EncodesToFramesAndRejectsMangledOnes) {
+  wire::CodecTransport transport;
+  auto msg = std::make_shared<core::SilenceDeliveryMsg>(SubscriberId{3}, PubendId{1},
+                                                        42);
+  const std::size_t wire_size = msg->wire_size();
+  sim::MessagePtr on_wire = transport.to_wire(1, 2, std::move(msg));
+  ASSERT_NE(on_wire, nullptr);
+  ASSERT_NE(on_wire->wire_bytes(), nullptr);
+  EXPECT_EQ(on_wire->wire_size(), wire_size);  // parity through FrameMessage
+
+  // A flipped byte must come back as a nullptr (counted reject), not a throw.
+  auto mangled_bytes = *on_wire->wire_bytes();
+  mangled_bytes[wire::kFrameHeaderBytes] ^= std::byte{0x40};
+  sim::MessagePtr mangled =
+      std::make_shared<sim::FrameMessage>(std::move(mangled_bytes));
+  EXPECT_EQ(transport.from_wire(1, 2, std::move(mangled)), nullptr);
+  EXPECT_EQ(transport.frames_rejected(), 1u);
+
+  // The clean frame decodes back to the original message.
+  sim::MessagePtr back = transport.from_wire(1, 2, std::move(on_wire));
+  ASSERT_NE(back, nullptr);
+  const auto& out = static_cast<const core::SilenceDeliveryMsg&>(
+      static_cast<const core::Msg&>(*back));
+  EXPECT_EQ(out.subscriber, SubscriberId{3});
+  EXPECT_EQ(out.upto, 42);
+  EXPECT_EQ(transport.frames_encoded(), 1u);
+  EXPECT_EQ(transport.frames_decoded(), 1u);
+}
+
+// ------------------------------------------------------------ system level
+
+struct RunFingerprint {
+  std::uint64_t published;
+  std::uint64_t delivered;
+  std::uint64_t catchup_delivered;
+  std::uint64_t tasks;
+  std::uint64_t net_messages;
+  std::uint64_t net_bytes;
+  std::uint64_t decode_rejects;
+  std::vector<std::uint64_t> per_sub;
+
+  friend bool operator==(const RunFingerprint&, const RunFingerprint&) = default;
+};
+
+RunFingerprint run_scenario(harness::WireMode wire) {
+  harness::SystemConfig config;
+  config.num_pubends = 2;
+  config.num_intermediates = 1;
+  config.num_shbs = 2;
+  config.wire = wire;
+  harness::System system(config);
+  harness::PaperWorkloadConfig wl;
+  wl.input_rate_eps = 300;
+  harness::start_paper_publishers(system, wl);
+  auto subs = harness::add_group_subscribers(system, 0, 4, 4, 1);
+  auto more = harness::add_group_subscribers(system, 1, 4, 4, 100);
+  subs.insert(subs.end(), more.begin(), more.end());
+  system.run_for(sec(4));
+  subs[0]->disconnect();
+  system.run_for(sec(2));
+  system.crash_shb(1);
+  system.run_for(sec(2));
+  system.restart_shb(1);
+  subs[0]->connect();
+  system.run_for(sec(10));
+  system.verify_exactly_once();
+
+  RunFingerprint fp;
+  fp.published = system.oracle().published_count();
+  fp.delivered = system.oracle().delivered_count();
+  fp.catchup_delivered = system.oracle().catchup_delivered_count();
+  fp.tasks = system.simulator().executed_tasks();
+  fp.net_messages = system.network().delivered_messages();
+  fp.net_bytes = system.network().delivered_bytes();
+  fp.decode_rejects = system.network().decode_rejects();
+  for (auto* sub : subs) fp.per_sub.push_back(sub->events_received());
+  return fp;
+}
+
+TEST(WireSystem, StructAndCodecRunsAreScheduleIdenticalOnTheSameSeed) {
+  // Wire-size parity is what makes this hold: the codec prices exactly the
+  // bytes the analytic formulas promise, so the bandwidth model computes
+  // identical departure/arrival times and the whole run is bit-identical.
+  const auto s = run_scenario(harness::WireMode::kStruct);
+  const auto c = run_scenario(harness::WireMode::kCodec);
+  EXPECT_EQ(s, c);
+  EXPECT_EQ(c.decode_rejects, 0u);  // clean run: nothing to reject
+  EXPECT_GT(c.delivered, 1000u);
+  EXPECT_GT(c.net_bytes, 100'000u);
+}
+
+void run_frame_corruption_chaos(harness::WireMode wire) {
+  harness::SystemConfig sc;
+  sc.num_pubends = 2;
+  sc.num_intermediates = 1;
+  sc.num_shbs = 2;
+  sc.wire = wire;
+  harness::System system(sc);
+  harness::PaperWorkloadConfig wl;
+  wl.input_rate_eps = 300;
+  harness::start_paper_publishers(system, wl);
+  harness::add_group_subscribers(system, 0, 4, 4, 1);
+  harness::add_group_subscribers(system, 1, 4, 4, 100);
+  system.run_for(sec(3));
+
+  harness::ChaosConfig config;
+  config.seed = 7;
+  config.horizon = sec(8);
+  // Frame corruption only: every fault in the timeline is a corruption
+  // window, so the run measures exactly the new fault kind.
+  config.weights = {};
+  config.weights.partition = 0;
+  config.weights.flap = 0;
+  config.weights.degrade = 0;
+  config.weights.disk_stall = 0;
+  config.weights.torn_sync = 0;
+  config.weights.crash_restart = 0;
+  config.weights.crash_during_recovery = 0;
+  config.weights.double_fault = 0;
+  config.weights.frame_corrupt = 1;
+  harness::ChaosSchedule chaos(system, config);
+  chaos.run();  // throws on any invariant violation
+
+  // The windows really did mangle traffic…
+  EXPECT_GT(system.network().corrupted_frames(), 0u);
+  if (wire == harness::WireMode::kCodec) {
+    // …and in codec mode every mangled frame surfaced as a decode reject
+    // (flips and truncations can never pass the CRC).
+    EXPECT_EQ(system.network().decode_rejects(),
+              system.network().corrupted_frames());
+  } else {
+    // Struct messages have no bytes to flip: mangles become silent drops.
+    EXPECT_EQ(system.network().decode_rejects(), 0u);
+  }
+}
+
+TEST(WireSystem, FrameCorruptionChaosKeepsExactlyOnceUnderCodec) {
+  run_frame_corruption_chaos(harness::WireMode::kCodec);
+}
+
+TEST(WireSystem, FrameCorruptionChaosKeepsExactlyOnceUnderStruct) {
+  run_frame_corruption_chaos(harness::WireMode::kStruct);
+}
+
+}  // namespace
+}  // namespace gryphon

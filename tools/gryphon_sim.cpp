@@ -39,6 +39,10 @@ struct Flags {
   int imprecise_batch = 1;
   int trace_sample = 64;
   std::string metrics_json;  // empty = no snapshot file
+  std::string wire = "struct";
+  double segment_kib = 0.0;     // 0 = StorageOptions default
+  double db_compact_kib = 0.0;  // 0 = StorageOptions default
+  std::string wal_dir;          // empty = in-memory WAL segments
   bool quiet = false;
 };
 
@@ -60,6 +64,10 @@ void usage() {
       "  --imprecise-batch N  PFS precision (1 = precise)         [1]\n"
       "  --trace-sample N     trace 1-in-N ticks (power of two)   [64]\n"
       "  --metrics-json PATH  write per-node registry snapshots\n"
+      "  --wire MODE          link transport: struct | codec       [struct]\n"
+      "  --segment-bytes KIB  WAL segment roll size (KiB)          [256]\n"
+      "  --db-compact-bytes KIB  DB WAL compaction threshold (KiB) [1024]\n"
+      "  --wal-dir PATH       file-backed WAL segments under PATH  [in-memory]\n"
       "  --quiet              suppress the per-second rate table\n");
 }
 
@@ -105,6 +113,19 @@ bool parse_flags(int argc, char** argv, Flags& flags) {
       flags.trace_sample = static_cast<int>(v);
     } else if (arg == "--metrics-json" && i + 1 < argc) {
       flags.metrics_json = argv[++i];
+    } else if (arg == "--wire" && i + 1 < argc) {
+      flags.wire = argv[++i];
+      if (flags.wire != "struct" && flags.wire != "codec") {
+        std::fprintf(stderr, "--wire must be struct or codec, got %s\n",
+                     flags.wire.c_str());
+        return false;
+      }
+    } else if (arg == "--segment-bytes" && next_value(v)) {
+      flags.segment_kib = v;
+    } else if (arg == "--db-compact-bytes" && next_value(v)) {
+      flags.db_compact_kib = v;
+    } else if (arg == "--wal-dir" && i + 1 < argc) {
+      flags.wal_dir = argv[++i];
     } else {
       std::fprintf(stderr, "unknown or incomplete flag: %s\n", arg.c_str());
       return false;
@@ -135,6 +156,15 @@ int main(int argc, char** argv) {
   if (flags.trace_sample >= 1) {
     config.trace_sample_every = static_cast<std::uint32_t>(flags.trace_sample);
   }
+  if (flags.wire == "codec") config.wire = harness::WireMode::kCodec;
+  if (flags.segment_kib > 0) {
+    config.storage.segment_bytes = static_cast<std::size_t>(flags.segment_kib * 1024);
+  }
+  if (flags.db_compact_kib > 0) {
+    config.storage.db_compact_bytes =
+        static_cast<std::size_t>(flags.db_compact_kib * 1024);
+  }
+  config.storage.file_dir = flags.wal_dir;
   harness::System system(config);
 
   harness::PaperWorkloadConfig wl;
@@ -190,8 +220,11 @@ int main(int argc, char** argv) {
   const auto delivered =
       system.oracle().delivered_count() - delivered_before;
   std::printf("== gryphon_sim report ==\n");
-  std::printf("topology: %d pubend(s), %d intermediate(s), %d SHB(s); %d subscribers\n",
-              flags.pubends, flags.intermediates, flags.shbs, flags.subscribers);
+  std::printf(
+      "topology: %d pubend(s), %d intermediate(s), %d SHB(s); %d subscribers; "
+      "wire=%s\n",
+      flags.pubends, flags.intermediates, flags.shbs, flags.subscribers,
+      flags.wire.c_str());
   std::printf("published: %llu events at %.0f ev/s aggregate input\n",
               (unsigned long long)system.oracle().published_count(), flags.rate);
   std::printf("delivered: %llu in the %.0fs window (%.0f ev/s aggregate)\n",

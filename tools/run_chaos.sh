@@ -53,3 +53,12 @@ echo "ok: injected violation produced the focused flight-recorder dump"
 
 echo "== chaos soak: ${NUM_SEEDS} seeds from ${FIRST_SEED}, ${HORIZON_S}s horizon =="
 ./build-asan/bench/bench_chaos_soak "${NUM_SEEDS}" "${FIRST_SEED}" "${HORIZON_S}"
+
+echo "== codec chaos soak: byte transport + seeded frame corruption =="
+# Same fault schedules, but every link runs through the wire codec (encode on
+# send, CRC-checked decode on delivery) and frame-corruption windows flip or
+# truncate bytes in flight. The receiving transport must reject every mangled
+# frame as a drop — under ASan this also shakes out any decoder that reads
+# past a truncated buffer.
+./build-asan/bench/bench_chaos_soak "${NUM_SEEDS}" "${FIRST_SEED}" "${HORIZON_S}" \
+    --wire=codec --frame-faults
