@@ -15,14 +15,17 @@
 //   bench_recovery_fuzz [num_seeds] [first_seed] [--smoke] [--out FILE]
 //                       [--wal-dir DIR]
 //
-// Defaults: 100 seeds x 2 crashes per seed = 200 seeded crash points spread
+// Defaults: 100 seeds x 2 crashes per seed = 200+ seeded crash points spread
 // across PHB, intermediate and SHB WALs (the intermediate's knowledge/DB
-// recovery path crashes just like the edges do). The run fails (exit 1) if
+// recovery path crashes just like the edges do). About a third of the
+// crashes compose a second kill 1-40 ms after the restart, so the crash
+// point lands inside the recovery window itself. The run fails (exit 1) if
 // any seed violates the oracle,
 // and — unless --smoke — if not a single crash point produced a torn-tail
-// truncation (that would mean the fuzzer stopped reaching the interesting
-// crash points, not that the engine got better). --smoke runs 3 seeds with
-// no torn-tail requirement: the sanitizer entry point for tools/run_chaos.sh.
+// truncation, or not a single re-crash landed inside a recovery window
+// (either would mean the fuzzer stopped reaching the interesting crash
+// points, not that the engine got better). --smoke runs 3 seeds with
+// neither requirement: the sanitizer entry point for tools/run_chaos.sh.
 // --wal-dir runs every node's WAL on real files (FileBackend) under
 // DIR/seed<N>/ so the byte-level recovery path is exercised through the
 // filesystem; --out writes a bench-JSON snapshot whose metrics block carries
@@ -45,6 +48,7 @@ constexpr int kCrashesPerSeed = 2;
 struct SeedResult {
   std::uint64_t seed = 0;
   int crashes = 0;
+  int recovery_crashes = 0;  // re-crashes landed milliseconds into recovery
   std::uint64_t recoveries = 0;
   std::uint64_t truncated_bytes = 0;
   std::uint64_t torn_tail_recoveries = 0;
@@ -124,6 +128,29 @@ SeedResult run_seed(std::uint64_t seed, const std::string& wal_dir) {
         case 1: system.restart_intermediate(0); break;
         default: system.restart_shb(0); break;
       }
+      if (rng.next_below(3) == 0) {
+        // Crash-during-recovery composition: kill the freshly restarted
+        // broker again milliseconds into recovery, with fresh tear entropy.
+        // The WAL written *by recovery itself* (resume handshakes, replayed
+        // state) must be as crash-consistent as steady-state appends.
+        system.run_for(msec(1 + static_cast<SimDuration>(rng.next_below(39))));
+        const std::uint64_t entropy2 = rng.next_u64();
+        node.log_volume.set_crash_entropy(entropy2);
+        node.database.set_crash_entropy(entropy2 >> 7);
+        switch (target) {
+          case 0: system.crash_phb(); break;
+          case 1: system.crash_intermediate(0); break;
+          default: system.crash_shb(0); break;
+        }
+        ++r.crashes;
+        ++r.recovery_crashes;
+        system.run_for(msec(300 + static_cast<SimDuration>(rng.next_below(1200))));
+        switch (target) {
+          case 0: system.restart_phb(); break;
+          case 1: system.restart_intermediate(0); break;
+          default: system.restart_shb(0); break;
+        }
+      }
       system.run_for(sec(2));
     }
     system.run_for(sec(4));
@@ -177,11 +204,12 @@ int main(int argc, char** argv) {
   print_header("Recovery fuzz: " + std::to_string(num_seeds) + " seeds x " +
                std::to_string(kCrashesPerSeed) + " seeded crash points" +
                (wal_dir.empty() ? " (in-memory WAL)" : " (file WAL: " + wal_dir + ")"));
-  print_row({"seed", "crashes", "recoveries", "torn_tails", "trunc_bytes",
-             "published", "delivered", "verdict"});
+  print_row({"seed", "crashes", "rec_crash", "recoveries", "torn_tails",
+             "trunc_bytes", "published", "delivered", "verdict"}, 12);
 
   int violations = 0;
   int crash_points = 0;
+  int recovery_crashes = 0;
   std::uint64_t recoveries = 0;
   std::uint64_t truncated_bytes = 0;
   std::uint64_t torn_tails = 0;
@@ -189,19 +217,23 @@ int main(int argc, char** argv) {
     const std::uint64_t seed = first_seed + static_cast<std::uint64_t>(i);
     const SeedResult r = run_seed(seed, wal_dir);
     crash_points += r.crashes;
+    recovery_crashes += r.recovery_crashes;
     recoveries += r.recoveries;
     truncated_bytes += r.truncated_bytes;
     torn_tails += r.torn_tail_recoveries;
     if (r.violated) ++violations;
     print_row({std::to_string(seed), std::to_string(r.crashes),
+               std::to_string(r.recovery_crashes),
                std::to_string(r.recoveries), std::to_string(r.torn_tail_recoveries),
                std::to_string(r.truncated_bytes), std::to_string(r.published),
-               std::to_string(r.delivered), r.violated ? "VIOLATION" : "ok"});
+               std::to_string(r.delivered), r.violated ? "VIOLATION" : "ok"}, 12);
   }
 
-  std::printf("\n%d crash points, %llu recoveries, %llu torn-tail truncations "
-              "(%llu bytes discarded), %d oracle violations\n",
-              crash_points, static_cast<unsigned long long>(recoveries),
+  std::printf("\n%d crash points (%d landed inside recovery), %llu recoveries, "
+              "%llu torn-tail truncations (%llu bytes discarded), %d oracle "
+              "violations\n",
+              crash_points, recovery_crashes,
+              static_cast<unsigned long long>(recoveries),
               static_cast<unsigned long long>(torn_tails),
               static_cast<unsigned long long>(truncated_bytes), violations);
 
@@ -209,6 +241,11 @@ int main(int argc, char** argv) {
   if (!smoke && torn_tails == 0) {
     std::printf("FUZZ GAP: no crash point tore a WAL tail mid-frame — the fuzzer "
                 "is no longer reaching the interesting crash points\n");
+    failed = true;
+  }
+  if (!smoke && recovery_crashes == 0) {
+    std::printf("FUZZ GAP: no crash landed inside a recovery window — the "
+                "crash-during-recovery composition stopped firing\n");
     failed = true;
   }
 
@@ -219,6 +256,7 @@ int main(int argc, char** argv) {
     report.metrics = {
         {"seeds", static_cast<double>(num_seeds)},
         {"crash_points", static_cast<double>(crash_points)},
+        {"recovery_crashes", static_cast<double>(recovery_crashes)},
         {"oracle_violations", static_cast<double>(violations)},
     };
     report.registry = {

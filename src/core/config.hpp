@@ -42,8 +42,18 @@ struct CostModel {
   SimDuration silence_interval = msec(100);
   /// Curiosity: how long a Q gap may stall the doubt horizon before nacking.
   SimDuration nack_timeout = msec(100);
-  /// Re-nack outstanding ranges that received no response.
+  /// Re-nack outstanding ranges that received no response: base delay of the
+  /// per-stream retry backoff (retry k waits min(nack_retry *
+  /// nack_retry_multiplier^k, nack_retry_max), scaled by a deterministic
+  /// jitter factor in [1 - nack_retry_jitter, 1 + nack_retry_jitter) hashed
+  /// from (broker, stream, attempt) — no shared RNG, so retry timing is
+  /// replayable). Any response progress resets k to 0, so a live-but-slow
+  /// upstream sees the base period while a severed one is probed ever more
+  /// gently up to the cap.
   SimDuration nack_retry = msec(1000);
+  SimDuration nack_retry_max = sec(4);
+  double nack_retry_multiplier = 2.0;
+  double nack_retry_jitter = 0.2;
   /// Brokers push (released, latestDelivered) mins upstream at this period.
   SimDuration release_update_interval = msec(250);
   /// SHB commits dirty released(s,p) / latestDelivered(p) rows (paper: 250ms).
@@ -89,6 +99,11 @@ struct CostModel {
   /// Intermediate brokers / SHB istreams cache this many trailing ticks of
   /// knowledge+events for serving catchup nacks locally.
   Tick cache_span_ticks = 30'000;
+  /// Reconnect-herd admission control: at most this many catchup streams may
+  /// be *active* (issuing PFS reads, nacking upstream, delivering) per SHB at
+  /// once; further resumed sessions queue FIFO and are admitted as active
+  /// streams switch over. 0 = unbounded (every stream activates on arrival).
+  std::size_t catchup_admission_limit = 64;
 
   // Per-message envelope bytes are NOT configurable: the envelope is the
   // wire frame header, core::kEnvelopeBytes (messages.hpp), static-asserted

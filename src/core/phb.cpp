@@ -49,6 +49,10 @@ PublisherHostingBroker::PublisherHostingBroker(NodeResources& resources,
       return static_cast<double>(raw->head() - raw->delivered_min());
     }));
   }
+  // Storage-pressure gauge of the shared release policy (0 for static ones).
+  probes_.push_back(m.probe("pubend.retain_pressure", [this] {
+    return policy_->pressure();
+  }));
 }
 
 void PublisherHostingBroker::add_child(sim::EndpointId child) {
@@ -71,8 +75,10 @@ void PublisherHostingBroker::start() {
       }
     }
   });
-  // Release application.
+  // Release application. The policy first observes the event-log live bytes
+  // so AdaptiveRetainPolicy can squeeze retention under storage pressure.
   every(config_.costs.release_update_interval, [this] {
+    policy_->observe_live_bytes(res_.log_volume.wal().live_bytes());
     for (auto& [p, pe] : pubends_) {
       refresh_release_mins(p);
       pe->apply_release(now());

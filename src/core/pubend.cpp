@@ -25,6 +25,7 @@ Pubend::Pubend(PubendId id, NodeResources& resources, ReleasePolicyPtr policy)
   m_events_logged_ = m.counter("pubend.events_logged");
   m_persisted_ = m.counter("pubend.events_persisted");
   m_ticks_chopped_ = m.counter("pubend.ticks_chopped");
+  m_pressure_released_ = m.counter("pubend.pressure_released_ticks");
 }
 
 std::string Pubend::meta_key(const char* what) const {
@@ -158,6 +159,11 @@ std::optional<TickRange> Pubend::apply_release(SimTime now) {
   if (chop_to != storage::kNoIndex) res_.log_volume.chop(log_stream_, chop_to);
   lost_upto_ = boundary;
   m_ticks_chopped_->inc(static_cast<std::uint64_t>(lost.to - lost.from + 1));
+  if (policy_->pressure() > 0.0) {
+    // Degradation accounting: ticks chopped while the adaptive policy was
+    // squeezing retention below its relaxed maximum.
+    m_pressure_released_->inc(static_cast<std::uint64_t>(lost.to - lost.from + 1));
+  }
   res_.tracer.record_range(now, id_.value(), lost.from, lost.to,
                            TraceMilestone::kReleaseToL);
   GRYPHON_LOG(kDebug, res_.name,

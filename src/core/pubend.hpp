@@ -109,6 +109,7 @@ class Pubend {
   MetricsRegistry::Counter* m_events_logged_;
   MetricsRegistry::Counter* m_persisted_;
   MetricsRegistry::Counter* m_ticks_chopped_;
+  MetricsRegistry::Counter* m_pressure_released_;
 };
 
 }  // namespace gryphon::core

@@ -9,8 +9,10 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <memory>
 
+#include "util/assert.hpp"
 #include "util/time.hpp"
 
 namespace gryphon::core {
@@ -22,6 +24,15 @@ class ReleasePolicy {
   /// Highest tick that may be converted to L, given Tr, Td and the pubend's
   /// current time T. Must return a value <= Td and >= Tr.
   [[nodiscard]] virtual Tick release_upto(Tick tr, Tick td, Tick t) const = 0;
+
+  /// Storage-pressure feed: the hosting broker reports its event-log live
+  /// bytes before each release application. Ignored by the static policies;
+  /// AdaptiveRetainPolicy folds it into its watermark state.
+  virtual void observe_live_bytes(std::uint64_t /*live_bytes*/) {}
+
+  /// Degradation pressure in [0, 1] (the pubend.retain_pressure gauge):
+  /// 0 = full retention, 1 = retention shrunk all the way to its floor.
+  [[nodiscard]] virtual double pressure() const { return 0.0; }
 };
 
 /// No early release: only fully acknowledged ticks are discarded. A
@@ -50,6 +61,79 @@ class MaxRetainPolicy final : public ReleasePolicy {
   Tick max_retain_;
 };
 
-using ReleasePolicyPtr = std::shared_ptr<const ReleasePolicy>;
+/// Storage-pressure degradation: maxRetain shrinks toward Td when the
+/// hosting broker's event-log live bytes cross a high watermark, and relaxes
+/// back once they fall below a low watermark (hysteresis, so retention does
+/// not flap while the log oscillates around the boundary).
+///
+/// Between the watermarks the effective retention ramps linearly from
+/// max_retain_ticks down toward min_retain_ticks; once the high watermark is
+/// crossed it is pinned at the floor until bytes drop below the low
+/// watermark again. Shrinking retention past a straggler's catchup position
+/// trades catchup completeness for bounded storage: the straggler receives
+/// gap messages for the released span, which the delivery contract already
+/// permits (it is exactly the paper's maxRetain degradation, applied
+/// adaptively). Connected non-catchup subscribers are still never gapped —
+/// release never passes Td.
+class AdaptiveRetainPolicy final : public ReleasePolicy {
+ public:
+  struct Options {
+    /// Retention under no storage pressure (a plain MaxRetainPolicy).
+    Tick max_retain_ticks = 30'000;
+    /// Retention floor under full pressure (release chases Td this closely).
+    Tick min_retain_ticks = 1'000;
+    /// Live bytes at which retention is pinned at the floor (engaged).
+    std::uint64_t high_watermark_bytes = 4u << 20;
+    /// Live bytes below which an engaged policy relaxes back to max.
+    std::uint64_t low_watermark_bytes = 2u << 20;
+  };
+
+  explicit AdaptiveRetainPolicy(Options options) : opt_(options) {
+    GRYPHON_CHECK(opt_.min_retain_ticks >= 0 &&
+                  opt_.max_retain_ticks >= opt_.min_retain_ticks);
+    GRYPHON_CHECK(opt_.low_watermark_bytes <= opt_.high_watermark_bytes);
+  }
+
+  [[nodiscard]] Tick release_upto(Tick tr, Tick td, Tick t) const override {
+    return std::max(tr, std::min(td, t - effective_retain() - 1));
+  }
+
+  void observe_live_bytes(std::uint64_t live_bytes) override {
+    if (engaged_) {
+      if (live_bytes < opt_.low_watermark_bytes) engaged_ = false;
+    } else if (live_bytes >= opt_.high_watermark_bytes) {
+      engaged_ = true;
+    }
+    if (engaged_) {
+      pressure_ = 1.0;
+    } else if (live_bytes <= opt_.low_watermark_bytes) {
+      pressure_ = 0.0;
+    } else {
+      const auto span =
+          static_cast<double>(opt_.high_watermark_bytes - opt_.low_watermark_bytes);
+      pressure_ = static_cast<double>(live_bytes - opt_.low_watermark_bytes) / span;
+    }
+  }
+
+  [[nodiscard]] double pressure() const override { return pressure_; }
+
+  [[nodiscard]] Tick effective_retain() const {
+    const auto shrink = static_cast<Tick>(
+        pressure_ * static_cast<double>(opt_.max_retain_ticks - opt_.min_retain_ticks));
+    return opt_.max_retain_ticks - shrink;
+  }
+
+  [[nodiscard]] bool engaged() const { return engaged_; }
+  [[nodiscard]] const Options& options() const { return opt_; }
+
+ private:
+  Options opt_;
+  bool engaged_ = false;
+  double pressure_ = 0.0;
+};
+
+/// Non-const: AdaptiveRetainPolicy consumes a live-bytes feed from the
+/// hosting broker; the static policies simply ignore it.
+using ReleasePolicyPtr = std::shared_ptr<ReleasePolicy>;
 
 }  // namespace gryphon::core

@@ -1,6 +1,7 @@
 #include "core/shb.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 
 #include "util/byte_buffer.hpp"
@@ -61,6 +62,8 @@ SubscriberHostingBroker::SubscriberHostingBroker(NodeResources& resources,
   m_catchup_completions_ = m.counter("shb.catchup_completions");
   m_nacks_upstream_ = m.counter("shb.nacks_sent_upstream");
   m_catchup_istream_serves_ = m.counter("shb.catchup_events_served_from_istream");
+  m_catchup_admitted_ = m.counter("shb.catchup_admitted");
+  m_catchup_queued_ = m.counter("shb.catchup_queued");
   m_pfs_read_records_ = m.histogram("shb.pfs_read_records", 1.0, 1e6);
   // Snapshot-time probes over stream positions (std::map nodes are stable).
   for (auto& [p, state] : pubends_) {
@@ -78,6 +81,12 @@ SubscriberHostingBroker::SubscriberHostingBroker(NodeResources& resources,
   }
   probes_.push_back(m.probe("shb.catchup_streams", [this] {
     return static_cast<double>(catchup_stream_count());
+  }));
+  probes_.push_back(m.probe("shb.catchup_active", [this] {
+    return static_cast<double>(catchup_active_);
+  }));
+  probes_.push_back(m.probe("shb.catchup_queue_depth", [this] {
+    return static_cast<double>(catchup_queued_);
   }));
   probes_.push_back(m.probe("shb.connected_subscribers", [this] {
     return static_cast<double>(connected_subscribers());
@@ -112,34 +121,7 @@ void SubscriberHostingBroker::start() {
   for (PubendId p : pubend_ids_) resume.emplace_back(p, kTickZero);
   send(parent_, std::make_shared<BrokerResumeMsg>(std::move(resume)));
 
-  every(config_.costs.nack_timeout, [this] { nack_istream_gaps(); });
-  every(config_.costs.nack_retry, [this] {
-    // Forget outstanding consolidation so unanswered curiosity is re-sent.
-    for (auto& [p, state] : pubends_) state.upstream_pending.clear();
-    // Re-nack catchup curiosity that never got a response (e.g. the parent
-    // restarted and lost its pending-nack state).
-    for (auto& [sid, sub_state] : subs_) {
-      for (auto& [p, cs] : sub_state.catchup) {
-        if (cs->outstanding.empty()) continue;
-        send(parent_, std::make_shared<NackMsg>(p, cs->outstanding.ranges(),
-                                                /*authoritative=*/cs->refilter));
-      }
-    }
-    // Re-announce subscriptions whose creation handshake has no ack yet
-    // (covers a PHB crash between subscribe and acknowledgment).
-    for (auto& [sid, pending] : pending_setups_) {
-      if (pending.ack_done) continue;
-      auto it = subs_.find(sid);
-      if (it == subs_.end()) continue;
-      send(parent_, std::make_shared<SubscribeMsg>(sid, it->second.predicate_text));
-    }
-  });
-  every(config_.costs.release_update_interval, [this] { send_release_updates(); });
-  every(config_.costs.db_commit_interval, [this] { commit_dirty_state(); });
-  every(config_.costs.subscriber_silence_after, [this] { silence_sweep(); });
-  every(config_.costs.pfs_sync_interval, [this] {
-    if (pfs_unsynced_ > 0) request_pfs_sync();
-  });
+  start_timers();
 }
 
 void SubscriberHostingBroker::recover() {
@@ -188,25 +170,15 @@ void SubscriberHostingBroker::recover() {
   for (PubendId p : pubend_ids_) resume.emplace_back(p, per(p).latest_delivered);
   send(parent_, std::make_shared<BrokerResumeMsg>(std::move(resume)));
 
+  start_timers();
+}
+
+void SubscriberHostingBroker::start_timers() {
   every(config_.costs.nack_timeout, [this] { nack_istream_gaps(); });
-  every(config_.costs.nack_retry, [this] {
-    for (auto& [p, state] : pubends_) state.upstream_pending.clear();
-    // Re-nack catchup curiosity that never got a response (e.g. the parent
-    // restarted and lost its pending-nack state).
-    for (auto& [sid, sub_state] : subs_) {
-      for (auto& [p, cs] : sub_state.catchup) {
-        if (cs->outstanding.empty()) continue;
-        send(parent_, std::make_shared<NackMsg>(p, cs->outstanding.ranges(),
-                                                /*authoritative=*/cs->refilter));
-      }
-    }
-    for (auto& [sid, pending] : pending_setups_) {
-      if (pending.ack_done) continue;
-      auto it = subs_.find(sid);
-      if (it == subs_.end()) continue;
-      send(parent_, std::make_shared<SubscribeMsg>(sid, it->second.predicate_text));
-    }
-  });
+  // There is deliberately no fixed-period nack retransmission timer here:
+  // unanswered curiosity is re-sent by the per-stream exponential backoff
+  // (schedule_*_retry), so a severed upstream is probed ever more gently
+  // instead of being hammered by every straggler at the same frequency.
   every(config_.costs.release_update_interval, [this] { send_release_updates(); });
   every(config_.costs.db_commit_interval, [this] { commit_dirty_state(); });
   every(config_.costs.subscriber_silence_after, [this] { silence_sweep(); });
@@ -304,9 +276,15 @@ void SubscriberHostingBroker::handle(sim::EndpointId from, const Msg& msg) {
 
 void SubscriberHostingBroker::on_stream_data(const StreamDataMsg& msg) {
   PerPubend& state = per(msg.pubend);
+  const Tick pending_before = state.upstream_pending.total_length();
   for (const auto& item : msg.items) {
     state.istream.apply(item);
     state.upstream_pending.subtract(item.range);
+  }
+  if (state.upstream_pending.total_length() < pending_before) {
+    // Upstream answered some curiosity: the retry backoff restarts.
+    ++state.nack_progress;
+    state.nack_attempt = 0;
   }
   advance_constream(msg.pubend);
   route_to_catchup_streams(msg.pubend, msg.items);
@@ -521,6 +499,7 @@ void SubscriberHostingBroker::on_connect(sim::EndpointId from, const ConnectMsg&
     pending.ct = msg.ct;
     pending.migration = migration;
     pending_setups_[msg.subscriber] = std::move(pending);
+    schedule_setup_retry(msg.subscriber);
 
     res_.database.commit(0, std::move(puts), guarded([this, sid = msg.subscriber] {
                            auto it2 = pending_setups_.find(sid);
@@ -601,6 +580,7 @@ void SubscriberHostingBroker::create_or_resume_session(SubscriberState& s,
   s.reconnect_time = now();
   s.jms_queue.clear();
   s.jms_commit_inflight = false;
+  release_all_catchup(s);
   s.catchup.clear();
   s.catchup_tokens = 0.0;
   s.catchup_refill = now();
@@ -645,16 +625,87 @@ void SubscriberHostingBroker::create_or_resume_session(SubscriberState& s,
 
   if (any_catchup) {
     for (PubendId p : pubend_ids_) {
-      auto cit = s.catchup.find(p);
-      if (cit == s.catchup.end()) continue;
-      if (cit->second->refilter) {
-        pump_catchup_nacks(s, p);
-        advance_catchup(s, p);
-      } else {
-        issue_pfs_read(s, p);
-      }
+      if (s.catchup.contains(p)) admit_or_queue_catchup(s, p);
     }
   }
+}
+
+// ------------------------------------------------- catchup admission control
+
+void SubscriberHostingBroker::admit_or_queue_catchup(SubscriberState& s, PubendId p) {
+  auto cit = s.catchup.find(p);
+  GRYPHON_CHECK(cit != s.catchup.end());
+  CatchupStream& cs = *cit->second;
+  const std::size_t limit = config_.costs.catchup_admission_limit;
+  if (limit == 0 || catchup_active_ < limit) {
+    cs.admitted = true;
+    ++catchup_active_;
+    m_catchup_admitted_->inc();
+    res_.tracer.record(now(), p.value(), cs.delivered_upto,
+                       TraceMilestone::kCatchupAdmitted, s.id.value());
+    activate_catchup(s, p);
+    return;
+  }
+  // Herd overflow: the stream stays inert in FIFO order until an active
+  // stream switches over (or dies) and frees its slot.
+  cs.admitted = false;
+  ++catchup_queued_;
+  m_catchup_queued_->inc();
+  admission_queue_.push_back({s.id, p, s.session});
+  res_.tracer.record(now(), p.value(), cs.delivered_upto,
+                     TraceMilestone::kCatchupQueued, s.id.value());
+}
+
+void SubscriberHostingBroker::activate_catchup(SubscriberState& s, PubendId p) {
+  auto cit = s.catchup.find(p);
+  if (cit == s.catchup.end()) return;
+  if (cit->second->refilter) {
+    pump_catchup_nacks(s, p);
+    advance_catchup(s, p);
+  } else {
+    issue_pfs_read(s, p);
+  }
+}
+
+void SubscriberHostingBroker::release_catchup_slot(CatchupStream& cs) {
+  if (cs.admitted) {
+    GRYPHON_CHECK(catchup_active_ > 0);
+    --catchup_active_;
+    drain_admission_queue();
+  } else {
+    GRYPHON_CHECK(catchup_queued_ > 0);
+    --catchup_queued_;
+  }
+}
+
+void SubscriberHostingBroker::release_all_catchup(SubscriberState& s) {
+  for (auto& [p, cs] : s.catchup) release_catchup_slot(*cs);
+}
+
+void SubscriberHostingBroker::drain_admission_queue() {
+  // Activation can synchronously switch a short stream over and free its
+  // slot again (which re-enters via release_catchup_slot): the guard
+  // collapses that recursion into this loop's next iteration.
+  if (admission_draining_) return;
+  admission_draining_ = true;
+  const std::size_t limit = config_.costs.catchup_admission_limit;
+  while (!admission_queue_.empty() && (limit == 0 || catchup_active_ < limit)) {
+    const QueuedAdmission next = admission_queue_.front();
+    admission_queue_.pop_front();
+    auto it = subs_.find(next.sid);
+    if (it == subs_.end() || it->second.session != next.session) continue;
+    auto cit = it->second.catchup.find(next.p);
+    if (cit == it->second.catchup.end() || cit->second->admitted) continue;
+    CatchupStream& cs = *cit->second;
+    cs.admitted = true;
+    --catchup_queued_;
+    ++catchup_active_;
+    m_catchup_admitted_->inc();
+    res_.tracer.record(now(), next.p.value(), cs.delivered_upto,
+                       TraceMilestone::kCatchupAdmitted, next.sid.value());
+    activate_catchup(it->second, next.p);
+  }
+  admission_draining_ = false;
 }
 
 void SubscriberHostingBroker::on_disconnect(const DisconnectMsg& msg) {
@@ -664,6 +715,7 @@ void SubscriberHostingBroker::on_disconnect(const DisconnectMsg& msg) {
   s.connected = false;
   ++s.session;
   m_catchup_closed_->inc(s.catchup.size());
+  release_all_catchup(s);
   s.catchup.clear();
   s.jms_queue.clear();
   s.jms_commit_inflight = false;
@@ -697,6 +749,7 @@ void SubscriberHostingBroker::on_unsubscribe_req(const UnsubscribeReqMsg& msg) {
     puts.push_back({kReleasedTable, rel_key(msg.subscriber, p), {}});
   }
   res_.database.commit(0, std::move(puts));
+  release_all_catchup(it->second);
   subs_.erase(it);
   send(parent_, std::make_shared<UnsubscribeMsg>(msg.subscriber));
 }
@@ -708,6 +761,7 @@ void SubscriberHostingBroker::issue_pfs_read(SubscriberState& s, PubendId p) {
   if (cit == s.catchup.end()) return;
   CatchupStream& cs = *cit->second;
   GRYPHON_CHECK_MSG(!cs.refilter, "refiltering streams never read the PFS");
+  if (!cs.admitted) return;  // inert until an admission slot frees up
   if (cs.pfs_read_inflight) return;
   cs.pfs_read_inflight = true;
 
@@ -742,6 +796,7 @@ void SubscriberHostingBroker::issue_pfs_read(SubscriberState& s, PubendId p) {
               s2, cs2, per(p), from_at_issue + 1, result.complete_from);
           for (const TickRange& r : remaining) cs2.outstanding.add(r);
           consolidate_nack(p, per(p), remaining);
+          schedule_catchup_nack_retry(s2, p);
         }
 
         // Fold the batch into the per-subscriber knowledge stream: covered
@@ -832,13 +887,129 @@ void SubscriberHostingBroker::consolidate_nack(PubendId p, PerPubend& state,
     ++stats_.nacks_sent_upstream;
     m_nacks_upstream_->inc();
     send(parent_, std::make_shared<NackMsg>(p, std::move(forward)));
+    schedule_istream_nack_retry(p);
   }
+}
+
+// ------------------------------------------------------- nack-retry backoff
+
+SimDuration SubscriberHostingBroker::nack_backoff_delay(std::uint64_t salt,
+                                                        std::uint32_t attempt) const {
+  const auto& c = config_.costs;
+  double delay = static_cast<double>(c.nack_retry);
+  for (std::uint32_t k = 0;
+       k < attempt && delay < static_cast<double>(c.nack_retry_max); ++k) {
+    delay *= c.nack_retry_multiplier;
+  }
+  delay = std::min(delay, static_cast<double>(c.nack_retry_max));
+  // Deterministic jitter, same scheme as the client reconnect backoff: a
+  // splitmix-style hash of (broker, stream, attempt) spreads stragglers out
+  // without consuming any shared RNG, so retry timing stays replayable.
+  std::uint64_t h =
+      (static_cast<std::uint64_t>(res_.endpoint) + 1) * 0x9e3779b97f4a7c15ULL;
+  h ^= (salt + 1) * 0xbf58476d1ce4e5b9ULL;
+  h ^= (static_cast<std::uint64_t>(attempt) + 1) * 0x94d049bb133111ebULL;
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  const double unit = static_cast<double>(h >> 11) * 0x1.0p-53;
+  delay *= 1.0 - c.nack_retry_jitter + 2.0 * c.nack_retry_jitter * unit;
+  return std::max<SimDuration>(1, static_cast<SimDuration>(std::llround(delay)));
+}
+
+void SubscriberHostingBroker::schedule_catchup_nack_retry(SubscriberState& s,
+                                                          PubendId p) {
+  auto cit = s.catchup.find(p);
+  if (cit == s.catchup.end()) return;
+  CatchupStream& cs = *cit->second;
+  if (cs.nack_retry_scheduled || cs.outstanding.empty()) return;
+  cs.nack_retry_scheduled = true;
+  const std::uint64_t salt = (static_cast<std::uint64_t>(s.id.value()) << 32) |
+                             (static_cast<std::uint64_t>(p.value()) << 8) | 1;
+  defer(nack_backoff_delay(salt, cs.nack_attempt),
+        [this, sid = s.id, session = s.session, p, progress = cs.nack_progress] {
+          auto it = subs_.find(sid);
+          if (it == subs_.end() || it->second.session != session) return;
+          auto cit2 = it->second.catchup.find(p);
+          if (cit2 == it->second.catchup.end()) return;
+          CatchupStream& cs2 = *cit2->second;
+          cs2.nack_retry_scheduled = false;
+          if (cs2.outstanding.empty()) {
+            cs2.nack_attempt = 0;
+            return;
+          }
+          if (cs2.nack_progress != progress) {
+            // A response landed meanwhile: re-probe at the base period.
+            cs2.nack_attempt = 0;
+          } else {
+            // Still unanswered (e.g. the parent restarted and lost its
+            // pending-nack state): re-send everything outstanding, wait
+            // longer next time.
+            ++cs2.nack_attempt;
+            ++stats_.nacks_sent_upstream;
+            m_nacks_upstream_->inc();
+            send(parent_, std::make_shared<NackMsg>(p, cs2.outstanding.ranges(),
+                                                    /*authoritative=*/cs2.refilter));
+          }
+          schedule_catchup_nack_retry(it->second, p);
+        });
+}
+
+void SubscriberHostingBroker::schedule_istream_nack_retry(PubendId p) {
+  PerPubend& state = per(p);
+  if (state.nack_retry_scheduled || state.upstream_pending.empty()) return;
+  state.nack_retry_scheduled = true;
+  const std::uint64_t salt = (static_cast<std::uint64_t>(p.value()) << 8) | 2;
+  defer(nack_backoff_delay(salt, state.nack_attempt),
+        [this, p, progress = per(p).nack_progress] {
+          PerPubend& st = per(p);
+          st.nack_retry_scheduled = false;
+          if (st.upstream_pending.empty()) {
+            st.nack_attempt = 0;
+            return;
+          }
+          if (st.nack_progress != progress) {
+            st.nack_attempt = 0;
+          } else {
+            ++st.nack_attempt;
+            ++stats_.nacks_sent_upstream;
+            m_nacks_upstream_->inc();
+            send(parent_, std::make_shared<NackMsg>(p, st.upstream_pending.ranges()));
+          }
+          schedule_istream_nack_retry(p);
+        });
+}
+
+void SubscriberHostingBroker::schedule_setup_retry(SubscriberId sid) {
+  auto pit = pending_setups_.find(sid);
+  if (pit == pending_setups_.end() || pit->second.ack_done ||
+      pit->second.announce_retry_scheduled) {
+    return;
+  }
+  pit->second.announce_retry_scheduled = true;
+  const std::uint64_t salt = (static_cast<std::uint64_t>(sid.value()) << 8) | 3;
+  defer(nack_backoff_delay(salt, pit->second.announce_attempt), [this, sid] {
+    auto pit2 = pending_setups_.find(sid);
+    if (pit2 == pending_setups_.end()) return;
+    pit2->second.announce_retry_scheduled = false;
+    if (pit2->second.ack_done) return;
+    auto it = subs_.find(sid);
+    if (it == subs_.end()) return;
+    // Re-announce the creation handshake (covers a PHB crash between
+    // subscribe and acknowledgment).
+    ++pit2->second.announce_attempt;
+    send(parent_, std::make_shared<SubscribeMsg>(sid, it->second.predicate_text));
+    schedule_setup_retry(sid);
+  });
 }
 
 void SubscriberHostingBroker::pump_catchup_nacks(SubscriberState& s, PubendId p) {
   auto cit = s.catchup.find(p);
   if (cit == s.catchup.end()) return;
   CatchupStream& cs = *cit->second;
+  if (!cs.admitted) return;  // inert until an admission slot frees up
   PerPubend& state = per(p);
 
   // Congestion control: when the broker is saturated, let the backlog drain
@@ -889,6 +1060,7 @@ void SubscriberHostingBroker::pump_catchup_nacks(SubscriberState& s, PubendId p)
     m_nacks_upstream_->inc();
       send(parent_, std::make_shared<NackMsg>(p, to_request.ranges(),
                                               /*authoritative=*/true));
+      schedule_catchup_nack_retry(s, p);
     }
     advance_catchup(s, p);
     if (auto cit2 = s.catchup.find(p);
@@ -945,6 +1117,7 @@ void SubscriberHostingBroker::pump_catchup_nacks(SubscriberState& s, PubendId p)
 
   // Consolidate with curiosity already outstanding at the istream level.
   consolidate_nack(p, state, to_request.ranges());
+  schedule_catchup_nack_retry(s, p);
   if (served > 0) {
     cpu_then(static_cast<SimDuration>(served) * config_.costs.per_nack_response_event,
              [] {});
@@ -989,7 +1162,12 @@ void SubscriberHostingBroker::route_to_catchup_streams(
       const auto overlap =
           cs.outstanding.intersection(item.range.from, item.range.to);
       if (overlap.empty()) continue;
-      touched = true;
+      if (!touched) {
+        touched = true;
+        // Response progress: this stream's retry backoff restarts.
+        ++cs.nack_progress;
+        cs.nack_attempt = 0;
+      }
       for (const TickRange& r : overlap) {
         switch (item.value) {
           case routing::TickValue::kD: {
@@ -1137,7 +1315,10 @@ void SubscriberHostingBroker::maybe_switchover(SubscriberState& s, PubendId p) {
   GRYPHON_LOG(kDebug, res_.name,
               "subscriber " << s.id << " switches to constream for pubend " << p
                             << " at tick " << state.processed_upto);
+  res_.tracer.record(now(), p.value(), state.processed_upto,
+                     TraceMilestone::kCatchupCaughtUp, s.id.value());
   s.suppress_upto[p] = state.processed_upto;
+  release_catchup_slot(cs);
   s.catchup.erase(cit);
   m_catchup_closed_->inc();
   m_switchovers_->inc();
@@ -1186,8 +1367,9 @@ void SubscriberHostingBroker::nack_istream_gaps() {
     }
     if (!forward.empty()) {
       ++stats_.nacks_sent_upstream;
-    m_nacks_upstream_->inc();
+      m_nacks_upstream_->inc();
       send(parent_, std::make_shared<NackMsg>(p, std::move(forward)));
+      schedule_istream_nack_retry(p);
     }
   }
 }

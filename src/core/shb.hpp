@@ -58,6 +58,9 @@ class SubscriberHostingBroker final : public Broker {
   [[nodiscard]] Tick released(PubendId p) const;
   [[nodiscard]] std::size_t catchup_stream_count() const;
   [[nodiscard]] std::size_t connected_subscribers() const;
+  /// Admission control: streams actively catching up / waiting for a slot.
+  [[nodiscard]] std::size_t catchup_active_count() const { return catchup_active_; }
+  [[nodiscard]] std::size_t catchup_queue_depth() const { return catchup_queued_; }
   [[nodiscard]] PersistentFilteringSubsystem& pfs() { return pfs_; }
 
   struct Stats {
@@ -106,6 +109,15 @@ class SubscriberHostingBroker final : public Broker {
     /// subscriber (it predates the subscription reaching the pubend's
     /// filter): refiltering must ask upstream instead.
     Tick distrust_upto = kTickZero;
+    /// Admission control (reconnect herds): a stream is inert — no PFS
+    /// reads, no upstream nacks, no deliveries — until it holds one of the
+    /// catchup_admission_limit active slots.
+    bool admitted = true;
+    /// Nack-retry backoff: consecutive unanswered retries / generation
+    /// counter bumped on any response progress (resets the backoff).
+    std::uint32_t nack_attempt = 0;
+    std::uint64_t nack_progress = 0;
+    bool nack_retry_scheduled = false;
   };
 
   struct SubscriberState {
@@ -139,6 +151,10 @@ class SubscriberHostingBroker final : public Broker {
     Tick latest_delivered = kTickZero;  // min(processed, PFS-durable); persisted
     std::deque<Tick> pending_pfs;       // PFS'd ticks awaiting durability
     bool released_dirty = true;
+    /// Istream nack-retry backoff (mirrors CatchupStream's trio).
+    std::uint32_t nack_attempt = 0;
+    std::uint64_t nack_progress = 0;
+    bool nack_retry_scheduled = false;
     /// Registry slot mirroring latest_delivered (figure benches plot it
     /// directly from the node registry); resolved at broker construction.
     MetricsRegistry::Gauge* g_latest_delivered = nullptr;
@@ -174,6 +190,8 @@ class SubscriberHostingBroker final : public Broker {
     bool db_done = false;
     bool ack_done = false;
     std::map<PubendId, Tick> ack_heads;
+    std::uint32_t announce_attempt = 0;
+    bool announce_retry_scheduled = false;
   };
   void maybe_finish_setup(SubscriberId sid);
 
@@ -199,7 +217,22 @@ class SubscriberHostingBroker final : public Broker {
   void maybe_switchover(SubscriberState& s, PubendId p);
   void check_all_caught_up(SubscriberState& s);
 
+  // catchup admission control (reconnect-herd degradation)
+  void admit_or_queue_catchup(SubscriberState& s, PubendId p);
+  void activate_catchup(SubscriberState& s, PubendId p);
+  void release_catchup_slot(CatchupStream& cs);
+  void release_all_catchup(SubscriberState& s);
+  void drain_admission_queue();
+
+  // seeded deterministic jittered exponential nack-retry backoff
+  [[nodiscard]] SimDuration nack_backoff_delay(std::uint64_t salt,
+                                               std::uint32_t attempt) const;
+  void schedule_catchup_nack_retry(SubscriberState& s, PubendId p);
+  void schedule_istream_nack_retry(PubendId p);
+  void schedule_setup_retry(SubscriberId sid);
+
   // curiosity (istream nacking) + release + persistence timers
+  void start_timers();
   void nack_istream_gaps();
   void send_release_updates();
   void commit_dirty_state();
@@ -220,6 +253,19 @@ class SubscriberHostingBroker final : public Broker {
   std::map<SubscriberId, PendingSetup> pending_setups_;
   Stats stats_;
 
+  // Catchup admission control: bounded active streams + FIFO pending queue.
+  // Queue entries are validated lazily against (subscriber, session) — a
+  // disconnect or re-resume simply strands its old entry, which is skipped.
+  struct QueuedAdmission {
+    SubscriberId sid{};
+    PubendId p{};
+    std::uint64_t session = 0;
+  };
+  std::size_t catchup_active_ = 0;
+  std::size_t catchup_queued_ = 0;  // streams currently in admitted == false
+  std::deque<QueuedAdmission> admission_queue_;
+  bool admission_draining_ = false;
+
   // Registry slots, resolved once at construction; probes are broker-owned
   // (RAII-removed on crash) while the cumulative slots persist in the node.
   MetricsRegistry::Counter* m_matched_;
@@ -233,6 +279,8 @@ class SubscriberHostingBroker final : public Broker {
   MetricsRegistry::Counter* m_catchup_completions_;
   MetricsRegistry::Counter* m_nacks_upstream_;
   MetricsRegistry::Counter* m_catchup_istream_serves_;
+  MetricsRegistry::Counter* m_catchup_admitted_;
+  MetricsRegistry::Counter* m_catchup_queued_;
   Histogram* m_pfs_read_records_;
   std::vector<MetricsRegistry::Probe> probes_;
 };

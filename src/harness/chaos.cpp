@@ -29,6 +29,7 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::kCrashDuringRecovery: return "crash-in-recovery";
     case FaultKind::kDoubleFault: return "double-fault";
     case FaultKind::kFrameCorrupt: return "frame-corrupt";
+    case FaultKind::kPowerLoss: return "power-loss";
   }
   return "?";
 }
@@ -126,6 +127,10 @@ void ChaosSchedule::plan() {
       cands.push_back({FaultKind::kDoubleFault, w.double_fault, &free_double_links});
     if (w.frame_corrupt > 0 && !free_links.empty())
       cands.push_back({FaultKind::kFrameCorrupt, w.frame_corrupt, &free_links});
+    // Power loss takes the whole cluster down at once, so it is a candidate
+    // only when no broker has an outstanding fault.
+    if (w.power_loss > 0 && free_brokers.size() == brokers_.size())
+      cands.push_back({FaultKind::kPowerLoss, w.power_loss, &free_brokers});
 
     if (cands.empty()) {
       // Everything is busy with an outstanding fault: skip forward.
@@ -151,6 +156,7 @@ void ChaosSchedule::plan() {
       case FaultKind::kCrashDuringRecovery: plan_crash_during_recovery(t, target); break;
       case FaultKind::kDoubleFault: plan_double_fault(t, target); break;
       case FaultKind::kFrameCorrupt: plan_frame_corrupt(t, target); break;
+      case FaultKind::kPowerLoss: plan_power_loss(t); break;  // target unused
     }
     t += draw_duration(config_.min_gap, config_.max_gap);
   }
@@ -408,6 +414,36 @@ void ChaosSchedule::plan_frame_corrupt(SimTime t, std::size_t link) {
                 to_seconds(window));
   record(t, FaultKind::kFrameCorrupt,
          fmt_line(t - armed_at_, fault_kind_name(FaultKind::kFrameCorrupt), d));
+}
+
+void ChaosSchedule::plan_power_loss(SimTime t) {
+  // Correlated failure: the machine room loses power. Every broker crashes
+  // at the same instant, each with its own independently drawn WAL-tear
+  // entropy (the tails tear at different byte offsets, as real disks would).
+  // Restarts are staggered root-first — PHB, intermediates, then SHBs —
+  // so every recovering broker finds a live parent for its resume handshake.
+  const SimDuration outage = draw_duration(msec(500), sec(3));
+  std::vector<std::uint64_t> entropies;
+  entropies.reserve(brokers_.size());
+  for (std::size_t i = 0; i < brokers_.size(); ++i) entropies.push_back(rng_.next_u64());
+  for (std::size_t i = 0; i < brokers_.size(); ++i) {
+    crash_broker_at(t, brokers_[i], entropies[i]);
+  }
+  SimTime back = t + outage;
+  for (std::size_t i = 0; i < brokers_.size(); ++i) {
+    back = t + outage + static_cast<SimDuration>(i) * msec(100);
+    restart_broker_at(back, brokers_[i]);
+  }
+  for (std::size_t i = 0; i < brokers_.size(); ++i) {
+    broker_busy_until_[i] = back + kTargetCooldown;
+  }
+  note_repair(back);
+  char d[96];
+  std::snprintf(d, sizeof d, "all %zu brokers down %.3fs (restarts staggered over %.1fs)",
+                brokers_.size(), to_seconds(outage),
+                to_seconds(static_cast<SimDuration>(brokers_.size() - 1) * msec(100)));
+  record(t, FaultKind::kPowerLoss,
+         fmt_line(t - armed_at_, fault_kind_name(FaultKind::kPowerLoss), d));
 }
 
 void ChaosSchedule::run() {

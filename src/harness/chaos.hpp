@@ -50,6 +50,7 @@ enum class FaultKind {
   kCrashDuringRecovery,  // second crash lands milliseconds into recovery
   kDoubleFault,          // SHB uplink partitioned, then the SHB crashes
   kFrameCorrupt,         // seeded byte flips / truncations on a link's frames
+  kPowerLoss,            // correlated full-cluster crash, staggered restarts
 };
 
 [[nodiscard]] const char* fault_kind_name(FaultKind kind);
@@ -70,6 +71,12 @@ struct ChaosWeights {
   /// affected messages instead (there are no bytes to flip) — and existing
   /// struct-mode schedules must not shift. Enable in codec chaos runs.
   int frame_corrupt = 0;
+  /// Correlated full-cluster power loss: every broker crashes at the same
+  /// instant (each with an independently seeded WAL tear) and restarts are
+  /// staggered root-first so each recovering broker finds a live parent.
+  /// Off by default — it needs the whole cluster free at once and existing
+  /// schedules must not shift. Enable in correlated-failure runs.
+  int power_loss = 0;
 };
 
 struct ChaosConfig {
@@ -147,6 +154,7 @@ class ChaosSchedule {
   void plan_crash_during_recovery(SimTime t, std::size_t broker);
   void plan_double_fault(SimTime t, std::size_t link);
   void plan_frame_corrupt(SimTime t, std::size_t link);
+  void plan_power_loss(SimTime t);
 
   // `entropy` is drawn at PLAN time (the rng must not be touched while the
   // simulation runs) and seeds where the WAL tail tears on the byte store.

@@ -63,6 +63,42 @@ ChurnDriver::ChurnDriver(System& system, std::vector<core::DurableSubscriber*> s
   }
 }
 
+StormDriver::StormDriver(System& system, std::vector<core::DurableSubscriber*> subs,
+                         Options options)
+    : system_(system), subs_(std::move(subs)), opt_(options) {
+  GRYPHON_CHECK(opt_.waves >= 1 && opt_.down_time > 0);
+  GRYPHON_CHECK(opt_.drop_fraction > 0.0 && opt_.drop_fraction <= 1.0);
+  // The whole storm is planned here, up front, from one seeded stream: which
+  // subscribers each wave drops, and (if spread > 0) each straggler's
+  // reconnect offset. Nothing later consumes randomness.
+  Rng rng(opt_.seed);
+  for (int w = 0; w < opt_.waves; ++w) {
+    const SimDuration drop_at = opt_.wave_interval * static_cast<SimDuration>(w + 1);
+    for (std::size_t i = 0; i < subs_.size(); ++i) {
+      if (opt_.drop_fraction < 1.0 && !rng.next_bool(opt_.drop_fraction)) {
+        continue;
+      }
+      const SimDuration offset =
+          opt_.reconnect_spread > 0
+              ? static_cast<SimDuration>(rng.next_below(
+                    static_cast<std::uint64_t>(opt_.reconnect_spread)))
+              : 0;
+      core::DurableSubscriber* sub = subs_[i];
+      system_.simulator().schedule_after(drop_at, [this, sub] {
+        if (!sub->connected()) return;
+        sub->disconnect();
+        ++disconnects_;
+      });
+      system_.simulator().schedule_after(drop_at + opt_.down_time + offset,
+                                         [this, sub] {
+                                           if (sub->connected()) return;
+                                           sub->connect();
+                                           ++reconnects_;
+                                         });
+    }
+  }
+}
+
 void ChurnDriver::schedule(std::size_t idx, SimDuration delay) {
   system_.simulator().schedule_after(delay, [this, idx] {
     if (stopped_) return;

@@ -68,4 +68,34 @@ class ChurnDriver {
   std::uint64_t disconnects_ = 0;
 };
 
+/// Churn storms: seeded waves that drop a large fraction of the subscriber
+/// population at one instant and reconnect the whole herd `down_time` later
+/// (optionally fuzzed over `reconnect_spread`), so thousands of catchup
+/// streams arrive at the SHB simultaneously. The entire schedule is drawn
+/// from Rng(seed) at construction — same seed, same storm, bit-identical.
+class StormDriver {
+ public:
+  struct Options {
+    std::uint64_t seed = 1;
+    int waves = 3;
+    SimDuration wave_interval = sec(8);   // wave k drops at k * interval
+    SimDuration down_time = sec(4);       // herd reconnects this much later
+    double drop_fraction = 1.0;           // share of subscribers per wave
+    SimDuration reconnect_spread = 0;     // 0 = perfectly simultaneous herd
+  };
+
+  StormDriver(System& system, std::vector<core::DurableSubscriber*> subs,
+              Options options);
+
+  [[nodiscard]] std::uint64_t disconnects() const { return disconnects_; }
+  [[nodiscard]] std::uint64_t reconnects() const { return reconnects_; }
+
+ private:
+  System& system_;
+  std::vector<core::DurableSubscriber*> subs_;
+  Options opt_;
+  std::uint64_t disconnects_ = 0;
+  std::uint64_t reconnects_ = 0;
+};
+
 }  // namespace gryphon::harness

@@ -19,6 +19,9 @@ const char* trace_milestone_name(TraceMilestone m) {
     case TraceMilestone::kAck: return "ack";
     case TraceMilestone::kReleaseToL: return "release-to-L";
     case TraceMilestone::kGap: return "gap";
+    case TraceMilestone::kCatchupQueued: return "catchup-queued";
+    case TraceMilestone::kCatchupAdmitted: return "catchup-admitted";
+    case TraceMilestone::kCatchupCaughtUp: return "catchup-caught-up";
   }
   return "?";
 }

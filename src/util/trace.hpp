@@ -39,8 +39,11 @@ enum class TraceMilestone : std::uint8_t {
   kAck,              // subscriber CT ack consumed the tick (detail = subscriber)
   kReleaseToL,       // early release forced the range to L, log chopped
   kGap,              // gap notification sent to a subscriber (detail = subscriber)
+  kCatchupQueued,    // catchup stream waiting on an admission slot (detail = subscriber)
+  kCatchupAdmitted,  // admission slot granted, stream activated (detail = subscriber)
+  kCatchupCaughtUp,  // switchover back to the constream (detail = subscriber)
 };
-constexpr std::size_t kNumTraceMilestones = 9;
+constexpr std::size_t kNumTraceMilestones = 12;
 
 [[nodiscard]] const char* trace_milestone_name(TraceMilestone m);
 

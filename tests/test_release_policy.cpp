@@ -1,0 +1,108 @@
+// Release-policy boundary math: MaxRetainPolicy and AdaptiveRetainPolicy
+// clamping (never below Tr, never beyond Td, no tick-0 underflow) and the
+// adaptive policy's watermark hysteresis + pressure ramp.
+#include <gtest/gtest.h>
+
+#include "core/release_policy.hpp"
+
+namespace gryphon::core {
+namespace {
+
+TEST(MaxRetainPolicy, ClampsAtTrAndTd) {
+  MaxRetainPolicy p(1000);
+  // Inside (Tr, Td]: release T - maxRetain - 1.
+  EXPECT_EQ(p.release_upto(100, 5000, 4000), 2999);
+  // Never beyond Td — connected constreams must never see gaps.
+  EXPECT_EQ(p.release_upto(100, 2000, 9000), 2000);
+  // Never below Tr — fully acknowledged ticks are always releasable.
+  EXPECT_EQ(p.release_upto(100, 5000, 500), 100);
+}
+
+TEST(MaxRetainPolicy, NoUnderflowNearTickZero) {
+  MaxRetainPolicy p(1000);
+  // T - maxRetain - 1 is negative for every tick in a young stream; the Tr
+  // clamp must absorb it instead of "releasing" a negative tick.
+  EXPECT_EQ(p.release_upto(0, 50, 0), 0);
+  EXPECT_EQ(p.release_upto(0, 50, 999), 0);
+  EXPECT_EQ(p.release_upto(7, 50, 42), 7);
+}
+
+AdaptiveRetainPolicy::Options small_options() {
+  AdaptiveRetainPolicy::Options o;
+  o.max_retain_ticks = 1000;
+  o.min_retain_ticks = 100;
+  o.high_watermark_bytes = 4096;
+  o.low_watermark_bytes = 2048;
+  return o;
+}
+
+TEST(AdaptiveRetainPolicy, UnpressuredBehavesLikeMaxRetain) {
+  AdaptiveRetainPolicy p(small_options());
+  EXPECT_EQ(p.pressure(), 0.0);
+  EXPECT_FALSE(p.engaged());
+  EXPECT_EQ(p.effective_retain(), 1000);
+  EXPECT_EQ(p.release_upto(100, 50'000, 10'000), 8999);  // T - max - 1
+  EXPECT_EQ(p.release_upto(100, 2000, 50'000), 2000);    // Td clamp
+  EXPECT_EQ(p.release_upto(100, 50'000, 500), 100);      // Tr clamp
+  EXPECT_EQ(p.release_upto(0, 50, 0), 0);                // tick-0 underflow
+}
+
+TEST(AdaptiveRetainPolicy, PressureRampsLinearlyBetweenWatermarks) {
+  AdaptiveRetainPolicy p(small_options());
+  p.observe_live_bytes(2048);  // at the low watermark: no pressure yet
+  EXPECT_EQ(p.pressure(), 0.0);
+  EXPECT_EQ(p.effective_retain(), 1000);
+  p.observe_live_bytes(3072);  // halfway up the ramp
+  EXPECT_DOUBLE_EQ(p.pressure(), 0.5);
+  EXPECT_EQ(p.effective_retain(), 550);  // 1000 - 0.5 * (1000 - 100)
+  EXPECT_FALSE(p.engaged());
+  p.observe_live_bytes(2100);  // ramp is memoryless below the high watermark
+  EXPECT_LT(p.pressure(), 0.1);
+  EXPECT_FALSE(p.engaged());
+}
+
+TEST(AdaptiveRetainPolicy, HighWatermarkEngagesAndPinsTheFloor) {
+  AdaptiveRetainPolicy p(small_options());
+  p.observe_live_bytes(4096);  // exactly at the high watermark: engaged
+  EXPECT_TRUE(p.engaged());
+  EXPECT_EQ(p.pressure(), 1.0);
+  EXPECT_EQ(p.effective_retain(), 100);
+  // Release now chases Td at the floor — but still never passes it.
+  EXPECT_EQ(p.release_upto(100, 50'000, 10'000), 9899);  // T - min - 1
+  EXPECT_EQ(p.release_upto(100, 5000, 10'000), 5000);
+}
+
+TEST(AdaptiveRetainPolicy, HysteresisHoldsUntilTheLowWatermark) {
+  AdaptiveRetainPolicy p(small_options());
+  p.observe_live_bytes(5000);
+  ASSERT_TRUE(p.engaged());
+  // Falling back between the watermarks does NOT relax retention — that is
+  // the hysteresis: the log must drop below the low watermark first.
+  p.observe_live_bytes(3000);
+  EXPECT_TRUE(p.engaged());
+  EXPECT_EQ(p.pressure(), 1.0);
+  EXPECT_EQ(p.effective_retain(), 100);
+  p.observe_live_bytes(2048);  // at (not below) the low watermark: still held
+  EXPECT_TRUE(p.engaged());
+  p.observe_live_bytes(2047);  // strictly below: disengage and relax fully
+  EXPECT_FALSE(p.engaged());
+  EXPECT_EQ(p.pressure(), 0.0);
+  EXPECT_EQ(p.effective_retain(), 1000);
+}
+
+TEST(AdaptiveRetainPolicy, DegenerateEqualWatermarksActAsAThreshold) {
+  AdaptiveRetainPolicy::Options o = small_options();
+  o.low_watermark_bytes = o.high_watermark_bytes = 4096;
+  AdaptiveRetainPolicy p(o);
+  p.observe_live_bytes(4095);
+  EXPECT_EQ(p.pressure(), 0.0);
+  p.observe_live_bytes(4096);
+  EXPECT_TRUE(p.engaged());
+  EXPECT_EQ(p.effective_retain(), 100);
+  p.observe_live_bytes(4095);
+  EXPECT_FALSE(p.engaged());
+  EXPECT_EQ(p.effective_retain(), 1000);
+}
+
+}  // namespace
+}  // namespace gryphon::core

@@ -14,7 +14,7 @@ FIRST_SEED="${2:-1}"
 HORIZON_S="${3:-10}"
 
 cmake --preset asan-ubsan
-cmake --build --preset asan-ubsan -j "$(nproc)" --target test_chaos bench_chaos_soak bench_wallclock bench_recovery_fuzz
+cmake --build --preset asan-ubsan -j "$(nproc)" --target test_chaos bench_chaos_soak bench_wallclock bench_recovery_fuzz bench_churn_storm
 
 echo "== chaos test suite (asan-ubsan) =="
 ./build-asan/tests/test_chaos
@@ -24,6 +24,9 @@ echo "== substrate smoke (asan-ubsan): bench_wallclock 1 seed =="
 
 echo "== recovery fuzz smoke (asan-ubsan): seeded crash points =="
 ./build-asan/bench/bench_recovery_fuzz --smoke
+
+echo "== churn storm smoke (asan-ubsan): reconnect herd under admission control =="
+./build-asan/bench/bench_churn_storm --smoke
 
 echo "== flight recorder negative test: injected violation must dump =="
 # A fabricated exactly-once violation must (a) fail the run and (b) produce
