@@ -2,7 +2,7 @@
 // workload, with the always-on invariant monitor armed the whole time.
 //
 //   bench_chaos_soak [num_seeds] [first_seed] [horizon_s] [--inject-violation]
-//                    [--wire=codec] [--frame-faults]
+//                    [--wire=codec] [--frame-faults] [--wire-verify=always]
 //
 // Each seed plans a fresh randomized fault sequence (partitions, flaps,
 // degradations, disk stalls, torn syncs, crashes, crash-during-recovery,
@@ -10,7 +10,9 @@
 // it to quiescence, and verifies exactly-once + zero residual catchup
 // streams. --wire=codec runs every link through the byte codec transport;
 // --frame-faults additionally arms seeded frame-corruption windows (byte
-// flips / truncations the receiving transport must reject and survive). On a violation the decoded fault timeline, the seed, and the
+// flips / truncations the receiving transport must reject and survive);
+// --wire-verify=always forces the canonical re-encode check on every decode
+// instead of the sampled 1-in-64 default (the ASan soak leg uses this). On a violation the decoded fault timeline, the seed, and the
 // flight-recorder trace dump are printed, and the process exits non-zero —
 // rerunning with that first_seed replays the identical schedule.
 //
@@ -34,6 +36,7 @@ int main(int argc, char** argv) {
   bool inject_violation = false;
   bool codec_wire = false;
   bool frame_faults = false;
+  bool verify_always = false;
   std::vector<std::string> pos;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -41,6 +44,7 @@ int main(int argc, char** argv) {
     else if (arg == "--wire=codec") codec_wire = true;
     else if (arg == "--wire=struct") codec_wire = false;
     else if (arg == "--frame-faults") frame_faults = true;
+    else if (arg == "--wire-verify=always") verify_always = true;
     else pos.push_back(arg);
   }
   const int num_seeds = !pos.empty() ? std::atoi(pos[0].c_str()) : 10;
@@ -64,6 +68,7 @@ int main(int argc, char** argv) {
     sc.num_shbs = 2;
     sc.num_intermediates = 1;
     if (codec_wire) sc.wire = harness::WireMode::kCodec;
+    if (verify_always) sc.wire_verify_every = 1;
     if (inject_violation) {
       // Full-resolution tracing so the injected tick is guaranteed to be in
       // the sample, with a deeper ring so its milestones are still there.

@@ -1,15 +1,56 @@
 // google-benchmark microbenchmarks for the hot data structures: knowledge
 // stream (TickMap) accumulation and horizon queries, interval sets,
-// content-based matching, selector parsing, and PFS record codecs. These
-// run on real wall-clock time (unlike the figure benches, which measure
-// simulated time).
+// content-based matching, selector parsing, PFS record codecs, and the wire
+// codec itself (per-MsgKind encode/decode with an allocs-per-op counter —
+// the micro view of bench_wallclock's codec tax). These run on real
+// wall-clock time (unlike the figure benches, which measure simulated time).
 #include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
 
 #include "matching/parser.hpp"
 #include "matching/subscription_index.hpp"
 #include "routing/tick_map.hpp"
+#include "sim/message.hpp"
 #include "util/interval_set.hpp"
 #include "util/rng.hpp"
+#include "wire/codec.hpp"
+
+// Counting allocator hook (same shape as bench_wallclock's): the per-op
+// allocation counters below are deltas of this.
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+inline void* counted_alloc(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(align), size ? size : 1) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
 
 namespace gryphon {
 namespace {
@@ -147,6 +188,157 @@ void BM_PredicateEval(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PredicateEval);
+
+// ----------------------------------------------------- wire codec, per kind
+
+using core::MsgKind;
+
+const char* wire_kind_name(MsgKind kind) {
+  switch (kind) {
+    case MsgKind::kStreamData: return "StreamData";
+    case MsgKind::kNack: return "Nack";
+    case MsgKind::kReleaseUpdate: return "ReleaseUpdate";
+    case MsgKind::kSubscribe: return "Subscribe";
+    case MsgKind::kSubscribeAck: return "SubscribeAck";
+    case MsgKind::kUnsubscribe: return "Unsubscribe";
+    case MsgKind::kBrokerResume: return "BrokerResume";
+    case MsgKind::kPublish: return "Publish";
+    case MsgKind::kPublishAck: return "PublishAck";
+    case MsgKind::kConnect: return "Connect";
+    case MsgKind::kConnected: return "Connected";
+    case MsgKind::kDisconnect: return "Disconnect";
+    case MsgKind::kUnsubscribeReq: return "UnsubscribeReq";
+    case MsgKind::kAck: return "Ack";
+    case MsgKind::kEventDelivery: return "EventDelivery";
+    case MsgKind::kSilenceDelivery: return "SilenceDelivery";
+    case MsgKind::kGapDelivery: return "GapDelivery";
+    case MsgKind::kJmsConsumed: return "JmsConsumed";
+  }
+  return "?";
+}
+
+matching::EventDataPtr wire_event() {
+  return std::make_shared<matching::EventData>(
+      std::map<std::string, matching::Value>{{"sym", matching::Value("IBM")},
+                                             {"g", matching::Value(3)}},
+      "payload-bytes", 250);
+}
+
+core::CheckpointToken wire_ct() {
+  core::CheckpointToken ct;
+  ct.set(PubendId{1}, 100);
+  ct.set(PubendId{7}, 12345678901LL);
+  return ct;
+}
+
+/// One representative message per kind — realistic steady-state shapes (the
+/// StreamData sample carries one D item like a fig4 knowledge batch).
+std::shared_ptr<core::Msg> wire_sample(MsgKind kind) {
+  switch (kind) {
+    case MsgKind::kStreamData: {
+      std::vector<routing::KnowledgeItem> items;
+      items.push_back({routing::TickValue::kS, TickRange{1, 9}, nullptr});
+      items.push_back({routing::TickValue::kD, TickRange{10, 10}, wire_event()});
+      items.push_back({routing::TickValue::kL, TickRange{11, 20}, nullptr});
+      return std::make_shared<core::StreamDataMsg>(PubendId{3}, std::move(items));
+    }
+    case MsgKind::kNack:
+      return std::make_shared<core::NackMsg>(
+          PubendId{2}, std::vector<TickRange>{{5, 9}, {20, 31}}, true);
+    case MsgKind::kReleaseUpdate:
+      return std::make_shared<core::ReleaseUpdateMsg>(PubendId{1}, 500, 777);
+    case MsgKind::kSubscribe:
+      return std::make_shared<core::SubscribeMsg>(SubscriberId{9}, "g = 3");
+    case MsgKind::kSubscribeAck:
+      return std::make_shared<core::SubscribeAckMsg>(
+          SubscriberId{9}, std::vector<std::pair<PubendId, Tick>>{{PubendId{1}, 40},
+                                                                  {PubendId{2}, 0}});
+    case MsgKind::kUnsubscribe:
+      return std::make_shared<core::UnsubscribeMsg>(SubscriberId{9});
+    case MsgKind::kBrokerResume:
+      return std::make_shared<core::BrokerResumeMsg>(
+          std::vector<std::pair<PubendId, Tick>>{{PubendId{1}, 123}});
+    case MsgKind::kPublish:
+      return std::make_shared<core::PublishMsg>(PublisherId{5}, 42, 40, PubendId{1},
+                                                wire_event());
+    case MsgKind::kPublishAck:
+      return std::make_shared<core::PublishAckMsg>(PublisherId{5}, 42, 999);
+    case MsgKind::kConnect:
+      return std::make_shared<core::ConnectMsg>(SubscriberId{7}, false, "g = 1",
+                                                wire_ct());
+    case MsgKind::kConnected:
+      return std::make_shared<core::ConnectedMsg>(SubscriberId{7}, wire_ct());
+    case MsgKind::kDisconnect:
+      return std::make_shared<core::DisconnectMsg>(SubscriberId{7});
+    case MsgKind::kUnsubscribeReq:
+      return std::make_shared<core::UnsubscribeReqMsg>(SubscriberId{7});
+    case MsgKind::kAck:
+      return std::make_shared<core::AckMsg>(SubscriberId{7}, wire_ct());
+    case MsgKind::kEventDelivery:
+      return std::make_shared<core::EventDeliveryMsg>(SubscriberId{7}, PubendId{1},
+                                                      1234, wire_event(), false);
+    case MsgKind::kSilenceDelivery:
+      return std::make_shared<core::SilenceDeliveryMsg>(SubscriberId{7}, PubendId{1},
+                                                        1300);
+    case MsgKind::kGapDelivery:
+      return std::make_shared<core::GapDeliveryMsg>(SubscriberId{7}, PubendId{1},
+                                                    TickRange{1301, 1400});
+    case MsgKind::kJmsConsumed:
+      return std::make_shared<core::JmsConsumedMsg>(SubscriberId{7}, PubendId{1},
+                                                    1234);
+  }
+  return nullptr;
+}
+
+/// Steady-state encode: frames appended to a retained (pooled) buffer, the
+/// CodecTransport arena shape. allocs_per_op == 0 is the target.
+void BM_WireEncodeKind(benchmark::State& state, MsgKind kind) {
+  const auto msg = wire_sample(kind);
+  std::vector<std::byte> buf;
+  buf.reserve(64 * 1024);
+  const std::uint64_t allocs0 = g_alloc_count.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    buf.clear();
+    benchmark::DoNotOptimize(wire::append_encoded_frame(buf, *msg));
+  }
+  const auto allocs = g_alloc_count.load(std::memory_order_relaxed) - allocs0;
+  state.counters["allocs_per_op"] = benchmark::Counter(
+      static_cast<double>(allocs), benchmark::Counter::kAvgIterations);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(msg->wire_size()));
+}
+
+/// Zero-copy decode: frame parse + payload decode with the arena as the
+/// ownership handle (the CodecTransport receive path, minus the sampled
+/// canonical re-encode).
+void BM_WireDecodeKind(benchmark::State& state, MsgKind kind) {
+  const auto msg = wire_sample(kind);
+  const auto arena = std::make_shared<sim::FrameArena>(wire::encode(*msg));
+  const auto bytes = arena->view(0, arena->buffer().size());
+  const std::uint64_t allocs0 = g_alloc_count.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    auto r = wire::decode(bytes, arena);
+    benchmark::DoNotOptimize(r.msg);
+  }
+  const auto allocs = g_alloc_count.load(std::memory_order_relaxed) - allocs0;
+  state.counters["allocs_per_op"] = benchmark::Counter(
+      static_cast<double>(allocs), benchmark::Counter::kAvgIterations);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes.size()));
+}
+
+const int g_register_wire_benchmarks = [] {
+  for (int k = 0; k <= static_cast<int>(MsgKind::kJmsConsumed); ++k) {
+    const auto kind = static_cast<MsgKind>(k);
+    benchmark::RegisterBenchmark(
+        (std::string("BM_WireEncode/") + wire_kind_name(kind)).c_str(),
+        [kind](benchmark::State& s) { BM_WireEncodeKind(s, kind); });
+    benchmark::RegisterBenchmark(
+        (std::string("BM_WireDecode/") + wire_kind_name(kind)).c_str(),
+        [kind](benchmark::State& s) { BM_WireDecodeKind(s, kind); });
+  }
+  return 0;
+}();
 
 }  // namespace
 }  // namespace gryphon

@@ -19,13 +19,17 @@
 // across PHB, intermediate and SHB WALs (the intermediate's knowledge/DB
 // recovery path crashes just like the edges do). About a third of the
 // crashes compose a second kill 1-40 ms after the restart, so the crash
-// point lands inside the recovery window itself. The run fails (exit 1) if
-// any seed violates the oracle,
+// point lands inside the recovery window itself. A quarter of the seed
+// count then re-runs in codec mode — byte frames on every link, canonical
+// re-encode verified on every decode — with seeded frame corruption armed
+// on the broker chain across each crash window: the crash x frame-fault
+// cross product. The run fails (exit 1) if any seed violates the oracle,
 // and — unless --smoke — if not a single crash point produced a torn-tail
-// truncation, or not a single re-crash landed inside a recovery window
-// (either would mean the fuzzer stopped reaching the interesting crash
-// points, not that the engine got better). --smoke runs 3 seeds with
-// neither requirement: the sanitizer entry point for tools/run_chaos.sh.
+// truncation, not a single re-crash landed inside a recovery window, or the
+// codec leg rejected no frames (any of which would mean the fuzzer stopped
+// reaching the interesting crash points, not that the engine got better).
+// --smoke runs 3 struct + 1 codec seeds with none of those requirements:
+// the sanitizer entry point for tools/run_chaos.sh.
 // --wal-dir runs every node's WAL on real files (FileBackend) under
 // DIR/seed<N>/ so the byte-level recovery path is exercised through the
 // filesystem; --out writes a bench-JSON snapshot whose metrics block carries
@@ -52,6 +56,8 @@ struct SeedResult {
   std::uint64_t recoveries = 0;
   std::uint64_t truncated_bytes = 0;
   std::uint64_t torn_tail_recoveries = 0;
+  std::uint64_t corrupted_frames = 0;  // codec leg: mangles armed + fired
+  std::uint64_t decode_rejects = 0;    // codec leg: mangles caught + dropped
   std::uint64_t published = 0;
   std::uint64_t delivered = 0;
   bool violated = false;
@@ -71,12 +77,21 @@ void dump_corruptions(harness::System& system) {
   }
 }
 
-SeedResult run_seed(std::uint64_t seed, const std::string& wal_dir) {
+/// `codec` runs the whole seed over the byte-level wire (CodecTransport,
+/// canonical re-encode verified on every frame) and arms seeded frame
+/// corruption on the broker chain across each crash window — the crash x
+/// frame-fault cross product: recovery must hold when torn WAL tails and
+/// mangled in-flight frames compose.
+SeedResult run_seed(std::uint64_t seed, const std::string& wal_dir, bool codec) {
   Rng rng(seed);
   harness::SystemConfig sc;
   sc.num_pubends = 2;
   sc.num_intermediates = 1;  // crash points also land mid-chain
   sc.num_shbs = 1;
+  if (codec) {
+    sc.wire = harness::WireMode::kCodec;
+    sc.wire_verify_every = 1;
+  }
   // Small segments + an aggressive DB compaction budget so a few seconds of
   // traffic already rolls, GCs and snapshot-compacts segments — recovery
   // then scans a multi-segment WAL, not one young segment.
@@ -100,6 +115,21 @@ SeedResult run_seed(std::uint64_t seed, const std::string& wal_dir) {
                                  /*first_id=*/1);
   system.run_for(sec(2));
 
+  // Codec leg: mangle a seeded handful of frames on every broker-chain
+  // direction across the upcoming crash window, so decode rejects, torn WAL
+  // tails and recovery handshakes all land in the same few hundred ms.
+  const auto arm_chain_corruption = [&] {
+    const sim::EndpointId phb = system.phb_endpoint();
+    const sim::EndpointId mid = system.intermediate_endpoint(0);
+    const sim::EndpointId shb = system.shb_endpoint(0);
+    for (const auto& [a, b] : {std::pair{phb, mid}, std::pair{mid, shb}}) {
+      system.network().corrupt_frames(a, b, 2 + static_cast<int>(rng.next_below(6)),
+                                      rng.next_u64());
+      system.network().corrupt_frames(b, a, 2 + static_cast<int>(rng.next_below(6)),
+                                      rng.next_u64());
+    }
+  };
+
   SeedResult r;
   r.seed = seed;
   try {
@@ -110,6 +140,7 @@ SeedResult run_seed(std::uint64_t seed, const std::string& wal_dir) {
       // 0 = PHB, 1 = intermediate, 2 = SHB — every hop in the chain is a
       // legal crash target.
       const std::uint64_t target = rng.next_below(3);
+      if (codec) arm_chain_corruption();
       const std::uint64_t entropy = rng.next_u64();
       core::NodeResources& node = target == 0   ? system.phb_node()
                                   : target == 1 ? system.intermediate_node(0)
@@ -169,6 +200,8 @@ SeedResult run_seed(std::uint64_t seed, const std::string& wal_dir) {
     r.truncated_bytes += node->metrics.counter("wal.recovery_truncated_bytes")->get();
     r.torn_tail_recoveries += node->metrics.counter("wal.torn_tail_recoveries")->get();
   }
+  r.corrupted_frames = system.network().corrupted_frames();
+  r.decode_rejects = system.network().decode_rejects();
   r.published = system.oracle().published_count();
   r.delivered = system.oracle().delivered_count();
   return r;
@@ -201,11 +234,17 @@ int main(int argc, char** argv) {
       pos.size() > 1 ? std::strtoull(pos[1].c_str(), nullptr, 10) : 1;
   if (smoke && pos.empty()) num_seeds = 3;
 
-  print_header("Recovery fuzz: " + std::to_string(num_seeds) + " seeds x " +
+  // The codec leg re-runs a slice of the seed range over the byte-level
+  // wire with frame corruption armed across every crash window (the
+  // crash x frame-fault cross product).
+  const int codec_seeds = smoke ? 1 : std::max(3, num_seeds / 4);
+
+  print_header("Recovery fuzz: " + std::to_string(num_seeds) + " struct + " +
+               std::to_string(codec_seeds) + " codec seeds x " +
                std::to_string(kCrashesPerSeed) + " seeded crash points" +
                (wal_dir.empty() ? " (in-memory WAL)" : " (file WAL: " + wal_dir + ")"));
-  print_row({"seed", "crashes", "rec_crash", "recoveries", "torn_tails",
-             "trunc_bytes", "published", "delivered", "verdict"}, 12);
+  print_row({"seed", "wire", "crashes", "rec_crash", "recoveries", "torn_tails",
+             "trunc_bytes", "rejects", "published", "delivered", "verdict"}, 11);
 
   int violations = 0;
   int crash_points = 0;
@@ -213,29 +252,40 @@ int main(int argc, char** argv) {
   std::uint64_t recoveries = 0;
   std::uint64_t truncated_bytes = 0;
   std::uint64_t torn_tails = 0;
-  for (int i = 0; i < num_seeds; ++i) {
-    const std::uint64_t seed = first_seed + static_cast<std::uint64_t>(i);
-    const SeedResult r = run_seed(seed, wal_dir);
-    crash_points += r.crashes;
-    recovery_crashes += r.recovery_crashes;
-    recoveries += r.recoveries;
-    truncated_bytes += r.truncated_bytes;
-    torn_tails += r.torn_tail_recoveries;
-    if (r.violated) ++violations;
-    print_row({std::to_string(seed), std::to_string(r.crashes),
-               std::to_string(r.recovery_crashes),
-               std::to_string(r.recoveries), std::to_string(r.torn_tail_recoveries),
-               std::to_string(r.truncated_bytes), std::to_string(r.published),
-               std::to_string(r.delivered), r.violated ? "VIOLATION" : "ok"}, 12);
-  }
+  std::uint64_t corrupted_frames = 0;
+  std::uint64_t decode_rejects = 0;
+  const auto run_leg = [&](int leg_seeds, bool codec) {
+    for (int i = 0; i < leg_seeds; ++i) {
+      const std::uint64_t seed = first_seed + static_cast<std::uint64_t>(i);
+      const SeedResult r = run_seed(seed, wal_dir, codec);
+      crash_points += r.crashes;
+      recovery_crashes += r.recovery_crashes;
+      recoveries += r.recoveries;
+      truncated_bytes += r.truncated_bytes;
+      torn_tails += r.torn_tail_recoveries;
+      corrupted_frames += r.corrupted_frames;
+      decode_rejects += r.decode_rejects;
+      if (r.violated) ++violations;
+      print_row({std::to_string(seed), codec ? "codec" : "struct",
+                 std::to_string(r.crashes), std::to_string(r.recovery_crashes),
+                 std::to_string(r.recoveries), std::to_string(r.torn_tail_recoveries),
+                 std::to_string(r.truncated_bytes), std::to_string(r.decode_rejects),
+                 std::to_string(r.published), std::to_string(r.delivered),
+                 r.violated ? "VIOLATION" : "ok"}, 11);
+    }
+  };
+  run_leg(num_seeds, /*codec=*/false);
+  run_leg(codec_seeds, /*codec=*/true);
 
   std::printf("\n%d crash points (%d landed inside recovery), %llu recoveries, "
-              "%llu torn-tail truncations (%llu bytes discarded), %d oracle "
-              "violations\n",
+              "%llu torn-tail truncations (%llu bytes discarded), %llu frames "
+              "mangled (%llu rejected), %d oracle violations\n",
               crash_points, recovery_crashes,
               static_cast<unsigned long long>(recoveries),
               static_cast<unsigned long long>(torn_tails),
-              static_cast<unsigned long long>(truncated_bytes), violations);
+              static_cast<unsigned long long>(truncated_bytes),
+              static_cast<unsigned long long>(corrupted_frames),
+              static_cast<unsigned long long>(decode_rejects), violations);
 
   bool failed = violations > 0;
   if (!smoke && torn_tails == 0) {
@@ -248,6 +298,11 @@ int main(int argc, char** argv) {
                 "crash-during-recovery composition stopped firing\n");
     failed = true;
   }
+  if (!smoke && decode_rejects == 0) {
+    std::printf("FUZZ GAP: the codec leg rejected no frames — the crash x "
+                "frame-fault cross product stopped firing\n");
+    failed = true;
+  }
 
   if (!out_path.empty()) {
     WorkloadReport report;
@@ -255,6 +310,7 @@ int main(int argc, char** argv) {
     report.variant = "run";
     report.metrics = {
         {"seeds", static_cast<double>(num_seeds)},
+        {"codec_seeds", static_cast<double>(codec_seeds)},
         {"crash_points", static_cast<double>(crash_points)},
         {"recovery_crashes", static_cast<double>(recovery_crashes)},
         {"oracle_violations", static_cast<double>(violations)},
@@ -263,6 +319,8 @@ int main(int argc, char** argv) {
         {"wal.recoveries", static_cast<double>(recoveries)},
         {"wal.recovery_truncated_bytes", static_cast<double>(truncated_bytes)},
         {"wal.torn_tail_recoveries", static_cast<double>(torn_tails)},
+        {"net.corrupted_frames", static_cast<double>(corrupted_frames)},
+        {"net.decode_rejects", static_cast<double>(decode_rejects)},
     };
     write_bench_json(out_path, {report});
     std::printf("wrote %s\n", out_path.c_str());

@@ -313,6 +313,43 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Codec-tax ceiling: the byte path must stay within 2.0x the struct
+  // path's wall-clock and within 10 allocations per event. Absolute bounds
+  // (unlike the --check floor they need no committed reference), so the
+  // pooled-arena/zero-copy/sampled-verify encode path cannot silently rot
+  // back toward the old 5x tax.
+  {
+    const auto metric = [&](const std::string& name, const char* key) -> double {
+      for (const auto& r : reports) {
+        if (r.name == name) {
+          if (const auto* m = r.find(key)) return m->value;
+        }
+      }
+      return 0;
+    };
+    const double struct_rate = metric("fig4_steady_4shb", "sim_events_per_wall_sec");
+    const double codec_rate =
+        metric("fig4_steady_4shb_codec", "sim_events_per_wall_sec");
+    const double codec_allocs = metric("fig4_steady_4shb_codec", "allocs_per_event");
+    if (struct_rate > 0 && codec_rate > 0) {
+      const double tax = struct_rate / codec_rate;
+      if (tax > 2.0) {
+        std::printf("  CODEC TAX REGRESSION: codec runs %.2fx slower than struct "
+                    "(ceiling 2.0x): %.0f vs %.0f ev/wall-s\n",
+                    tax, codec_rate, struct_rate);
+        regression = true;
+      } else {
+        std::printf("  codec tax ok: %.2fx struct wall-clock (ceiling 2.0x)\n", tax);
+      }
+    }
+    if (codec_allocs > 10.0) {
+      std::printf("  CODEC TAX REGRESSION: %.2f allocs/event in codec mode "
+                  "(ceiling 10)\n",
+                  codec_allocs);
+      regression = true;
+    }
+  }
+
   if (!out_path.empty()) {
     write_bench_json(out_path, reports);
     std::printf("\nwrote %s\n", out_path.c_str());

@@ -61,16 +61,28 @@ void encode_event_data(BufWriter& w, const matching::EventData& e) {
   w.put_string(e.payload());
   const auto padded = static_cast<std::uint32_t>(e.payload_size());
   w.put_u32(padded);
-  for (std::size_t i = e.payload().size(); i < padded; ++i) w.put_u8(0);
+  w.put_zeros(padded - e.payload().size());
 }
 
-matching::EventDataPtr decode_event_data(BufReader& r) {
+matching::EventDataPtr decode_event_data(BufReader& r,
+                                          const std::shared_ptr<const void>& owner) {
   const auto n_attrs = r.get_u32();
   matching::EventData::AttributeList attrs;
   attrs.reserve(n_attrs);
   for (std::uint32_t i = 0; i < n_attrs; ++i) {
     std::string name = r.get_string();
     attrs.emplace_back(std::move(name), decode_value(r));
+  }
+  // Zero-copy path: the payload stays a view into the frame bytes, pinned
+  // by the owner handle; only attribute names/values (small, usually SSO)
+  // are materialized. An empty payload needs no pin at all.
+  if (owner != nullptr) {
+    const std::string_view payload = r.get_string_view();
+    const auto padded = r.get_u32();
+    if (padded > payload.size()) r.get_bytes(padded - payload.size());
+    return std::make_shared<matching::EventData>(
+        std::move(attrs), payload, padded,
+        payload.empty() ? nullptr : owner);
   }
   std::string payload = r.get_string();
   const auto padded = r.get_u32();

@@ -33,7 +33,14 @@ struct LoggedEvent {
 // encoding of an event, on disk and on the wire.
 
 void encode_event_data(BufWriter& w, const matching::EventData& e);
-[[nodiscard]] matching::EventDataPtr decode_event_data(BufReader& r);
+
+/// `owner` (optional) enables zero-copy decode: when non-null, the decoded
+/// event's payload is a view into the reader's underlying bytes, kept alive
+/// by `owner` (a received frame's arena). With a null owner the payload is
+/// materialized — callers whose buffer dies before the event must pass
+/// null (the WAL recovery scan does).
+[[nodiscard]] matching::EventDataPtr decode_event_data(
+    BufReader& r, const std::shared_ptr<const void>& owner = nullptr);
 
 /// Exact byte count encode_event_data() produces. This differs from
 /// EventData::encoded_size() (the cache/log *cost-model* size, which omits

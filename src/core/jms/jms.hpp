@@ -42,7 +42,7 @@ class Message {
   [[nodiscard]] const matching::Value* property(const std::string& name) const {
     return data_->attribute(name);
   }
-  [[nodiscard]] const std::string& text() const { return data_->payload(); }
+  [[nodiscard]] std::string_view text() const { return data_->payload(); }
   [[nodiscard]] PubendId destination() const { return pubend_; }
   /// The provider-assigned message id (the pubend timestamp).
   [[nodiscard]] Tick message_id() const { return tick_; }

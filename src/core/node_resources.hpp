@@ -120,6 +120,12 @@ class NodeResources {
     probes_.push_back(metrics.probe("net.decode_rejects", [this] {
       return static_cast<double>(this->network.decode_rejects_at(endpoint));
     }));
+    probes_.push_back(metrics.probe("net.frames_encoded", [this] {
+      return static_cast<double>(this->network.frames_encoded_from(endpoint));
+    }));
+    probes_.push_back(metrics.probe("net.frames_decoded", [this] {
+      return static_cast<double>(this->network.frames_decoded_at(endpoint));
+    }));
   }
 
   NodeResources(const NodeResources&) = delete;

@@ -28,7 +28,9 @@ System::System(SystemConfig config)
   GRYPHON_CHECK(config_.num_shbs >= 1);
 
   if (config_.wire == WireMode::kCodec) {
-    transport_ = std::make_unique<wire::CodecTransport>();
+    wire::CodecTransport::Options topts;
+    topts.verify_every = config_.wire_verify_every;
+    transport_ = std::make_unique<wire::CodecTransport>(topts);
     net_.set_transport(transport_.get());
   }
 

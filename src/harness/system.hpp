@@ -61,6 +61,10 @@ struct SystemConfig {
   std::size_t trace_ring_capacity = 4096;
   /// Transport under every link (gryphon_sim --wire=struct|codec).
   WireMode wire = WireMode::kStruct;
+  /// Codec mode only: canonical re-encode check cadence — verify ~1 in N
+  /// decoded frames (seeded, deterministic). 1 verifies every frame
+  /// (--wire-verify=always; what the tests and the chaos ASan leg use).
+  std::uint32_t wire_verify_every = 64;
 };
 
 class System {

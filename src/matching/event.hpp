@@ -14,6 +14,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -30,7 +31,7 @@ class EventData {
   EventData(AttributeList attributes, std::string payload,
             std::size_t padded_payload_size = 0)
       : attributes_(std::move(attributes)),
-        payload_(std::move(payload)),
+        payload_storage_(std::move(payload)),
         padded_payload_size_(padded_payload_size) {
     std::sort(attributes_.begin(), attributes_.end(),
               [](const Attribute& a, const Attribute& b) { return a.first < b.first; });
@@ -45,6 +46,35 @@ class EventData {
       : EventData(AttributeList(attributes), std::move(payload),
                   padded_payload_size) {}
 
+  /// Zero-copy construction (wire decode path): the payload stays a view
+  /// into externally owned bytes — a received frame's arena — kept alive by
+  /// `owner`. No payload bytes are copied or allocated; the event remains
+  /// valid for as long as this EventData lives, however long it outlives
+  /// the frame message it arrived in.
+  EventData(AttributeList attributes, std::string_view payload_view,
+            std::size_t padded_payload_size, std::shared_ptr<const void> owner)
+      : attributes_(std::move(attributes)),
+        payload_view_(payload_view),
+        payload_owner_(std::move(owner)),
+        padded_payload_size_(padded_payload_size) {
+    std::sort(attributes_.begin(), attributes_.end(),
+              [](const Attribute& a, const Attribute& b) { return a.first < b.first; });
+    encoded_size_ = compute_encoded_size();
+  }
+
+  /// Copies rebind the view when it points into the source's own storage
+  /// (view-mode copies keep sharing the external owner instead).
+  EventData(const EventData& other)
+      : attributes_(other.attributes_),
+        payload_storage_(other.payload_storage_),
+        payload_view_(),
+        payload_owner_(other.payload_owner_),
+        padded_payload_size_(other.padded_payload_size_),
+        encoded_size_(other.encoded_size_) {
+    if (other.payload_owner_ != nullptr) payload_view_ = other.payload_view_;
+  }
+  EventData& operator=(const EventData&) = delete;
+
   /// Attributes sorted by name.
   [[nodiscard]] const AttributeList& attributes() const { return attributes_; }
 
@@ -56,12 +86,17 @@ class EventData {
     return nullptr;
   }
 
-  [[nodiscard]] const std::string& payload() const { return payload_; }
+  /// The payload bytes: a view into this object's own storage (owned mode)
+  /// or into the received frame's arena (zero-copy wire decode).
+  [[nodiscard]] std::string_view payload() const {
+    return payload_owner_ != nullptr ? payload_view_
+                                     : std::string_view(payload_storage_);
+  }
 
   /// Application payload size. Workload generators set a padded size (the
   /// paper uses 250-byte payloads) without materializing the bytes.
   [[nodiscard]] std::size_t payload_size() const {
-    return std::max(payload_.size(), padded_payload_size_);
+    return std::max(payload().size(), padded_payload_size_);
   }
 
   /// Serialized event size: attributes + payload (headers are charged by the
@@ -79,7 +114,9 @@ class EventData {
   }
 
   AttributeList attributes_;
-  std::string payload_;
+  std::string payload_storage_;       // owned mode
+  std::string_view payload_view_;     // view mode (into payload_owner_)
+  std::shared_ptr<const void> payload_owner_;  // keeps a frame arena alive
   std::size_t padded_payload_size_ = 0;
   std::size_t encoded_size_ = 0;
 };

@@ -7,15 +7,28 @@
 //
 // Two representations travel on links, selected by the Transport seam
 // (sim/transport.hpp):
-//  * struct messages (wire_bytes() == nullptr): shared in-memory protocol
+//  * struct messages (wire_bytes() empty): shared in-memory protocol
 //    structs, the default pass-through;
-//  * FrameMessage: an encoded byte frame (wire/ codecs). Only this form can
-//    be corrupted at the byte level by Network link faults.
+//  * FrameMessage: a view into an encoded byte frame (wire/ codecs). Only
+//    this form can be corrupted at the byte level by Network link faults.
+//
+// Frames live in FrameArenas: one pooled byte buffer carries the frames of
+// many coalesced sends, and every FrameMessage is an (arena, offset, len)
+// view with shared ownership of the arena. The arena's buffer is reserved
+// up front and NEVER reallocates while views exist (the writer seals the
+// arena before it would have to grow), so views — and the zero-copy decode
+// views layered on top of them — stay stable for the arena's lifetime. When
+// the last view dies, the arena returns its buffer to the pool it was
+// acquired from.
 #pragma once
 
 #include <cstddef>
 #include <memory>
+#include <span>
+#include <utility>
 #include <vector>
+
+#include "util/buffer_pool.hpp"
 
 namespace gryphon::sim {
 
@@ -27,28 +40,79 @@ class Message {
   [[nodiscard]] virtual std::size_t wire_size() const = 0;
 
   /// Encoded frame bytes when this message *is* its own serialization
-  /// (CodecTransport); nullptr for in-memory struct messages. Byte-level
-  /// link faults (flips, truncations) only apply when this is non-null.
-  [[nodiscard]] virtual const std::vector<std::byte>* wire_bytes() const {
+  /// (CodecTransport); an empty span for in-memory struct messages (frames
+  /// are never empty: they carry at least their 64-byte header). Byte-level
+  /// link faults (flips, truncations) only apply when this is non-empty.
+  [[nodiscard]] virtual std::span<const std::byte> wire_bytes() const { return {}; }
+
+  /// Shared ownership of the storage behind wire_bytes(): anything that
+  /// keeps views into the frame (zero-copy decoded fields) must hold this.
+  /// Null for struct messages.
+  [[nodiscard]] virtual std::shared_ptr<const void> wire_owner() const {
     return nullptr;
   }
 };
 
 using MessagePtr = std::shared_ptr<const Message>;
 
-/// An opaque byte frame in flight: its wire size IS its byte count, so the
-/// bandwidth model charges exactly what the codec produced.
-class FrameMessage final : public Message {
+/// One byte buffer carrying the back-to-back frames of a coalesced flush.
+/// Returns the buffer to its pool (if any) once the last view dies.
+class FrameArena {
  public:
-  explicit FrameMessage(std::vector<std::byte> bytes) : bytes_(std::move(bytes)) {}
+  FrameArena(BufferPoolPtr pool, std::vector<std::byte> buf)
+      : pool_(std::move(pool)), buf_(std::move(buf)) {}
+  explicit FrameArena(std::vector<std::byte> buf) : buf_(std::move(buf)) {}
+  FrameArena(const FrameArena&) = delete;
+  FrameArena& operator=(const FrameArena&) = delete;
+  ~FrameArena() {
+    if (pool_ != nullptr) pool_->release(std::move(buf_));
+  }
 
-  [[nodiscard]] std::size_t wire_size() const override { return bytes_.size(); }
-  [[nodiscard]] const std::vector<std::byte>* wire_bytes() const override {
-    return &bytes_;
+  /// The writer appends frames here; it must seal the arena (stop writing)
+  /// before an append would exceed the buffer's reserved capacity, so the
+  /// data never moves under live views.
+  [[nodiscard]] std::vector<std::byte>& buffer() { return buf_; }
+  [[nodiscard]] const std::vector<std::byte>& buffer() const { return buf_; }
+
+  [[nodiscard]] std::span<const std::byte> view(std::size_t offset,
+                                                std::size_t len) const {
+    return std::span<const std::byte>(buf_).subspan(offset, len);
   }
 
  private:
-  std::vector<std::byte> bytes_;
+  BufferPoolPtr pool_;  // null when the buffer is owned outright
+  std::vector<std::byte> buf_;
+};
+
+/// An opaque byte frame in flight: a view into its arena. Its wire size IS
+/// its byte count, so the bandwidth model charges exactly what the codec
+/// produced.
+class FrameMessage final : public Message {
+ public:
+  /// A frame written at [offset, offset+len) of a (possibly shared) arena.
+  FrameMessage(std::shared_ptr<const FrameArena> arena, std::size_t offset,
+               std::size_t len)
+      : arena_(std::move(arena)), offset_(offset), len_(len) {}
+
+  /// Convenience: a frame that owns its bytes outright (tests, mangled
+  /// copies under chaos corruption).
+  explicit FrameMessage(std::vector<std::byte> bytes)
+      : arena_(std::make_shared<FrameArena>(std::move(bytes))),
+        offset_(0),
+        len_(arena_->buffer().size()) {}
+
+  [[nodiscard]] std::size_t wire_size() const override { return len_; }
+  [[nodiscard]] std::span<const std::byte> wire_bytes() const override {
+    return arena_->view(offset_, len_);
+  }
+  [[nodiscard]] std::shared_ptr<const void> wire_owner() const override {
+    return arena_;
+  }
+
+ private:
+  std::shared_ptr<const FrameArena> arena_;
+  std::size_t offset_;
+  std::size_t len_;
 };
 
 }  // namespace gryphon::sim

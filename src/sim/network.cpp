@@ -75,6 +75,7 @@ bool Network::send(EndpointId from, EndpointId to, MessagePtr msg) {
   Endpoint& src = endpoint(from);
   ++src.sent_msgs;
   src.sent_bytes += sent_bytes;
+  if (!msg->wire_bytes().empty()) ++src.frames_encoded;
 
   const auto ser_time = static_cast<SimDuration>(
       std::ceil(static_cast<double>(sent_bytes) /
@@ -107,6 +108,7 @@ bool Network::send(EndpointId from, EndpointId to, MessagePtr msg) {
     delivered_bytes_ += bytes;
     ++dst.delivered_msgs;
     dst.delivered_bytes += bytes;
+    const bool was_frame = !msg->wire_bytes().empty();
     if (transport_ != nullptr) {
       msg = transport_->from_wire(from, to, std::move(msg));
       if (msg == nullptr) {
@@ -116,6 +118,7 @@ bool Network::send(EndpointId from, EndpointId to, MessagePtr msg) {
         ++dst.decode_rejects;
         return;
       }
+      if (was_frame) ++dst.frames_decoded;
     }
     dst.handler(from, std::move(msg));
   });
@@ -125,13 +128,15 @@ bool Network::send(EndpointId from, EndpointId to, MessagePtr msg) {
 MessagePtr Network::mangle(Link& l, const MessagePtr& msg) {
   ++corrupted_frames_;
   const std::uint64_t draw = mix64(l.corrupt_seed + l.corrupt_drawn++);
-  const std::vector<std::byte>* bytes = msg->wire_bytes();
-  if (bytes == nullptr || bytes->empty()) {
+  // Frames are told apart by their ownership handle: even a zero-length
+  // mangled frame is still a frame, while struct messages have no bytes.
+  const std::span<const std::byte> bytes = msg->wire_bytes();
+  if (msg->wire_owner() == nullptr || bytes.empty()) {
     // Struct messages have no byte representation to flip: the closest
     // struct-mode equivalent of an unreadable frame is losing the message.
     return nullptr;
   }
-  std::vector<std::byte> mutated = *bytes;
+  std::vector<std::byte> mutated(bytes.begin(), bytes.end());
   const std::size_t pos = (draw >> 1) % mutated.size();
   if ((draw & 1) == 0) {
     // Byte flip: XOR with a non-zero pattern so the frame always changes.
@@ -235,6 +240,14 @@ std::uint64_t Network::sent_bytes_from(EndpointId id) const {
 
 std::uint64_t Network::decode_rejects_at(EndpointId id) const {
   return endpoint(id).decode_rejects;
+}
+
+std::uint64_t Network::frames_encoded_from(EndpointId id) const {
+  return endpoint(id).frames_encoded;
+}
+
+std::uint64_t Network::frames_decoded_at(EndpointId id) const {
+  return endpoint(id).frames_decoded;
 }
 
 }  // namespace gryphon::sim

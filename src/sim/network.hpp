@@ -145,6 +145,11 @@ class Network {
   /// Deliveries the transport rejected (corrupt frame) at this endpoint.
   [[nodiscard]] std::uint64_t decode_rejects_at(EndpointId id) const;
 
+  /// Byte frames put on the wire by this endpoint / decoded at it (zero in
+  /// struct mode — these count FrameMessages, i.e. codec-transport work).
+  [[nodiscard]] std::uint64_t frames_encoded_from(EndpointId id) const;
+  [[nodiscard]] std::uint64_t frames_decoded_at(EndpointId id) const;
+
   /// Sends refused because the link was partitioned (diagnostics & tests).
   [[nodiscard]] std::uint64_t refused_sends() const { return refused_sends_; }
 
@@ -163,6 +168,8 @@ class Network {
     std::uint64_t sent_msgs = 0;
     std::uint64_t sent_bytes = 0;
     std::uint64_t decode_rejects = 0;
+    std::uint64_t frames_encoded = 0;
+    std::uint64_t frames_decoded = 0;
   };
 
   struct Link {

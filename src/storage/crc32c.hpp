@@ -1,15 +1,23 @@
-// CRC32C (Castagnoli) — the frame checksum of the on-disk WAL format.
+// CRC32C (Castagnoli) — the frame checksum of the on-disk WAL format and
+// the wire frames (src/wire/frame.*).
 //
-// Software table implementation (the container has no guaranteed SSE4.2 /
-// ARM CRC extensions, and the WAL is not bandwidth-bound in the simulator).
+// Three implementations behind one function, all producing identical bits:
+//  * slice-by-8 software tables (8 KiB, constexpr-built): the portable fast
+//    path, ~4-6x the classic byte-at-a-time loop — this checksum runs twice
+//    over every wire frame (encode + decode), so it is squarely on the
+//    codec-tax hot path;
+//  * x86 SSE4.2 CRC32 instructions, dispatched at runtime (the binary stays
+//    runnable on CPUs without them);
+//  * the byte-at-a-time loop, kept as the big-endian / tail fallback.
 // The polynomial choice matches what real log formats use (iSCSI, ext4,
-// RocksDB, LevelDB): better burst-error detection than CRC32 (IEEE) and a
-// hardware path on modern CPUs if we ever want one.
+// RocksDB, LevelDB): better burst-error detection than CRC32 (IEEE).
 #pragma once
 
 #include <array>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <span>
 
 namespace gryphon::storage {
@@ -18,19 +26,84 @@ namespace detail {
 /// Reflected Castagnoli polynomial (0x1EDC6F41 bit-reversed).
 constexpr std::uint32_t kCrc32cPoly = 0x82F63B78u;
 
-constexpr std::array<std::uint32_t, 256> make_crc32c_table() {
-  std::array<std::uint32_t, 256> table{};
+constexpr std::array<std::array<std::uint32_t, 256>, 8> make_crc32c_tables() {
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t c = i;
     for (int k = 0; k < 8; ++k) {
       c = (c & 1u) != 0 ? (c >> 1) ^ kCrc32cPoly : c >> 1;
     }
-    table[i] = c;
+    t[0][i] = c;
   }
-  return table;
+  // t[k][i]: the CRC contribution of byte value i seen k positions before
+  // the end of an 8-byte block (slice-by-8).
+  for (std::uint32_t k = 1; k < 8; ++k) {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xFFu];
+    }
+  }
+  return t;
 }
 
-inline constexpr std::array<std::uint32_t, 256> kCrc32cTable = make_crc32c_table();
+inline constexpr std::array<std::array<std::uint32_t, 256>, 8> kCrc32cTables =
+    make_crc32c_tables();
+
+/// Classic byte-at-a-time update (raw, no pre/post inversion).
+inline std::uint32_t crc32c_bytes(const std::byte* p, std::size_t n,
+                                  std::uint32_t crc) {
+  for (std::size_t i = 0; i < n; ++i) {
+    crc = kCrc32cTables[0][(crc ^ static_cast<std::uint32_t>(p[i])) & 0xFFu] ^
+          (crc >> 8);
+  }
+  return crc;
+}
+
+inline std::uint32_t crc32c_sw(const std::byte* p, std::size_t n,
+                               std::uint32_t crc) {
+  if constexpr (std::endian::native == std::endian::little) {
+    while (n >= 8) {
+      std::uint64_t v;
+      std::memcpy(&v, p, 8);
+      v ^= crc;
+      crc = kCrc32cTables[7][v & 0xFFu] ^ kCrc32cTables[6][(v >> 8) & 0xFFu] ^
+            kCrc32cTables[5][(v >> 16) & 0xFFu] ^
+            kCrc32cTables[4][(v >> 24) & 0xFFu] ^
+            kCrc32cTables[3][(v >> 32) & 0xFFu] ^
+            kCrc32cTables[2][(v >> 40) & 0xFFu] ^
+            kCrc32cTables[1][(v >> 48) & 0xFFu] ^
+            kCrc32cTables[0][(v >> 56) & 0xFFu];
+      p += 8;
+      n -= 8;
+    }
+  }
+  return crc32c_bytes(p, n, crc);
+}
+
+#if defined(__x86_64__) && defined(__GNUC__)
+__attribute__((target("sse4.2"))) inline std::uint32_t crc32c_hw(
+    const std::byte* p, std::size_t n, std::uint32_t crc) {
+  std::uint64_t c = crc;
+  while (n >= 8) {
+    std::uint64_t v;
+    std::memcpy(&v, p, 8);
+    c = __builtin_ia32_crc32di(c, v);
+    p += 8;
+    n -= 8;
+  }
+  crc = static_cast<std::uint32_t>(c);
+  while (n > 0) {
+    crc = __builtin_ia32_crc32qi(crc, static_cast<unsigned char>(*p));
+    ++p;
+    --n;
+  }
+  return crc;
+}
+
+inline bool crc32c_have_hw() {
+  static const bool have = __builtin_cpu_supports("sse4.2");
+  return have;
+}
+#endif
 }  // namespace detail
 
 /// CRC32C of `data`, continuing from a previous (finalized) `crc` so multi-
@@ -39,11 +112,12 @@ inline constexpr std::array<std::uint32_t, 256> kCrc32cTable = make_crc32c_table
 [[nodiscard]] inline std::uint32_t crc32c(std::span<const std::byte> data,
                                           std::uint32_t crc = 0) {
   crc = ~crc;
-  for (const std::byte b : data) {
-    crc = detail::kCrc32cTable[(crc ^ static_cast<std::uint32_t>(b)) & 0xFFu] ^
-          (crc >> 8);
+#if defined(__x86_64__) && defined(__GNUC__)
+  if (detail::crc32c_have_hw()) {
+    return ~detail::crc32c_hw(data.data(), data.size(), crc);
   }
-  return ~crc;
+#endif
+  return ~detail::crc32c_sw(data.data(), data.size(), crc);
 }
 
 }  // namespace gryphon::storage

@@ -30,7 +30,19 @@ class BufWriter {
     buf_.clear();
   }
 
+  /// Adopts `buf` *without* clearing it, so an encoder can append behind
+  /// bytes already written (e.g. a frame header hole in a shared arena).
+  [[nodiscard]] static BufWriter appending(std::vector<std::byte> buf) {
+    BufWriter w;
+    w.buf_ = std::move(buf);
+    return w;
+  }
+
   void put_u8(std::uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
+
+  /// Appends `n` zero bytes in one resize (padding regions; the per-byte
+  /// push_back loop this replaces dominated encode cost for padded payloads).
+  void put_zeros(std::size_t n) { buf_.resize(buf_.size() + n, std::byte{0}); }
 
   void put_u16(std::uint16_t v) { put_raw(&v, sizeof v); }
   void put_u32(std::uint32_t v) { put_raw(&v, sizeof v); }
@@ -74,6 +86,15 @@ class BufReader {
   std::int64_t get_i64() { return get_raw<std::int64_t>(); }
 
   std::string get_string() {
+    const auto n = get_u32();
+    auto s = take(n);
+    return {reinterpret_cast<const char*>(s.data()), s.size()};
+  }
+
+  /// Zero-copy variant: a view into the underlying buffer. Only valid while
+  /// the buffer the reader was constructed over stays alive and unmoved —
+  /// pair with a shared ownership handle (wire/codec.hpp DecodeResult).
+  std::string_view get_string_view() {
     const auto n = get_u32();
     auto s = take(n);
     return {reinterpret_cast<const char*>(s.data()), s.size()};

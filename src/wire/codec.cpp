@@ -203,7 +203,8 @@ bool get_bool(BufReader& r) {
   return b != 0;
 }
 
-std::shared_ptr<const core::Msg> decode_payload(MsgKind kind, BufReader& r) {
+std::shared_ptr<const core::Msg> decode_payload(
+    MsgKind kind, BufReader& r, const std::shared_ptr<const void>& owner) {
   switch (kind) {
     case MsgKind::kStreamData: {
       const PubendId pubend{r.get_u32()};
@@ -221,7 +222,7 @@ std::shared_ptr<const core::Msg> decode_payload(MsgKind kind, BufReader& r) {
         item.range = get_range(r);
         if (item.value == routing::TickValue::kD) {
           if (item.range.from != item.range.to) throw BadPayload{"bad D range"};
-          item.event = core::decode_event_data(r);
+          item.event = core::decode_event_data(r, owner);
         }
         items.push_back(std::move(item));
       }
@@ -259,7 +260,7 @@ std::shared_ptr<const core::Msg> decode_payload(MsgKind kind, BufReader& r) {
       const std::uint64_t seq = r.get_u64();
       const std::uint64_t acked_below = r.get_u64();
       const PubendId pubend{r.get_u32()};
-      auto event = core::decode_event_data(r);
+      auto event = core::decode_event_data(r, owner);
       return std::make_shared<core::PublishMsg>(pub, seq, acked_below, pubend,
                                                 std::move(event));
     }
@@ -298,7 +299,7 @@ std::shared_ptr<const core::Msg> decode_payload(MsgKind kind, BufReader& r) {
       const PubendId pubend{r.get_u32()};
       const Tick tick = r.get_i64();
       const bool catchup = get_bool(r);
-      auto event = core::decode_event_data(r);
+      auto event = core::decode_event_data(r, owner);
       return std::make_shared<core::EventDeliveryMsg>(sub, pubend, tick,
                                                       std::move(event), catchup);
     }
@@ -323,16 +324,26 @@ std::shared_ptr<const core::Msg> decode_payload(MsgKind kind, BufReader& r) {
 
 }  // namespace
 
-std::vector<std::byte> encode(const core::Msg& msg) {
-  BufWriter w;
+std::size_t append_encoded_frame(std::vector<std::byte>& out, const core::Msg& msg) {
+  const std::size_t base = begin_frame(out);
+  // Move the vector through an appending writer so the payload lands
+  // directly behind the header — no staging buffer, no copy-out.
+  BufWriter w = BufWriter::appending(std::move(out));
   encode_payload(w, msg);
+  out = w.take();
+  finish_frame(out, base, static_cast<std::uint8_t>(msg.kind()));
+  return out.size() - base;
+}
+
+std::vector<std::byte> encode(const core::Msg& msg) {
   std::vector<std::byte> out;
-  out.reserve(kFrameHeaderBytes + w.size());
-  append_frame(out, static_cast<std::uint8_t>(msg.kind()), w.bytes());
+  out.reserve(msg.wire_size());
+  append_encoded_frame(out, msg);
   return out;
 }
 
-DecodeResult decode(std::span<const std::byte> bytes) {
+DecodeResult decode(std::span<const std::byte> bytes,
+                    std::shared_ptr<const void> owner) {
   DecodeResult res;
   const FrameParse fp = parse_frame(bytes, kMaxKind);
   if (fp.consumed == 0) {
@@ -347,7 +358,7 @@ DecodeResult decode(std::span<const std::byte> bytes) {
   // skew rather than wire damage — rejected all the same, never thrown out.
   try {
     BufReader r(fp.payload);
-    res.msg = decode_payload(static_cast<MsgKind>(fp.kind), r);
+    res.msg = decode_payload(static_cast<MsgKind>(fp.kind), r, owner);
     if (!r.done()) {
       res.msg = nullptr;
       res.reason = "trailing payload bytes";

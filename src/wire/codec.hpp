@@ -30,6 +30,12 @@ static_assert(kFrameHeaderBytes == core::kEnvelopeBytes,
 /// size equals msg.wire_size() for every message kind.
 [[nodiscard]] std::vector<std::byte> encode(const core::Msg& msg);
 
+/// Pooled/arena variant: appends the complete frame for `msg` directly to
+/// `out` (no staging buffer, no copy) and returns the frame's byte count —
+/// always exactly msg.wire_size(). Many frames coalesce back-to-back in one
+/// buffer this way; encode() above is this over a fresh vector.
+std::size_t append_encoded_frame(std::vector<std::byte>& out, const core::Msg& msg);
+
 struct DecodeResult {
   std::size_t consumed = 0;  // 0 => rejected
   std::shared_ptr<const core::Msg> msg;
@@ -38,6 +44,13 @@ struct DecodeResult {
 
 /// Decodes exactly one frame spanning all of `bytes` (trailing bytes are a
 /// reject: the network delivers whole frames).
-[[nodiscard]] DecodeResult decode(std::span<const std::byte> bytes);
+///
+/// `owner` (optional) enables zero-copy decode: when non-null, the decoded
+/// message's event payload fields are views into `bytes`, pinned by `owner`
+/// (the frame's arena — FrameMessage::wire_owner()). The decoded message
+/// then stays valid however long it outlives the frame. Callers whose
+/// buffer dies independently of any ownership handle must pass null.
+[[nodiscard]] DecodeResult decode(std::span<const std::byte> bytes,
+                                  std::shared_ptr<const void> owner = nullptr);
 
 }  // namespace gryphon::wire

@@ -26,24 +26,31 @@ constexpr std::size_t kReservedAt = 20;
 
 }  // namespace
 
-void append_frame(std::vector<std::byte>& out, std::uint8_t kind,
-                  std::span<const std::byte> payload) {
+std::size_t begin_frame(std::vector<std::byte>& out) {
   const std::size_t base = out.size();
   out.resize(base + kFrameHeaderBytes, std::byte{0});
+  return base;
+}
+
+void finish_frame(std::vector<std::byte>& out, std::size_t base, std::uint8_t kind) {
   std::byte* h = out.data() + base;
   std::memcpy(h, &kFrameMagic, sizeof kFrameMagic);
   std::memcpy(h + kVersionAt, &kWireVersion, sizeof kWireVersion);
   h[kKindAt] = static_cast<std::byte>(kind);
-  const auto len = static_cast<std::uint32_t>(payload.size());
+  const auto len = static_cast<std::uint32_t>(out.size() - base - kFrameHeaderBytes);
   std::memcpy(h + kLenAt, &len, sizeof len);
-  out.insert(out.end(), payload.begin(), payload.end());
 
-  // CRC over every frame byte except the CRC field itself. Computed after
-  // the insert (which may reallocate), through fresh pointers.
-  const std::byte* f = out.data() + base;
-  std::uint32_t crc = storage::crc32c({f, kCrcAt});
-  crc = storage::crc32c({f + kReservedAt, kFrameHeaderBytes - kReservedAt + len}, crc);
-  std::memcpy(out.data() + base + kCrcAt, &crc, sizeof crc);
+  // CRC over every frame byte except the CRC field itself.
+  std::uint32_t crc = storage::crc32c({h, kCrcAt});
+  crc = storage::crc32c({h + kReservedAt, kFrameHeaderBytes - kReservedAt + len}, crc);
+  std::memcpy(h + kCrcAt, &crc, sizeof crc);
+}
+
+void append_frame(std::vector<std::byte>& out, std::uint8_t kind,
+                  std::span<const std::byte> payload) {
+  const std::size_t base = begin_frame(out);
+  out.insert(out.end(), payload.begin(), payload.end());
+  finish_frame(out, base, kind);
 }
 
 FrameParse parse_frame(std::span<const std::byte> bytes, std::uint8_t max_kind) {

@@ -42,6 +42,14 @@ constexpr std::size_t kMaxFramePayloadBytes = 64u << 20;
 void append_frame(std::vector<std::byte>& out, std::uint8_t kind,
                   std::span<const std::byte> payload);
 
+/// Split-phase framing for pooled/arena encoders: begin_frame() appends a
+/// zeroed header and returns its offset; the caller then appends the payload
+/// bytes directly behind it (no staging buffer, no copy) and finish_frame()
+/// patches kind, length and CRC over everything appended since. Equivalent
+/// byte-for-byte to append_frame().
+[[nodiscard]] std::size_t begin_frame(std::vector<std::byte>& out);
+void finish_frame(std::vector<std::byte>& out, std::size_t base, std::uint8_t kind);
+
 struct FrameParse {
   std::size_t consumed = 0;  // 0 => torn/corrupt
   std::uint8_t kind = 0;

@@ -30,7 +30,7 @@ TEST_F(JmsFacadeFixture, ProduceAndConsumeWithSelector) {
   auto subscriber = session->create_durable_subscriber(
       SubscriberId{1}, "symbol == 'IBM'", [&](const Message& m) {
         EXPECT_EQ(m.property("symbol")->as_string(), "IBM");
-        received.push_back(m.text());
+        received.emplace_back(m.text());
       });
   subscriber->start();
   system.run_for(sec(1));

@@ -293,18 +293,31 @@ TEST(WireCodec, FrameHeaderEqualsTheAnalyticEnvelope) {
 
 // ---------------------------------------------------------------- transport
 
+/// Frame bytes as an owned vector (tests mutate copies to mangle them).
+std::vector<std::byte> frame_copy(const sim::MessagePtr& msg) {
+  const auto bytes = msg->wire_bytes();
+  return {bytes.begin(), bytes.end()};
+}
+
+wire::CodecTransport::Options always_verify() {
+  wire::CodecTransport::Options opts;
+  opts.verify_every = 1;
+  return opts;
+}
+
 TEST(CodecTransport, EncodesToFramesAndRejectsMangledOnes) {
-  wire::CodecTransport transport;
+  wire::CodecTransport transport(always_verify());
   auto msg = std::make_shared<core::SilenceDeliveryMsg>(SubscriberId{3}, PubendId{1},
                                                         42);
   const std::size_t wire_size = msg->wire_size();
   sim::MessagePtr on_wire = transport.to_wire(1, 2, std::move(msg));
   ASSERT_NE(on_wire, nullptr);
-  ASSERT_NE(on_wire->wire_bytes(), nullptr);
+  ASSERT_FALSE(on_wire->wire_bytes().empty());
+  ASSERT_NE(on_wire->wire_owner(), nullptr);  // frames carry their arena
   EXPECT_EQ(on_wire->wire_size(), wire_size);  // parity through FrameMessage
 
   // A flipped byte must come back as a nullptr (counted reject), not a throw.
-  auto mangled_bytes = *on_wire->wire_bytes();
+  auto mangled_bytes = frame_copy(on_wire);
   mangled_bytes[wire::kFrameHeaderBytes] ^= std::byte{0x40};
   sim::MessagePtr mangled =
       std::make_shared<sim::FrameMessage>(std::move(mangled_bytes));
@@ -320,6 +333,117 @@ TEST(CodecTransport, EncodesToFramesAndRejectsMangledOnes) {
   EXPECT_EQ(out.upto, 42);
   EXPECT_EQ(transport.frames_encoded(), 1u);
   EXPECT_EQ(transport.frames_decoded(), 1u);
+}
+
+// Zero-copy decode: the decoded message's payload is a view into the frame,
+// pinned by the frame's arena — and must stay valid after every other
+// reference to the frame (and the transport itself) is gone.
+TEST(CodecTransport, ZeroCopyDecodedMessageOutlivesItsFrame) {
+  sim::MessagePtr back;
+  std::span<const std::byte> frame_bytes;
+  {
+    wire::CodecTransport transport(always_verify());
+    auto msg = std::make_shared<core::PublishMsg>(PublisherId{5}, 42, 40,
+                                                  PubendId{1}, sample_event());
+    sim::MessagePtr on_wire = transport.to_wire(1, 2, std::move(msg));
+    frame_bytes = on_wire->wire_bytes();
+    back = transport.from_wire(1, 2, std::move(on_wire));
+    ASSERT_NE(back, nullptr);
+    // on_wire and the transport (with its pool and open arena) die here.
+  }
+  const auto& out = static_cast<const core::PublishMsg&>(
+      static_cast<const core::Msg&>(*back));
+  const std::string_view payload = out.event->payload();
+  EXPECT_EQ(payload, "payload-bytes");
+  EXPECT_EQ(out.event->payload_size(), 250u);
+  // Really zero-copy: the payload characters live inside the frame's bytes.
+  const auto* lo = reinterpret_cast<const char*>(frame_bytes.data());
+  EXPECT_GE(payload.data(), lo);
+  EXPECT_LT(payload.data(), lo + frame_bytes.size());
+}
+
+// Coalescing: consecutive sends append into one shared arena — same
+// ownership handle, disjoint views — and a mangled copy of one frame
+// rejects while its arena siblings still decode cleanly.
+TEST(CodecTransport, CoalescedFramesShareOneArenaAndFailIndependently) {
+  wire::CodecTransport transport(always_verify());
+  std::vector<sim::MessagePtr> on_wire;
+  for (int i = 0; i < 8; ++i) {
+    on_wire.push_back(transport.to_wire(
+        1, 2,
+        std::make_shared<core::SilenceDeliveryMsg>(SubscriberId{3}, PubendId{1},
+                                                   100 + i)));
+  }
+  EXPECT_EQ(transport.frames_encoded(), 8u);
+  EXPECT_EQ(transport.arenas_opened(), 1u);  // all eight coalesced
+  for (int i = 1; i < 8; ++i) {
+    EXPECT_EQ(on_wire[0]->wire_owner(), on_wire[static_cast<std::size_t>(i)]->wire_owner());
+  }
+
+  // Mangle a copy of frame 3 (chaos corruption copies, never scribbles on
+  // the shared arena): it must reject without disturbing its siblings.
+  auto mangled_bytes = frame_copy(on_wire[3]);
+  mangled_bytes[wire::kFrameHeaderBytes] ^= std::byte{0x40};
+  EXPECT_EQ(transport.from_wire(
+                1, 2, std::make_shared<sim::FrameMessage>(std::move(mangled_bytes))),
+            nullptr);
+  for (int i = 0; i < 8; ++i) {
+    sim::MessagePtr back = transport.from_wire(1, 2, on_wire[static_cast<std::size_t>(i)]);
+    ASSERT_NE(back, nullptr) << "sibling " << i;
+    EXPECT_EQ(static_cast<const core::SilenceDeliveryMsg&>(
+                  static_cast<const core::Msg&>(*back))
+                  .upto,
+              100 + i);
+  }
+  EXPECT_EQ(transport.frames_rejected(), 1u);
+  EXPECT_EQ(transport.frames_decoded(), 8u);
+}
+
+// Pool exhaustion is an allocation, never an error: with every arena pinned
+// by an in-flight frame the pool has nothing to recycle, falls back to the
+// heap, and parity + decode still hold for every frame.
+TEST(CodecTransport, PoolExhaustionFallsBackToHeapWithoutBreakingParity) {
+  wire::CodecTransport::Options opts = always_verify();
+  opts.arena_bytes = 128;  // every frame seals its arena (frames are > 64B)
+  wire::CodecTransport transport(opts);
+  std::vector<sim::MessagePtr> in_flight;  // pins every arena: nothing recycles
+  for (int i = 0; i < 64; ++i) {
+    auto msg = std::make_shared<core::SilenceDeliveryMsg>(SubscriberId{3},
+                                                          PubendId{1}, i);
+    const std::size_t want = msg->wire_size();
+    in_flight.push_back(transport.to_wire(1, 2, std::move(msg)));
+    EXPECT_EQ(in_flight.back()->wire_size(), want);
+  }
+  EXPECT_GT(transport.pool().heap_fallbacks(), 8u);  // past the pool bound
+  for (auto& msg : in_flight) {
+    ASSERT_NE(transport.from_wire(1, 2, msg), nullptr);
+  }
+  EXPECT_EQ(transport.frames_decoded(), 64u);
+}
+
+// The canonical re-encode check samples a seeded, deterministic 1-in-N of
+// decodes: same options => same sample, verify_every <= 1 => every frame.
+TEST(CodecTransport, SampledVerificationIsSeededAndDeterministic) {
+  const auto verifies_for = [](std::uint32_t every, std::uint64_t seed) {
+    wire::CodecTransport::Options opts;
+    opts.verify_every = every;
+    opts.verify_seed = seed;
+    wire::CodecTransport transport(opts);
+    for (int i = 0; i < 256; ++i) {
+      auto on_wire = transport.to_wire(
+          1, 2,
+          std::make_shared<core::SilenceDeliveryMsg>(SubscriberId{3}, PubendId{1},
+                                                     i));
+      EXPECT_NE(transport.from_wire(1, 2, std::move(on_wire)), nullptr);
+    }
+    return transport.verifies_run();
+  };
+  EXPECT_EQ(verifies_for(1, 7), 256u);  // always-on
+  const std::uint64_t sampled = verifies_for(8, 7);
+  EXPECT_GT(sampled, 0u);     // the sample really fires…
+  EXPECT_LT(sampled, 256u);   // …but not on every frame
+  EXPECT_EQ(verifies_for(8, 7), sampled);  // deterministic in the seed
+  EXPECT_NE(verifies_for(8, 12345), sampled);  // and seeded (w.h.p.)
 }
 
 // ------------------------------------------------------------ system level
@@ -343,6 +467,7 @@ RunFingerprint run_scenario(harness::WireMode wire) {
   config.num_intermediates = 1;
   config.num_shbs = 2;
   config.wire = wire;
+  config.wire_verify_every = 1;  // tests always run the canonical check
   harness::System system(config);
   harness::PaperWorkloadConfig wl;
   wl.input_rate_eps = 300;
@@ -390,6 +515,7 @@ void run_frame_corruption_chaos(harness::WireMode wire) {
   sc.num_intermediates = 1;
   sc.num_shbs = 2;
   sc.wire = wire;
+  sc.wire_verify_every = 1;  // tests always run the canonical check
   harness::System system(sc);
   harness::PaperWorkloadConfig wl;
   wl.input_rate_eps = 300;

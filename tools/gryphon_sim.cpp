@@ -40,6 +40,7 @@ struct Flags {
   int trace_sample = 64;
   std::string metrics_json;  // empty = no snapshot file
   std::string wire = "struct";
+  int wire_verify = 0;  // 0 = SystemConfig default (sampled 1-in-64)
   double segment_kib = 0.0;     // 0 = StorageOptions default
   double db_compact_kib = 0.0;  // 0 = StorageOptions default
   std::string wal_dir;          // empty = in-memory WAL segments
@@ -65,6 +66,8 @@ void usage() {
       "  --trace-sample N     trace 1-in-N ticks (power of two)   [64]\n"
       "  --metrics-json PATH  write per-node registry snapshots\n"
       "  --wire MODE          link transport: struct | codec       [struct]\n"
+      "  --wire-verify N      re-encode-check 1-in-N decodes; N=1 or\n"
+      "                       'always' checks every frame           [64]\n"
       "  --segment-bytes KIB  WAL segment roll size (KiB)          [256]\n"
       "  --db-compact-bytes KIB  DB WAL compaction threshold (KiB) [1024]\n"
       "  --wal-dir PATH       file-backed WAL segments under PATH  [in-memory]\n"
@@ -120,6 +123,14 @@ bool parse_flags(int argc, char** argv, Flags& flags) {
                      flags.wire.c_str());
         return false;
       }
+    } else if (arg == "--wire-verify" && i + 1 < argc) {
+      const std::string n = argv[++i];
+      flags.wire_verify = n == "always" ? 1 : std::atoi(n.c_str());
+      if (flags.wire_verify < 1) {
+        std::fprintf(stderr, "--wire-verify must be 'always' or N >= 1, got %s\n",
+                     n.c_str());
+        return false;
+      }
     } else if (arg == "--segment-bytes" && next_value(v)) {
       flags.segment_kib = v;
     } else if (arg == "--db-compact-bytes" && next_value(v)) {
@@ -157,6 +168,9 @@ int main(int argc, char** argv) {
     config.trace_sample_every = static_cast<std::uint32_t>(flags.trace_sample);
   }
   if (flags.wire == "codec") config.wire = harness::WireMode::kCodec;
+  if (flags.wire_verify > 0) {
+    config.wire_verify_every = static_cast<std::uint32_t>(flags.wire_verify);
+  }
   if (flags.segment_kib > 0) {
     config.storage.segment_bytes = static_cast<std::size_t>(flags.segment_kib * 1024);
   }

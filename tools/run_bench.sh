@@ -15,7 +15,11 @@
 # broker-internal registry counters (summed over nodes). bench_wallclock
 # itself fails on protocol-counter regressions (e.g. shb.gaps_sent > 0 on
 # the steady fig4 workload), so a counter drifting into pathological
-# territory fails this gate even when throughput looks fine.
+# territory fails this gate even when throughput looks fine. It also fails
+# outright if the codec-mode steady workload runs slower than 2.0x its
+# struct-mode twin or allocates more than 10 heap blocks per simulated
+# event — the codec-tax ceiling, enforced independently of the committed
+# baseline numbers.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -62,6 +62,8 @@ echo "== codec chaos soak: byte transport + seeded frame corruption =="
 # send, CRC-checked decode on delivery) and frame-corruption windows flip or
 # truncate bytes in flight. The receiving transport must reject every mangled
 # frame as a drop — under ASan this also shakes out any decoder that reads
-# past a truncated buffer.
+# past a truncated buffer. --wire-verify=always disables the 1-in-N sampling
+# of the canonical re-encode check so every accepted decode is round-trip
+# verified while the sanitizers watch.
 ./build-asan/bench/bench_chaos_soak "${NUM_SEEDS}" "${FIRST_SEED}" "${HORIZON_S}" \
-    --wire=codec --frame-faults
+    --wire=codec --frame-faults --wire-verify=always

@@ -6,10 +6,14 @@
 #
 # Usage: tools/run_recovery_fuzz.sh [num_seeds] [first_seed] [--wal-dir DIR]
 #
-# Defaults to 100 seeds x 2 crash points = 200 seeded crash points. The run
-# fails on any oracle violation, and also when no crash point produced a
-# torn-tail truncation (the fuzzer must keep reaching mid-frame tears —
-# wal.recovery_truncated_bytes > 0 in the written snapshot is the evidence).
+# Defaults to 100 seeds x 2 crash points = 200 seeded crash points, plus a
+# codec-mode leg (max(3, seeds/4) seeds) that reruns the same crash schedule
+# over the byte-codec transport with seeded frame-corruption windows armed
+# around every crash — the crash × frame-fault cross product. The run fails
+# on any oracle violation, when no crash point produced a torn-tail
+# truncation (the fuzzer must keep reaching mid-frame tears —
+# wal.recovery_truncated_bytes > 0 in the written snapshot is the evidence),
+# and when the codec leg never rejected a corrupted frame.
 # Pass --wal-dir to run every WAL on real files (FileBackend) instead of the
 # default in-memory backend. Rerun one violating seed exactly with
 #   bench_recovery_fuzz 1 <seed>
