@@ -3,6 +3,7 @@
 //
 //   bench_chaos_soak [num_seeds] [first_seed] [horizon_s] [--inject-violation]
 //                    [--wire=codec] [--frame-faults] [--wire-verify=always]
+//                    [--trace-out=FILE]
 //
 // Each seed plans a fresh randomized fault sequence (partitions, flaps,
 // degradations, disk stalls, torn syncs, crashes, crash-during-recovery,
@@ -15,6 +16,10 @@
 // instead of the sampled 1-in-64 default (the ASan soak leg uses this). On a violation the decoded fault timeline, the seed, and the
 // flight-recorder trace dump are printed, and the process exits non-zero —
 // rerunning with that first_seed replays the identical schedule.
+//
+// --trace-out=FILE exports the LAST seed's run as a Chrome trace-event JSON
+// (milestone instants + per-tick spans, chaos fault windows on a dedicated
+// "faults" track) loadable in Perfetto / chrome://tracing.
 //
 // --inject-violation deliberately feeds the oracle a fabricated
 // exactly-once violation mid-run (a gap notification covering an
@@ -37,6 +42,7 @@ int main(int argc, char** argv) {
   bool codec_wire = false;
   bool frame_faults = false;
   bool verify_always = false;
+  std::string trace_out;
   std::vector<std::string> pos;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -45,6 +51,7 @@ int main(int argc, char** argv) {
     else if (arg == "--wire=struct") codec_wire = false;
     else if (arg == "--frame-faults") frame_faults = true;
     else if (arg == "--wire-verify=always") verify_always = true;
+    else if (arg.rfind("--trace-out=", 0) == 0) trace_out = arg.substr(12);
     else pos.push_back(arg);
   }
   const int num_seeds = !pos.empty() ? std::atoi(pos[0].c_str()) : 10;
@@ -69,6 +76,9 @@ int main(int argc, char** argv) {
     sc.num_intermediates = 1;
     if (codec_wire) sc.wire = harness::WireMode::kCodec;
     if (verify_always) sc.wire_verify_every = 1;
+    // Export the final seed only: one trace file, bounded memory.
+    const bool export_this_seed = !trace_out.empty() && i == num_seeds - 1;
+    if (export_this_seed) sc.trace_export = true;
     if (inject_violation) {
       // Full-resolution tracing so the injected tick is guaranteed to be in
       // the sample, with a deeper ring so its milestones are still there.
@@ -112,6 +122,17 @@ int main(int argc, char** argv) {
 
     try {
       chaos.run();
+      if (export_this_seed) {
+        if (!system.write_trace_json(trace_out)) {
+          std::printf("ERROR: cannot write trace to %s\n", trace_out.c_str());
+          ++failures;
+        } else {
+          const auto* exporter = system.trace_exporter();
+          std::printf("trace: %zu records, %zu fault windows -> %s\n",
+                      exporter->record_count(), exporter->fault_count(),
+                      trace_out.c_str());
+        }
+      }
       print_row({std::to_string(seed), std::to_string(chaos.timeline().size()),
                  std::to_string(system.oracle().published_count()),
                  std::to_string(system.oracle().delivered_count()),

@@ -45,6 +45,14 @@ constexpr SimDuration kDownTime = sec(4);
 constexpr std::uint64_t kHighWatermark = 384u << 10;
 constexpr std::uint64_t kLowWatermark = 192u << 10;
 
+// Committed ceiling on the catchup admission-queue wait p99 (queued ->
+// admitted, milliseconds). The herd pushes 5000 streams through a 256-wide
+// gate; measured worst-seed p99 is ~5.0 s (the partition-composed seed —
+// plain seeds sit near 1.3 s), so 15 s is ~3x headroom. A p99 past it
+// means admission throughput regressed: streams sat in the FIFO far longer
+// than the storm ever required.
+constexpr double kWaitP99CeilingMs = 15'000.0;
+
 struct StormResult {
   std::uint64_t seed = 0;
   int subscribers = 0;
@@ -60,6 +68,11 @@ struct StormResult {
   std::uint64_t pressure_released_ticks = 0;
   std::uint64_t published = 0;
   std::uint64_t delivered = 0;
+  /// Catchup admission-queue wait (queued -> admitted), from the latency
+  /// recorder at trace_sample_every=1: every queued stream is measured.
+  std::uint64_t wait_samples = 0;
+  double wait_p50_ms = 0.0;
+  double wait_p99_ms = 0.0;
   bool violated = false;
 
   bool operator==(const StormResult&) const = default;
@@ -93,6 +106,11 @@ StormResult run_seed(std::uint64_t seed, int subscribers, int waves,
   // Small segments so early release actually frees live bytes at a
   // granularity the watermarks can see.
   sc.storage.segment_bytes = 64 * 1024;
+  // Full trace coverage: the queue-wait histogram keys off kCatchupQueued /
+  // kCatchupAdmitted records, which are stamped with each stream's resume
+  // tick — at the default 1-in-64 sampling most of the herd would be
+  // invisible to the wait histogram.
+  sc.trace_sample_every = 1;
   core::AdaptiveRetainPolicy::Options ro;
   ro.max_retain_ticks = 30'000;  // 30 s relaxed — never binds in this run
   ro.min_retain_ticks = 1'000;   // 1 s floor < the 4 s down window => gaps
@@ -199,6 +217,10 @@ StormResult run_seed(std::uint64_t seed, int subscribers, int waves,
   }
   r.published = system.oracle().published_count();
   r.delivered = system.oracle().delivered_count();
+  const Histogram& wait = system.latency().stage(LatencyStage::kCatchupWait);
+  r.wait_samples = wait.count();
+  r.wait_p50_ms = wait.percentile(50.0);
+  r.wait_p99_ms = wait.percentile(99.0);
   return r;
 }
 
@@ -240,7 +262,7 @@ int main(int argc, char** argv) {
                " waves (herd through a bounded admission gate; last seed composes an uplink "
                "partition across the reconnect)");
   print_row({"seed", "reconnects", "drain(s)", "peak_act", "peak_queue",
-             "peak_MB", "gaps", "verdict"}, 12);
+             "peak_MB", "gaps", "wait_p99(s)", "verdict"}, 12);
 
   bool failed = false;
   StormResult first_seed_result;
@@ -251,6 +273,9 @@ int main(int argc, char** argv) {
   std::size_t peak_queue = 0;
   std::uint64_t peak_live = 0;
   std::uint64_t pressure_ticks = 0;
+  std::uint64_t total_wait_samples = 0;
+  double max_wait_p50 = 0;
+  double max_wait_p99 = 0;
   for (int i = 0; i < num_seeds; ++i) {
     const std::uint64_t seed = first_seed + static_cast<std::uint64_t>(i);
     const bool composed = i == num_seeds - 1 && num_seeds > 1;
@@ -264,6 +289,9 @@ int main(int argc, char** argv) {
     peak_queue = std::max(peak_queue, r.peak_queue_depth);
     peak_live = std::max(peak_live, r.peak_live_bytes);
     pressure_ticks += r.pressure_released_ticks;
+    total_wait_samples += r.wait_samples;
+    max_wait_p50 = std::max(max_wait_p50, r.wait_p50_ms);
+    max_wait_p99 = std::max(max_wait_p99, r.wait_p99_ms);
 
     std::string verdict = r.violated ? "VIOLATION" : "ok";
     if (r.peak_active > admission_limit) verdict = "ADMISSION BREACH";
@@ -276,7 +304,8 @@ int main(int argc, char** argv) {
                std::to_string(r.reconnects), fmt(to_seconds(r.drain_time), 2),
                std::to_string(r.peak_active), std::to_string(r.peak_queue_depth),
                fmt(static_cast<double>(r.peak_live_bytes) / (1 << 20), 2),
-               std::to_string(r.gaps_sent), verdict}, 12);
+               std::to_string(r.gaps_sent), fmt(r.wait_p99_ms / 1000.0, 2),
+               verdict}, 12);
   }
 
   // Degradation bound: release chases Td with a 1 s floor, so live bytes are
@@ -299,6 +328,24 @@ int main(int argc, char** argv) {
     failed = true;
   }
 
+  // Queue-wait tail guard: every queued stream's wait is measured (full
+  // trace sampling), so the max-over-seeds p99 is the storm's worst honest
+  // tail. In smoke mode the herd is small enough that waits are trivially
+  // short; the ceiling still applies. A zero sample count alongside queued
+  // streams means the wait histogram plumbing broke.
+  if (total_queued > 0 && total_wait_samples == 0) {
+    std::printf("WAIT HISTOGRAM GAP: %llu streams were queued but no "
+                "queued->admitted wait was recorded\n",
+                static_cast<unsigned long long>(total_queued));
+    failed = true;
+  }
+  if (max_wait_p99 > kWaitP99CeilingMs) {
+    std::printf("WAIT REGRESSION: catchup admission-queue wait p99 %.0f ms "
+                "exceeds the committed %.0f ms ceiling\n",
+                max_wait_p99, kWaitP99CeilingMs);
+    failed = true;
+  }
+
   // Same seed, same storm: the first seed replayed must be bit-identical.
   // (The composed-partition variant is always the LAST seed, so seed 0 ran
   // plain unless it was the only seed — in which case it ran plain too.)
@@ -317,6 +364,10 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(peak_live) / double(1 << 20),
               static_cast<unsigned long long>(total_gaps),
               static_cast<unsigned long long>(pressure_ticks));
+  std::printf("catchup queue wait: %llu samples, worst-seed p50 %.0f ms, "
+              "p99 %.0f ms (ceiling %.0f ms)\n",
+              static_cast<unsigned long long>(total_wait_samples), max_wait_p50,
+              max_wait_p99, kWaitP99CeilingMs);
 
   if (!out_path.empty()) {
     WorkloadReport report;
@@ -336,6 +387,13 @@ int main(int argc, char** argv) {
         {"shb.gaps_sent", static_cast<double>(total_gaps)},
         {"shb.catchup_queued", static_cast<double>(total_queued)},
         {"pubend.pressure_released_ticks", static_cast<double>(pressure_ticks)},
+    };
+    // Worst-seed percentiles: conservative for the committed ceiling.
+    report.latency = {
+        {"catchup_wait.count", static_cast<double>(total_wait_samples)},
+        {"catchup_wait.p50_ms", max_wait_p50},
+        {"catchup_wait.p99_ms", max_wait_p99},
+        {"catchup_wait.p99_ceiling_ms", kWaitP99CeilingMs},
     };
     write_bench_json(out_path, {report});
     std::printf("wrote %s\n", out_path.c_str());

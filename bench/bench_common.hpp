@@ -79,6 +79,10 @@ struct WorkloadReport {
   /// nested "metrics" object so run_bench.sh can diff protocol-level
   /// behaviour (e.g. gaps_sent creeping above zero) alongside throughput.
   std::vector<BenchMetric> registry;
+  /// Per-stage latency percentiles (LatencyRecorder), emitted as a nested
+  /// "latency" object: <stage>.count / .p50_ms / .p99_ms / .p999_ms. Keeps
+  /// every perf PR accountable to tail latency, not just throughput.
+  std::vector<BenchMetric> latency;
 
   [[nodiscard]] const BenchMetric* find(const std::string& metric) const {
     for (const auto& m : metrics) {
@@ -103,6 +107,25 @@ inline void attach_registry_metrics(WorkloadReport& report, harness::System& sys
   for (const auto& [name, v] : sums) report.registry.push_back({name, v});
 }
 
+/// Flattens the recorder's histograms into nested-"latency"-block metrics.
+/// Every stage is emitted (zero-count stages included) so the committed
+/// JSON's key set never shifts between runs.
+inline std::vector<BenchMetric> latency_percentile_metrics(
+    const LatencyRecorder& recorder) {
+  std::vector<BenchMetric> out;
+  out.reserve(kNumLatencyStages * 4);
+  for (std::size_t i = 0; i < kNumLatencyStages; ++i) {
+    const auto stage = static_cast<LatencyStage>(i);
+    const Histogram& h = recorder.stage(stage);
+    const std::string prefix = latency_stage_name(stage);
+    out.push_back({prefix + ".count", static_cast<double>(h.count())});
+    out.push_back({prefix + ".p50_ms", h.percentile(50.0)});
+    out.push_back({prefix + ".p99_ms", h.percentile(99.0)});
+    out.push_back({prefix + ".p999_ms", h.percentile(99.9)});
+  }
+  return out;
+}
+
 inline void write_bench_json(const std::string& path,
                              const std::vector<WorkloadReport>& reports) {
   std::ofstream out(path);
@@ -123,6 +146,16 @@ inline void write_bench_json(const std::string& path,
         char buf[64];
         std::snprintf(buf, sizeof buf, "%.6g", r.registry[j].value);
         out << (j == 0 ? "\n" : ",\n") << "        \"" << r.registry[j].name
+            << "\": " << buf;
+      }
+      out << "\n      }";
+    }
+    if (!r.latency.empty()) {
+      out << ",\n      \"latency\": {";
+      for (std::size_t j = 0; j < r.latency.size(); ++j) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.6g", r.latency[j].value);
+        out << (j == 0 ? "\n" : ",\n") << "        \"" << r.latency[j].name
             << "\": " << buf;
       }
       out << "\n      }";

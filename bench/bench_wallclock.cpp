@@ -21,9 +21,9 @@
 //   bench_wallclock [--out FILE] [--check FILE] [--tolerance F]
 //                   [--reps N] [--smoke]
 //
-// --check compares this run's events/wall-second against the post_pr variant
-// recorded in FILE (tools/run_bench.sh points it at the committed
-// BENCH_substrate.json) and exits non-zero on a regression beyond
+// --check compares this run's events/wall-second against the post_pr (or,
+// failing that, "run") variant recorded in FILE (tools/run_bench.sh points
+// it at the committed BENCH_substrate.json) and exits non-zero on a regression beyond
 // --tolerance (default 0.15). --smoke runs a single short chaos schedule
 // with the oracle armed and no timing checks — the sanitizer entry point
 // wired into tools/run_chaos.sh.
@@ -86,12 +86,20 @@ struct Measurement {
   /// System-wide registry counter totals, captured after the run (the
   /// nested "metrics" block in the bench JSON).
   std::vector<BenchMetric> registry;
+  /// Per-stage latency percentiles (the nested "latency" block).
+  std::vector<BenchMetric> latency;
 
   [[nodiscard]] double events_per_wall_sec() const {
     return static_cast<double>(executed_tasks) / wall_seconds;
   }
   [[nodiscard]] double registry_counter(const std::string& name) const {
     for (const auto& m : registry) {
+      if (m.name == name) return m.value;
+    }
+    return 0;
+  }
+  [[nodiscard]] double latency_metric(const std::string& name) const {
+    for (const auto& m : latency) {
       if (m.name == name) return m.value;
     }
     return 0;
@@ -144,6 +152,7 @@ Measurement run_fig4_steady(harness::WireMode wire) {
   // here means the codec (not the network) corrupted a message.
   m.registry.push_back(
       {"net.decode_rejects", static_cast<double>(system.network().decode_rejects())});
+  m.latency = latency_percentile_metrics(system.latency());
   return m;
 }
 
@@ -170,7 +179,9 @@ Measurement run_chaos_soak(std::uint64_t seed, double horizon_s) {
   harness::ChaosSchedule chaos(system, config);
   system.simulator().schedule_at(chaos.repaired_at(), [&churn] { churn.stop(); });
 
-  return measure(system, [&] { chaos.run(); });
+  auto m = measure(system, [&] { chaos.run(); });
+  m.latency = latency_percentile_metrics(system.latency());
+  return m;
 }
 
 WorkloadReport to_report(const std::string& name, const Measurement& m) {
@@ -188,6 +199,7 @@ WorkloadReport to_report(const std::string& name, const Measurement& m) {
       {"allocs_per_event", static_cast<double>(m.allocs) / events},
   };
   r.registry = m.registry;
+  r.latency = m.latency;
   return r;
 }
 
@@ -289,13 +301,45 @@ int main(int argc, char** argv) {
                     name.c_str(), rejects);
         regression = true;
       }
+      // Steady-state tail-latency guard. End-to-end is dominated by the
+      // announce/consolidation batching windows on top of the PHB's 43 ms
+      // sync: a healthy run's sampled p50 sits near 500 ms and the p99 near
+      // 800 ms (log buckets: 631 / 794 / 1000). The 1500 ms absolute
+      // ceiling is ~2 buckets of headroom — it catches a batching or
+      // delivery stall without flapping on bucket quantization. Zero
+      // samples means the latency plumbing itself broke (tracer sink
+      // unhooked, sampling off).
+      const double e2e_count = best.latency_metric("end_to_end.count");
+      const double e2e_p99 = best.latency_metric("end_to_end.p99_ms");
+      if (e2e_count == 0) {
+        std::printf("  METRIC REGRESSION: %s recorded no sampled end-to-end "
+                    "latencies (latency pipeline broken?)\n",
+                    name.c_str());
+        regression = true;
+      } else if (e2e_p99 > 1500.0) {
+        std::printf("  LATENCY REGRESSION: %s end-to-end p99 %.1f ms over the "
+                    "1500 ms steady-state ceiling (n=%.0f)\n",
+                    name.c_str(), e2e_p99, e2e_count);
+        regression = true;
+      } else {
+        std::printf("  latency ok: e2e p99 %.1f ms over %.0f sampled ticks "
+                    "(ceiling 1500 ms)\n",
+                    e2e_p99, e2e_count);
+      }
     }
 
     if (!check_path.empty()) {
-      const auto committed = read_bench_metric(check_path, name, "post_pr",
-                                               "sim_events_per_wall_sec");
+      // Prefer an explicitly tagged post_pr baseline; fall back to the
+      // recorded "run" variant --out writes, so a plain re-recorded file
+      // still arms the check instead of silently skipping every workload.
+      auto committed = read_bench_metric(check_path, name, "post_pr",
+                                         "sim_events_per_wall_sec");
       if (!committed) {
-        std::printf("  (no post_pr reference for %s in %s — skipping check)\n",
+        committed = read_bench_metric(check_path, name, "run",
+                                      "sim_events_per_wall_sec");
+      }
+      if (!committed) {
+        std::printf("  (no reference for %s in %s — skipping check)\n",
                     name.c_str(), check_path.c_str());
       } else {
         const double floor = *committed * (1.0 - tolerance);

@@ -180,6 +180,7 @@ void ChaosSchedule::plan_partition(SimTime t, std::size_t link) {
   });
   link_busy_until_[link] = t + dur + kTargetCooldown;
   note_repair(t + dur);
+  system_.note_fault_span(t, t + dur, "partition " + l.name);
   char d[96];
   std::snprintf(d, sizeof d, "%s for %.3fs", l.name.c_str(), to_seconds(dur));
   record(t, FaultKind::kPartition,
@@ -198,6 +199,7 @@ void ChaosSchedule::plan_flap(SimTime t, std::size_t link) {
   const SimTime healed = t + static_cast<SimDuration>(cycles) * (down + up);
   link_busy_until_[link] = healed + kTargetCooldown;
   note_repair(healed);
+  system_.note_fault_span(t, healed, "flap " + l.name);
   char d[128];
   std::snprintf(d, sizeof d, "%s x%d (down %.3fs / up %.3fs)", l.name.c_str(), cycles,
                 to_seconds(down), to_seconds(up));
@@ -220,6 +222,7 @@ void ChaosSchedule::plan_degrade(SimTime t, std::size_t link) {
   });
   link_busy_until_[link] = t + dur + kTargetCooldown;
   note_repair(t + dur);
+  system_.note_fault_span(t, t + dur, "degrade " + l.name);
   char d[128];
   std::snprintf(d, sizeof d, "%s latency x%.0f bandwidth x%.2f for %.3fs",
                 l.name.c_str(), latency_factor, bandwidth_factor, to_seconds(dur));
@@ -244,6 +247,7 @@ void ChaosSchedule::plan_disk_stall(SimTime t, std::size_t broker) {
   });
   broker_busy_until_[broker] = t + dur + kTargetCooldown;
   note_repair(t + dur);
+  system_.note_fault_span(t, t + dur, "disk-stall " + b.name);
   char d[96];
   std::snprintf(d, sizeof d, "%s.disk frozen %.3fs", b.name.c_str(), to_seconds(dur));
   record(t, FaultKind::kDiskStall,
@@ -279,6 +283,7 @@ void ChaosSchedule::plan_torn_sync(SimTime t, std::size_t broker) {
   torn_sync_at(t, b, rng_.next_u64());
   broker_busy_until_[broker] = t + kTargetCooldown;
   note_repair(t);
+  system_.note_fault_instant(t, "torn-sync " + b.name);
   record(t, FaultKind::kTornSync,
          fmt_line(t - armed_at_, fault_kind_name(FaultKind::kTornSync),
                   b.name + ".disk in-flight barriers lost"));
@@ -322,6 +327,7 @@ void ChaosSchedule::plan_crash_restart(SimTime t, std::size_t broker) {
   restart_broker_at(t + outage, b);
   broker_busy_until_[broker] = t + outage + kTargetCooldown;
   note_repair(t + outage);
+  system_.note_fault_span(t, t + outage, "crash " + b.name);
   char d[96];
   std::snprintf(d, sizeof d, "%s down %.3fs", b.name.c_str(), to_seconds(outage));
   record(t, FaultKind::kCrashRestart,
@@ -342,6 +348,8 @@ void ChaosSchedule::plan_crash_during_recovery(SimTime t, std::size_t broker) {
   restart_broker_at(back, b);
   broker_busy_until_[broker] = back + kTargetCooldown;
   note_repair(back);
+  system_.note_fault_span(t, back, "crash-in-recovery " + b.name);
+  system_.note_fault_instant(t + outage1 + recovery_window, "re-crash " + b.name);
   char d[128];
   std::snprintf(d, sizeof d, "%s down %.3fs, re-crashed %.3fs into recovery, down %.3fs",
                 b.name.c_str(), to_seconds(outage1), to_seconds(recovery_window),
@@ -376,6 +384,9 @@ void ChaosSchedule::plan_double_fault(SimTime t, std::size_t link) {
   link_busy_until_[link] = repaired + kTargetCooldown;
   broker_busy_until_[broker] = repaired + kTargetCooldown;
   note_repair(repaired);
+  system_.note_fault_span(t, t + partition_len, "partition " + l.name);
+  system_.note_fault_span(t + crash_offset, t + crash_offset + outage,
+                          "crash " + b.name);
   char d[160];
   std::snprintf(d, sizeof d,
                 "%s severed %.3fs; %s crashed +%.3fs in, down %.3fs (restart %s heal)",
@@ -408,6 +419,7 @@ void ChaosSchedule::plan_frame_corrupt(SimTime t, std::size_t link) {
   });
   link_busy_until_[link] = t + window + kTargetCooldown;
   note_repair(t + window);
+  system_.note_fault_span(t, t + window, "frame-corrupt " + l.name);
   char d[128];
   std::snprintf(d, sizeof d, "%s %s: next %d frames mangled (window %.3fs)",
                 l.name.c_str(), downstream ? "downstream" : "upstream", count,
@@ -438,6 +450,7 @@ void ChaosSchedule::plan_power_loss(SimTime t) {
     broker_busy_until_[i] = back + kTargetCooldown;
   }
   note_repair(back);
+  system_.note_fault_span(t, back, "power-loss: all brokers");
   char d[96];
   std::snprintf(d, sizeof d, "all %zu brokers down %.3fs (restarts staggered over %.1fs)",
                 brokers_.size(), to_seconds(outage),

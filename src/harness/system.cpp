@@ -90,6 +90,25 @@ System::System(SystemConfig config)
     for (auto& node : shb_nodes_) schedule_gc_tick(&node->cpu);
   }
 
+  // Live trace consumers: the latency recorder always, the trace exporter
+  // when asked. One fanout per system, installed on every node tracer
+  // before boot so no accepted record is missed. node_id = topology order
+  // (the same order nodes() reports).
+  trace_fanout_.add(&latency_);
+  if (config_.trace_export) {
+    trace_export_ = std::make_unique<TraceExporter>();
+    trace_fanout_.add(trace_export_.get());
+  }
+  {
+    const auto all = nodes();
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      all[i]->tracer.set_sink(&trace_fanout_, static_cast<std::uint32_t>(i));
+      if (trace_export_ != nullptr) {
+        trace_export_->set_node_name(static_cast<std::uint32_t>(i), all[i]->name);
+      }
+    }
+  }
+
   // Boot order: root first so resume handshakes find live parents.
   phb_->start();
   for (auto& imb : intermediates_) imb->start(/*fresh=*/true);
@@ -348,22 +367,51 @@ std::vector<core::NodeResources*> System::nodes() {
   return out;
 }
 
-void System::append_metrics_json(std::string& out, const std::string& indent) {
-  out += "{\n";
-  const std::string inner = indent + "  ";
+void System::append_metrics_json(std::string& out, const std::string& indent,
+                                 bool pretty) {
+  out += pretty ? "{\n" : "{";
+  const std::string inner = pretty ? indent + "  " : "";
   bool first = true;
   for (core::NodeResources* node : nodes()) {
-    if (!first) out += ",\n";
+    if (!first) out += pretty ? ",\n" : ",";
     first = false;
     out += inner;
     out += '"';
     out += node->name;
-    out += "\": ";
-    node->metrics.append_json(out, inner);
+    out += pretty ? "\": " : "\":";
+    node->metrics.append_json(out, inner, pretty);
   }
-  out += '\n';
-  out += indent;
+  if (pretty) {
+    out += '\n';
+    out += indent;
+  }
   out += '}';
+}
+
+bool System::write_trace_json(const std::string& path) {
+  if (trace_export_ == nullptr) return false;
+  return trace_export_->write(path);
+}
+
+void System::note_fault_span(SimTime from, SimTime to, const std::string& name) {
+  if (trace_export_ != nullptr) trace_export_->add_fault_span(from, to, name);
+}
+
+void System::note_fault_instant(SimTime at, const std::string& name) {
+  if (trace_export_ != nullptr) trace_export_->add_fault_instant(at, name);
+}
+
+std::string System::metrics_scrape_line() {
+  std::string line;
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "{\"t\":%.6f,", to_seconds(sim_.now()));
+  line = buf;
+  line += "\"latency\":";
+  latency_.append_json(line, "", /*pretty=*/false);
+  line += ",\"nodes\":";
+  append_metrics_json(line, "", /*pretty=*/false);
+  line += "}\n";
+  return line;
 }
 
 bool System::write_metrics_json(const std::string& path) {

@@ -20,6 +20,8 @@
 #include "harness/oracle.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
+#include "util/latency.hpp"
+#include "util/trace_export.hpp"
 
 namespace gryphon::harness {
 
@@ -65,6 +67,11 @@ struct SystemConfig {
   /// decoded frames (seeded, deterministic). 1 verifies every frame
   /// (--wire-verify=always; what the tests and the chaos ASan leg use).
   std::uint32_t wire_verify_every = 64;
+  /// Capture every accepted trace record for Chrome trace-event export
+  /// (gryphon_sim --trace-out). Off by default: the exporter buffers the
+  /// full record stream, which a long soak would rather not pay for.
+  /// The latency recorder is always on — it only keeps histograms.
+  bool trace_export = false;
 };
 
 class System {
@@ -169,12 +176,35 @@ class System {
   /// Every node in deterministic topology order: PHB, intermediates, SHBs.
   [[nodiscard]] std::vector<core::NodeResources*> nodes();
 
+  /// Per-stage delivery-latency histograms fed live from every node tracer
+  /// (publish->persist->match->pfs-log->deliver->ack, end-to-end, catchup
+  /// admission wait). Always on; sampled at trace_sample_every like the
+  /// flight recorder, so percentiles are over the deterministic sample.
+  [[nodiscard]] LatencyRecorder& latency() { return latency_; }
+
+  /// Chrome trace-event exporter (nullptr unless config.trace_export).
+  [[nodiscard]] TraceExporter* trace_exporter() { return trace_export_.get(); }
+  /// Writes the Perfetto-loadable trace to `path`. Returns false when the
+  /// exporter is disabled or the file could not be written.
+  bool write_trace_json(const std::string& path);
+  /// Publishes a chaos fault window / instant onto the trace's faults
+  /// track. No-ops when the exporter is disabled, so fault planners can
+  /// call these unconditionally.
+  void note_fault_span(SimTime from, SimTime to, const std::string& name);
+  void note_fault_instant(SimTime at, const std::string& name);
+
   /// Appends a JSON object `{ "node": {snapshot}, ... }` covering every
   /// node's registry (probes refreshed; sorted names => deterministic).
-  void append_metrics_json(std::string& out, const std::string& indent = "");
+  /// pretty=false emits the compact one-line form (NDJSON scrapes).
+  void append_metrics_json(std::string& out, const std::string& indent = "",
+                           bool pretty = true);
   /// Writes the per-node snapshots as one JSON document. Returns false if
   /// the file could not be opened.
   bool write_metrics_json(const std::string& path);
+  /// One NDJSON scrape line: {"t":<sim seconds>,"latency":{...},
+  /// "nodes":{...}} + newline — the periodic --metrics-interval record.
+  /// Deterministic (sim-time driven, sorted names, canonical numbers).
+  [[nodiscard]] std::string metrics_scrape_line();
 
   /// Merges every node's trace ring into one time-ordered dump; with a
   /// focus, appends the milestone checklist for that (pubend, tick).
@@ -209,6 +239,14 @@ class System {
   std::vector<std::unique_ptr<core::Publisher>> publishers_;
   std::vector<SubEntry> subscribers_;
   std::unique_ptr<InvariantMonitor> monitor_;
+
+  // Live trace consumers, fed by every node tracer through one fanout.
+  // Declared after the node vectors: the tracers (inside NodeResources)
+  // outlive the sink installation either way, and System never destroys
+  // nodes before itself.
+  LatencyRecorder latency_;
+  std::unique_ptr<TraceExporter> trace_export_;
+  TraceFanout trace_fanout_;
 
  public:
   /// Installs a hook run on every (re)constructed SHB i (e.g. to reattach

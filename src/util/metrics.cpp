@@ -76,8 +76,7 @@ void MetricsRegistry::for_each_gauge(
   for (const auto& [name, idx] : gauge_index_) f(name, gauges_[idx].get());
 }
 
-namespace {
-void append_number(std::string& out, double v) {
+void append_json_number(std::string& out, double v) {
   char buf[48];
   // Integral values (the common case: counters mirrored into gauges) print
   // without a fractional part so the JSON is stable and diffable.
@@ -88,54 +87,64 @@ void append_number(std::string& out, double v) {
   }
   out += buf;
 }
-}  // namespace
 
-void MetricsRegistry::append_json(std::string& out, const std::string& indent) {
+void MetricsRegistry::append_json(std::string& out, const std::string& indent,
+                                  bool pretty) {
   refresh_probes();
-  const std::string in2 = indent + "  ";
-  const std::string in3 = in2 + "  ";
-  out += "{\n";
+  // pretty=true reproduces the historical --metrics-json layout byte for
+  // byte; pretty=false strips all whitespace for one-line NDJSON scrapes.
+  const std::string in2 = pretty ? indent + "  " : "";
+  const std::string in3 = pretty ? in2 + "  " : "";
+  const char* nl = pretty ? "\n" : "";
+  const char* sp = pretty ? " " : "";
 
-  out += in2 + "\"counters\": {";
+  out += "{";
+  out += nl;
+
+  out += in2 + "\"counters\":" + sp + "{";
   bool first = true;
   for (const auto& [name, idx] : counter_index_) {
-    out += first ? "\n" : ",\n";
+    out += first ? nl : (std::string(",") + nl);
     first = false;
-    out += in3 + "\"" + name + "\": ";
-    append_number(out, static_cast<double>(counters_[idx].get()));
+    out += in3 + "\"" + name + "\":" + sp;
+    append_json_number(out, static_cast<double>(counters_[idx].get()));
   }
-  out += first ? "},\n" : "\n" + in2 + "},\n";
+  out += first ? std::string("},") + nl : nl + in2 + "}," + nl;
 
-  out += in2 + "\"gauges\": {";
+  out += in2 + "\"gauges\":" + sp + "{";
   first = true;
   for (const auto& [name, idx] : gauge_index_) {
-    out += first ? "\n" : ",\n";
+    out += first ? nl : (std::string(",") + nl);
     first = false;
-    out += in3 + "\"" + name + "\": ";
-    append_number(out, gauges_[idx].get());
+    out += in3 + "\"" + name + "\":" + sp;
+    append_json_number(out, gauges_[idx].get());
   }
-  out += first ? "},\n" : "\n" + in2 + "},\n";
+  out += first ? std::string("},") + nl : nl + in2 + "}," + nl;
 
-  out += in2 + "\"histograms\": {";
+  out += in2 + "\"histograms\":" + sp + "{";
   first = true;
   for (const auto& [name, idx] : histogram_index_) {
-    out += first ? "\n" : ",\n";
+    out += first ? nl : (std::string(",") + nl);
     first = false;
     const Histogram& h = histograms_[idx];
-    out += in3 + "\"" + name + "\": {\"count\": ";
-    append_number(out, static_cast<double>(h.count()));
+    out += in3 + "\"" + name + "\":" + sp + "{\"count\":" + sp;
+    append_json_number(out, static_cast<double>(h.count()));
     for (const auto& [label, p] :
          {std::pair<const char*, double>{"p50", 50.0}, {"p95", 95.0}, {"p99", 99.0}}) {
-      out += ", \"";
+      out += ",";
+      out += sp;
+      out += "\"";
       out += label;
-      out += "\": ";
-      append_number(out, h.count() > 0 ? h.percentile(p) : 0.0);
+      out += "\":";
+      out += sp;
+      append_json_number(out, h.count() > 0 ? h.percentile(p) : 0.0);
     }
     out += "}";
   }
-  out += first ? "}\n" : "\n" + in2 + "}\n";
+  out += first ? std::string("}") + nl : nl + in2 + "}" + nl;
 
-  out += indent + "}";
+  if (pretty) out += indent;
+  out += "}";
 }
 
 }  // namespace gryphon

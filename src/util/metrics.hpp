@@ -37,6 +37,11 @@
 
 namespace gryphon {
 
+/// Canonical JSON number formatting shared by every metrics/latency
+/// serializer in the repo: integral values print without a fractional part,
+/// everything else as %.6g — stable, diffable, locale-free.
+void append_json_number(std::string& out, double v);
+
 class MetricsRegistry {
  public:
   /// Monotone event count. inc() is the hot-path operation.
@@ -115,7 +120,12 @@ class MetricsRegistry {
 
   /// Appends this node's snapshot as a JSON object value (callers emit the
   /// surrounding key). Refreshes probes first. Deterministic (sorted names).
-  void append_json(std::string& out, const std::string& indent);
+  /// This is the one canonical snapshot serializer: the end-of-run
+  /// --metrics-json file uses the pretty form, the periodic NDJSON scrape
+  /// the compact (pretty=false, single-line) form — same sort order, same
+  /// number formatting, only whitespace differs.
+  void append_json(std::string& out, const std::string& indent,
+                   bool pretty = true);
 
  private:
   struct ProbeEntry {

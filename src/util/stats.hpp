@@ -126,6 +126,10 @@ class Histogram {
   /// into the first bucket and values above max_value into the overflow
   /// bucket. An empty histogram reports 0.0 for every p.
   [[nodiscard]] double percentile(double p) const;
+  /// Raw bucket counts (log-spaced; index 0 is the <= min_value bucket, the
+  /// last index the overflow bucket). Exposed so determinism tests can
+  /// assert bit-identical distributions, not just matching percentiles.
+  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const { return buckets_; }
 
  private:
   [[nodiscard]] std::size_t bucket_of(double v) const;

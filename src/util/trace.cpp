@@ -82,13 +82,24 @@ std::string merged_flight_record(const std::vector<const Tracer*>& tracers,
   struct Entry {
     TraceRecord rec;
     std::size_t node_index;  // position in `tracers`: deterministic tiebreak
-    std::uint64_t seq;       // ring order within the node
+    std::uint64_t seq;       // ring order within the node; 0 = wrap marker
+    std::uint64_t lost = 0;  // marker only: records evicted by wraparound
   };
   std::vector<Entry> all;
+  std::uint64_t total_lost = 0;
+  std::size_t record_count = 0;
   for (std::size_t n = 0; n < tracers.size(); ++n) {
     const auto recs = tracers[n]->in_order();
+    record_count += recs.size();
+    // A wrapped ring starts mid-history: mark the truncation point at the
+    // oldest surviving record so the merged timeline says "older records
+    // lost here" instead of silently reading like this node went quiet.
+    if (tracers[n]->wrapped() && !recs.empty()) {
+      total_lost += tracers[n]->dropped_records();
+      all.push_back({recs.front(), n, /*seq=*/0, tracers[n]->dropped_records()});
+    }
     for (std::size_t i = 0; i < recs.size(); ++i) {
-      all.push_back({recs[i], n, i});
+      all.push_back({recs[i], n, i + 1});
     }
   }
   std::sort(all.begin(), all.end(), [](const Entry& a, const Entry& b) {
@@ -98,12 +109,26 @@ std::string merged_flight_record(const std::vector<const Tracer*>& tracers,
   });
 
   std::string out = "=== flight recorder: merged tick trace (" +
-                    std::to_string(all.size()) + " records";
+                    std::to_string(record_count) + " records";
+  if (total_lost > 0) {
+    out += ", " + std::to_string(total_lost) + " lost to ring wraparound";
+  }
   if (!tracers.empty()) {
     out += ", sample_every=" + std::to_string(tracers.front()->sample_every());
   }
   out += ") ===\n";
   for (const Entry& e : all) {
+    if (e.seq == 0) {
+      char buf[160];
+      std::snprintf(buf, sizeof buf,
+                    "t=%10.6fs  %-12s --- ring wrapped: %" PRIu64
+                    " older records lost ---",
+                    to_seconds(e.rec.at), tracers[e.node_index]->node().c_str(),
+                    e.lost);
+      out += buf;
+      out += '\n';
+      continue;
+    }
     out += format_trace_record(e.rec, tracers[e.node_index]->node());
     out += '\n';
   }
@@ -123,6 +148,7 @@ std::string merged_flight_record(const std::vector<const Tracer*>& tracers,
     }
     std::array<const Entry*, kNumTraceMilestones> first{};
     for (const Entry& e : all) {
+      if (e.seq == 0) continue;  // wrap marker, not a milestone
       if (e.rec.pubend != focus->pubend) continue;
       if (focus->tick < e.rec.tick || focus->tick > e.rec.tick2) continue;
       auto& slot = first[static_cast<std::size_t>(e.rec.milestone)];

@@ -56,6 +56,33 @@ struct TraceRecord {
   std::uint32_t detail = 0;  // subscriber id where applicable, else 0
 };
 
+/// Live consumer of accepted (post-sampling) trace records: the latency
+/// recorder folds them into per-stage histograms, the trace exporter into a
+/// Chrome trace-event file. `node_id` is whatever the installer passed to
+/// Tracer::set_sink — the harness uses the node's position in topology
+/// order. Records arrive in the exact order Tracer::push accepted them;
+/// because sim time is monotone and tasks run one at a time, the stream
+/// across all of one simulation's tracers is globally time-ordered and
+/// deterministic. Sinks must not re-enter the tracer.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_trace(std::uint32_t node_id, const TraceRecord& rec) = 0;
+};
+
+/// Broadcasts each record to several sinks (the harness hangs the latency
+/// recorder and the optional trace exporter off one fanout).
+class TraceFanout final : public TraceSink {
+ public:
+  void add(TraceSink* sink) { sinks_.push_back(sink); }
+  void on_trace(std::uint32_t node_id, const TraceRecord& rec) override {
+    for (TraceSink* sink : sinks_) sink->on_trace(node_id, rec);
+  }
+
+ private:
+  std::vector<TraceSink*> sinks_;
+};
+
 class Tracer {
  public:
   explicit Tracer(std::string node, std::size_t capacity = 4096,
@@ -100,8 +127,22 @@ class Tracer {
     push({now, pubend, from, to, m, detail});
   }
 
+  /// Installs a live record consumer (nullptr detaches). `node_id` tags this
+  /// tracer's records at the sink. Costs one null-check per accepted record;
+  /// the untraced hot path is unchanged.
+  void set_sink(TraceSink* sink, std::uint32_t node_id) {
+    sink_ = sink;
+    sink_node_id_ = node_id;
+  }
+
   [[nodiscard]] const std::string& node() const { return node_; }
   [[nodiscard]] std::uint64_t total_recorded() const { return total_; }
+  /// Has the ring evicted records? (total recorded exceeds capacity)
+  [[nodiscard]] bool wrapped() const { return total_ > ring_.size(); }
+  /// Records evicted by wraparound (0 while the ring has not wrapped).
+  [[nodiscard]] std::uint64_t dropped_records() const {
+    return wrapped() ? total_ - ring_.size() : 0;
+  }
   /// Ring contents, oldest first (preallocated scratch-free copy-out).
   [[nodiscard]] std::vector<TraceRecord> in_order() const;
 
@@ -112,6 +153,7 @@ class Tracer {
     ring_[next_] = r;
     next_ = (next_ + 1) % ring_.size();
     ++total_;
+    if (sink_ != nullptr) sink_->on_trace(sink_node_id_, r);
   }
 
   std::string node_;
@@ -119,6 +161,8 @@ class Tracer {
   std::size_t next_ = 0;
   std::uint64_t total_ = 0;
   std::uint64_t mask_ = 63;
+  TraceSink* sink_ = nullptr;
+  std::uint32_t sink_node_id_ = 0;
 };
 
 /// One line per record: "t=...s node pubend:tick[..tick2] milestone [sub=N]".
@@ -131,10 +175,13 @@ struct FlightRecorderFocus {
 };
 
 /// Merges the given rings into one time-ordered dump (ties broken by node
-/// order then ring order, so output is deterministic). With a focus, appends
-/// a milestone checklist for that (pubend, tick): first time each milestone
-/// was reached, or "NOT REACHED". Returns the dump; write_flight_record
-/// prints it.
+/// order then ring order, so output is deterministic). A ring that has
+/// wrapped contributes a truncation marker ("ring wrapped: N older records
+/// lost") at its oldest surviving record's time, so the merged narrative
+/// never silently interleaves one node's complete history with another's
+/// truncated one. With a focus, appends a milestone checklist for that
+/// (pubend, tick): first time each milestone was reached, or "NOT REACHED".
+/// Returns the dump; write_flight_record prints it.
 [[nodiscard]] std::string merged_flight_record(
     const std::vector<const Tracer*>& tracers,
     const FlightRecorderFocus* focus = nullptr);

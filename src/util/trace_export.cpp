@@ -1,0 +1,171 @@
+#include "util/trace_export.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <utility>
+
+namespace gryphon {
+
+void TraceExporter::add_fault_span(SimTime from, SimTime to, std::string name) {
+  if (to <= from) {
+    add_fault_instant(from, std::move(name));
+    return;
+  }
+  faults_.push_back({from, to, /*instant=*/false, std::move(name)});
+}
+
+void TraceExporter::add_fault_instant(SimTime at, std::string name) {
+  faults_.push_back({at, at, /*instant=*/true, std::move(name)});
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+}
+
+struct Event {
+  SimTime ts;
+  std::uint64_t seq;  // insertion order: deterministic tiebreak at equal ts
+  std::string line;
+};
+
+}  // namespace
+
+std::string TraceExporter::to_json() const {
+  constexpr int kFaultsPid = 1;
+  constexpr int kTicksPid = 2;
+  constexpr int kNodePidBase = 3;
+  char buf[256];
+
+  std::vector<Event> events;
+  events.reserve(faults_.size() + 3 * records_.size());
+  std::uint64_t seq = 0;
+
+  for (const Fault& f : faults_) {
+    std::string line;
+    if (f.instant) {
+      std::snprintf(buf, sizeof buf,
+                    "{\"ph\":\"i\",\"pid\":%d,\"tid\":1,\"ts\":%" PRId64
+                    ",\"s\":\"p\",\"cat\":\"fault\",\"name\":\"",
+                    kFaultsPid, f.from);
+    } else {
+      std::snprintf(buf, sizeof buf,
+                    "{\"ph\":\"X\",\"pid\":%d,\"tid\":1,\"ts\":%" PRId64
+                    ",\"dur\":%" PRId64 ",\"cat\":\"fault\",\"name\":\"",
+                    kFaultsPid, f.from, f.to - f.from);
+    }
+    line = buf;
+    append_escaped(line, f.name);
+    line += "\"}";
+    events.push_back({f.from, seq++, std::move(line)});
+  }
+
+  // One async span per sampled (pubend, tick): opened by kPublish, closed by
+  // the first ack / gap / release-to-L record covering the tick. Spans with
+  // no closing record stay open (Perfetto draws them running off the edge).
+  std::map<std::pair<std::int64_t, Tick>, bool> open_spans;
+  const auto span_id = [&](std::int64_t pubend, Tick tick) {
+    std::snprintf(buf, sizeof buf, "\"0x%llx\"",
+                  static_cast<unsigned long long>(
+                      (static_cast<std::uint64_t>(pubend) << 40) ^
+                      static_cast<std::uint64_t>(tick)));
+    return std::string(buf);
+  };
+  const auto span_event = [&](const char* ph, SimTime ts, std::int64_t pubend,
+                              Tick tick) {
+    std::snprintf(buf, sizeof buf,
+                  "{\"ph\":\"%s\",\"pid\":%d,\"tid\":1,\"ts\":%" PRId64
+                  ",\"cat\":\"tick\",\"id\":%s,\"name\":\"pubend %" PRId64
+                  " tick %" PRId64 "\"}",
+                  ph, kTicksPid, ts, span_id(pubend, tick).c_str(), pubend,
+                  tick);
+    events.push_back({ts, seq++, std::string(buf)});
+  };
+
+  for (const Captured& c : records_) {
+    const TraceRecord& r = c.rec;
+
+    // Per-node milestone instant.
+    std::string line;
+    std::snprintf(buf, sizeof buf,
+                  "{\"ph\":\"i\",\"pid\":%d,\"tid\":1,\"ts\":%" PRId64
+                  ",\"s\":\"p\",\"cat\":\"milestone\",\"name\":\"%s\","
+                  "\"args\":{\"pubend\":%" PRId64 ",\"tick\":%" PRId64,
+                  kNodePidBase + static_cast<int>(c.node_id), r.at,
+                  trace_milestone_name(r.milestone), r.pubend, r.tick);
+    line = buf;
+    if (r.tick2 != r.tick) {
+      std::snprintf(buf, sizeof buf, ",\"tick2\":%" PRId64, r.tick2);
+      line += buf;
+    }
+    if (r.detail != 0) {
+      std::snprintf(buf, sizeof buf, ",\"sub\":%u", r.detail);
+      line += buf;
+    }
+    line += "}}";
+    events.push_back({r.at, seq++, std::move(line)});
+
+    // Causal tick-span lane.
+    if (r.milestone == TraceMilestone::kPublish) {
+      auto [it, inserted] = open_spans.try_emplace({r.pubend, r.tick}, true);
+      (void)it;
+      if (inserted) span_event("b", r.at, r.pubend, r.tick);
+    } else if (r.milestone == TraceMilestone::kAck ||
+               r.milestone == TraceMilestone::kGap ||
+               r.milestone == TraceMilestone::kReleaseToL) {
+      auto it = open_spans.lower_bound({r.pubend, r.tick});
+      const auto end = open_spans.upper_bound({r.pubend, r.tick2});
+      while (it != end) {
+        span_event("e", r.at, it->first.first, it->first.second);
+        it = open_spans.erase(it);
+      }
+    }
+  }
+
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) {
+                     if (a.ts != b.ts) return a.ts < b.ts;
+                     return a.seq < b.seq;
+                   });
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  const auto emit = [&](const std::string& line) {
+    if (!first) out += ",\n";
+    first = false;
+    out += line;
+  };
+  // Metadata first: track names for the fixed lanes and each node.
+  emit("{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\"args\":{\"name\":\"faults\"}}");
+  emit("{\"ph\":\"M\",\"pid\":2,\"name\":\"process_name\",\"args\":{\"name\":\"ticks\"}}");
+  for (const auto& [node_id, name] : node_names_) {
+    std::string line;
+    std::snprintf(buf, sizeof buf, "{\"ph\":\"M\",\"pid\":%d,\"name\":\"process_name\",\"args\":{\"name\":\"",
+                  kNodePidBase + static_cast<int>(node_id));
+    line = buf;
+    append_escaped(line, name);
+    line += "\"}}";
+    emit(line);
+  }
+  for (const Event& e : events) emit(e.line);
+  out += "\n]}\n";
+  return out;
+}
+
+bool TraceExporter::write(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::string json = to_json();
+  const std::size_t n = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = n == json.size() && std::fclose(f) == 0;
+  if (n != json.size()) std::fclose(f);
+  return ok;
+}
+
+}  // namespace gryphon

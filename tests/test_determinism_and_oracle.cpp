@@ -134,6 +134,60 @@ TEST(Determinism, TraceAndLogStreamsAreBitIdenticalAcrossSameSeedRuns) {
   EXPECT_GT(a.log_size, 100u);
 }
 
+TEST(Determinism, TraceExportAndLatencyHistogramsAreBitIdentical) {
+  // The new observability artifacts inherit the same invariant: same seed +
+  // full-rate sampling => a byte-identical Chrome trace JSON and identical
+  // latency histogram buckets (not just matching percentiles — the raw
+  // bucket counts per stage).
+  struct Artifacts {
+    std::size_t trace_hash;
+    std::size_t trace_size;
+    std::vector<std::vector<std::uint64_t>> buckets;
+    std::string latency_json;
+
+    bool operator==(const Artifacts&) const = default;
+  };
+  auto run = [] {
+    SystemConfig config;
+    config.num_pubends = 2;
+    config.num_shbs = 2;
+    config.trace_sample_every = 1;
+    config.trace_export = true;
+    System system(config);
+    harness::PaperWorkloadConfig wl;
+    wl.input_rate_eps = 200;
+    harness::start_paper_publishers(system, wl);
+    auto subs = harness::add_group_subscribers(system, 0, 4, 4, 1);
+    system.run_for(sec(3));
+    subs[0]->disconnect();
+    system.run_for(sec(2));
+    subs[0]->connect();
+    system.run_for(sec(8));
+    system.verify_exactly_once();
+
+    Artifacts art;
+    const std::string trace = system.trace_exporter()->to_json();
+    art.trace_hash = std::hash<std::string>{}(trace);
+    art.trace_size = trace.size();
+    for (std::size_t i = 0; i < kNumLatencyStages; ++i) {
+      art.buckets.push_back(
+          system.latency().stage(static_cast<LatencyStage>(i)).buckets());
+    }
+    system.latency().append_json(art.latency_json, "");
+    return art;
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a.trace_size, 10'000u);  // the export actually captured the run
+  // The steady pipeline produced real samples end to end.
+  std::uint64_t e2e = 0;
+  for (auto count : a.buckets[static_cast<std::size_t>(LatencyStage::kEndToEnd)]) {
+    e2e += count;
+  }
+  EXPECT_GT(e2e, 100u);
+}
+
 TEST(Oracle, FlagsAMissedEventInsideTheHorizon) {
   // Feed the oracle a consistent history, then advance the subscriber's CT
   // past an undelivered matching event: verify() must flag exactly it.

@@ -1,13 +1,17 @@
 // Unit tests for the observability layer: MetricsRegistry slots and probes,
-// deterministic trace sampling, the flight-recorder ring, and the merged
-// dump's milestone checklist.
+// deterministic trace sampling, the flight-recorder ring, the merged dump's
+// milestone checklist, the per-stage LatencyRecorder, and the Chrome
+// trace-event exporter.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 
+#include "util/latency.hpp"
 #include "util/metrics.hpp"
 #include "util/trace.hpp"
+#include "util/trace_export.hpp"
 
 namespace gryphon {
 namespace {
@@ -194,6 +198,213 @@ TEST(FlightRecorder, MergedDumpIsDeterministic) {
     b.record(100, 1, 3, TraceMilestone::kMatch);
     b.record(100, 1, 3, TraceMilestone::kDeliverConstream, 9);
     return merged_flight_record({&a, &b}, nullptr);
+  };
+  EXPECT_EQ(build(), build());
+}
+
+TEST(FlightRecorder, WrappedRingGetsTruncationMarker) {
+  Tracer small("phb", 4, 1);
+  Tracer intact("shb0", 16, 1);
+  // 7 records into a 4-slot ring: 3 lost to wraparound.
+  for (Tick tick = 1; tick <= 7; ++tick) {
+    small.record(tick * 10, 1, tick, TraceMilestone::kPublish);
+  }
+  intact.record(5, 1, 1, TraceMilestone::kMatch);
+  EXPECT_TRUE(small.wrapped());
+  EXPECT_EQ(small.dropped_records(), 3u);
+  EXPECT_FALSE(intact.wrapped());
+
+  const std::string dump = merged_flight_record({&small, &intact}, nullptr);
+  EXPECT_NE(dump.find("3 lost to ring wraparound"), std::string::npos);
+  EXPECT_NE(dump.find("--- ring wrapped: 3 older records lost ---"),
+            std::string::npos);
+  // The marker sits at the oldest SURVIVING record's time (tick 4 at t=40),
+  // i.e. after the intact ring's earlier record in the merged ordering.
+  EXPECT_LT(dump.find("match"), dump.find("ring wrapped"));
+  // And the surviving records still appear, oldest first.
+  EXPECT_LT(dump.find("ring wrapped"), dump.find("1:7"));
+}
+
+TEST(FlightRecorder, NoMarkerWhileRingHasNotWrapped) {
+  Tracer t("phb", 8, 1);
+  for (Tick tick = 1; tick <= 8; ++tick) {
+    t.record(tick * 10, 1, tick, TraceMilestone::kPublish);
+  }
+  EXPECT_FALSE(t.wrapped());  // exactly full is not wrapped
+  const std::string dump = merged_flight_record({&t}, nullptr);
+  EXPECT_EQ(dump.find("ring wrapped"), std::string::npos);
+  EXPECT_EQ(dump.find("lost to ring wraparound"), std::string::npos);
+}
+
+// -------------------------------------------------------- latency recorder
+
+// Shorthand: a single-tick record at time `at`.
+TraceRecord rec_at(SimTime at, std::int64_t pubend, Tick tick,
+                   TraceMilestone m, std::uint32_t detail = 0) {
+  return {at, pubend, tick, tick, m, detail};
+}
+// A range record covering [from, to].
+TraceRecord range_at(SimTime at, std::int64_t pubend, Tick from, Tick to,
+                     TraceMilestone m, std::uint32_t detail = 0) {
+  return {at, pubend, from, to, m, detail};
+}
+
+TEST(LatencyRecorder, FullPipelineFeedsEveryStage) {
+  LatencyRecorder lat;
+  // SimTime is microseconds; stage gaps of 1000us = 1ms each.
+  lat.on_trace(0, rec_at(1000, 1, 5, TraceMilestone::kPublish));
+  lat.on_trace(0, rec_at(2000, 1, 5, TraceMilestone::kPersist));
+  lat.on_trace(1, rec_at(3000, 1, 5, TraceMilestone::kMatch));
+  lat.on_trace(1, range_at(4000, 1, 5, 5, TraceMilestone::kPfsLog));
+  lat.on_trace(1, rec_at(5000, 1, 5, TraceMilestone::kDeliverConstream, 7));
+  lat.on_trace(1, range_at(6000, 1, 5, 5, TraceMilestone::kAck, 7));
+
+  for (auto s : {LatencyStage::kPublishToPersist, LatencyStage::kPersistToMatch,
+                 LatencyStage::kMatchToPfsLog, LatencyStage::kPfsLogToDeliver,
+                 LatencyStage::kDeliverToAck}) {
+    EXPECT_EQ(lat.stage(s).count(), 1u) << latency_stage_name(s);
+  }
+  EXPECT_EQ(lat.stage(LatencyStage::kEndToEnd).count(), 1u);
+  // End-to-end = publish(1000) -> deliver(5000) = 4 ms; log-bucketed
+  // percentile lands within one bucket of that.
+  EXPECT_NEAR(lat.stage(LatencyStage::kEndToEnd).percentile(50.0), 4.0, 1.5);
+  EXPECT_EQ(lat.orphan_transitions(), 0u);
+  // Ack keeps the key open (other subscribers may still deliver).
+  EXPECT_EQ(lat.open_key_count(), 1u);
+}
+
+TEST(LatencyRecorder, TransitionWithoutPublishIsAnOrphan) {
+  LatencyRecorder lat;
+  lat.on_trace(0, rec_at(2000, 1, 5, TraceMilestone::kPersist));
+  lat.on_trace(1, rec_at(3000, 1, 5, TraceMilestone::kMatch));
+  EXPECT_EQ(lat.orphan_transitions(), 2u);
+  EXPECT_EQ(lat.stage(LatencyStage::kPublishToPersist).count(), 0u);
+  EXPECT_EQ(lat.open_key_count(), 0u);
+}
+
+TEST(LatencyRecorder, StagesLatchOncePerKey) {
+  LatencyRecorder lat;
+  lat.on_trace(0, rec_at(1000, 1, 5, TraceMilestone::kPublish));
+  lat.on_trace(0, rec_at(2000, 1, 5, TraceMilestone::kPersist));
+  // Recovery re-persist and a second SHB matching: both must be ignored.
+  lat.on_trace(0, rec_at(9000, 1, 5, TraceMilestone::kPersist));
+  lat.on_trace(1, rec_at(3000, 1, 5, TraceMilestone::kMatch));
+  lat.on_trace(2, rec_at(8000, 1, 5, TraceMilestone::kMatch));
+  EXPECT_EQ(lat.stage(LatencyStage::kPublishToPersist).count(), 1u);
+  EXPECT_EQ(lat.stage(LatencyStage::kPersistToMatch).count(), 1u);
+}
+
+TEST(LatencyRecorder, GapRetiresWithoutEndToEndSample) {
+  LatencyRecorder lat;
+  lat.on_trace(0, rec_at(1000, 1, 5, TraceMilestone::kPublish));
+  lat.on_trace(0, rec_at(2000, 1, 5, TraceMilestone::kPersist));
+  lat.on_trace(1, range_at(3000, 1, 1, 10, TraceMilestone::kGap, 7));
+  EXPECT_EQ(lat.stage(LatencyStage::kEndToEnd).count(), 0u);
+  EXPECT_EQ(lat.gap_terminated_keys(), 1u);
+  EXPECT_EQ(lat.open_key_count(), 0u);
+  // A later delivery for the retired key is an orphan, not a sample.
+  lat.on_trace(1, rec_at(4000, 1, 5, TraceMilestone::kDeliverCatchup, 7));
+  EXPECT_EQ(lat.orphan_transitions(), 1u);
+}
+
+TEST(LatencyRecorder, RangeMilestonesCoverAllOpenKeysInRange) {
+  LatencyRecorder lat;
+  for (Tick tick = 1; tick <= 4; ++tick) {
+    lat.on_trace(0, rec_at(tick * 100, 1, tick, TraceMilestone::kPublish));
+    lat.on_trace(0, rec_at(tick * 100 + 10, 1, tick, TraceMilestone::kMatch));
+  }
+  // One batched PFS log covering ticks [2, 3]: exactly two samples, and the
+  // keys outside the range stay untouched.
+  lat.on_trace(1, range_at(1000, 1, 2, 3, TraceMilestone::kPfsLog));
+  EXPECT_EQ(lat.stage(LatencyStage::kMatchToPfsLog).count(), 2u);
+  // release-to-L over everything retires all four keys.
+  lat.on_trace(0, range_at(2000, 1, 1, 4, TraceMilestone::kReleaseToL));
+  EXPECT_EQ(lat.open_key_count(), 0u);
+  // Different pubend is a separate key space: not retired by pubend 1's range.
+  lat.on_trace(0, rec_at(3000, 2, 2, TraceMilestone::kPublish));
+  lat.on_trace(0, range_at(4000, 1, 1, 4, TraceMilestone::kReleaseToL));
+  EXPECT_EQ(lat.open_key_count(), 1u);
+}
+
+TEST(LatencyRecorder, CatchupWaitPairsQueuedWithAdmitted) {
+  LatencyRecorder lat;
+  // Subscriber 7 waits 2 ms on pubend 1; subscriber 8 is admitted without
+  // ever queueing and must contribute no (zero) sample.
+  lat.on_trace(0, rec_at(1000, 1, 50, TraceMilestone::kCatchupQueued, 7));
+  lat.on_trace(0, rec_at(3000, 1, 50, TraceMilestone::kCatchupAdmitted, 7));
+  lat.on_trace(0, rec_at(4000, 1, 60, TraceMilestone::kCatchupAdmitted, 8));
+  EXPECT_EQ(lat.stage(LatencyStage::kCatchupWait).count(), 1u);
+  EXPECT_NEAR(lat.stage(LatencyStage::kCatchupWait).percentile(50.0), 2.0, 1.0);
+  EXPECT_EQ(lat.open_wait_count(), 0u);
+}
+
+TEST(LatencyRecorder, OpenKeyTableIsBoundedByEviction) {
+  LatencyRecorder::Options opt;
+  opt.max_open_keys = 4;
+  LatencyRecorder lat(opt);
+  for (Tick tick = 1; tick <= 10; ++tick) {
+    lat.on_trace(0, rec_at(tick, 1, tick, TraceMilestone::kPublish));
+  }
+  EXPECT_LE(lat.open_key_count(), 4u);
+  EXPECT_EQ(lat.dropped_keys(), 6u);
+}
+
+TEST(LatencyRecorder, JsonPrettyAndCompactAgreeModuloWhitespace) {
+  LatencyRecorder lat;
+  lat.on_trace(0, rec_at(1000, 1, 5, TraceMilestone::kPublish));
+  lat.on_trace(0, rec_at(2000, 1, 5, TraceMilestone::kPersist));
+  std::string pretty, compact;
+  lat.append_json(pretty, "", /*pretty=*/true);
+  lat.append_json(compact, "", /*pretty=*/false);
+  // One canonical serializer: the pretty form is the compact form plus
+  // whitespace. (No key or value contains a space, so stripping is safe.)
+  std::string stripped = pretty;
+  stripped.erase(std::remove_if(stripped.begin(), stripped.end(),
+                                [](char c) { return c == ' ' || c == '\n'; }),
+                 stripped.end());
+  EXPECT_EQ(stripped, compact);
+  EXPECT_NE(compact.find("\"publish_to_persist\""), std::string::npos);
+  EXPECT_NE(compact.find("\"catchup_wait\""), std::string::npos);
+  EXPECT_EQ(compact.find('\n'), std::string::npos);
+}
+
+// ----------------------------------------------------------- trace export
+
+TEST(TraceExporter, EmitsSortedEventsWithFaultTrack) {
+  TraceExporter exp;
+  exp.set_node_name(0, "phb");
+  exp.set_node_name(1, "shb0");
+  exp.add_fault_span(2000, 5000, "partition phb<->shb0");
+  exp.on_trace(0, rec_at(1000, 1, 5, TraceMilestone::kPublish));
+  exp.on_trace(1, rec_at(4000, 1, 5, TraceMilestone::kDeliverConstream, 7));
+  exp.on_trace(1, range_at(6000, 1, 5, 5, TraceMilestone::kAck, 7));
+
+  const std::string json = exp.to_json();
+  EXPECT_EQ(exp.record_count(), 3u);
+  EXPECT_EQ(exp.fault_count(), 1u);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"fault\""), std::string::npos);
+  EXPECT_NE(json.find("partition phb<->shb0"), std::string::npos);
+  // The per-tick async span opens at publish and closes at ack.
+  EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos);
+  // Time-sorted: publish (ts 1000) precedes the fault span (ts 2000),
+  // which precedes delivery (ts 4000).
+  const auto pub = json.find("\"publish\"");
+  const auto fault = json.find("\"cat\":\"fault\"");
+  const auto deliver = json.find("\"deliver-constream\"");
+  EXPECT_LT(pub, fault);
+  EXPECT_LT(fault, deliver);
+}
+
+TEST(TraceExporter, OutputIsDeterministic) {
+  auto build = [] {
+    TraceExporter exp;
+    exp.set_node_name(0, "phb");
+    exp.add_fault_span(100, 100, "degenerate");  // zero-length -> instant
+    exp.on_trace(0, rec_at(100, 1, 0, TraceMilestone::kPublish));
+    exp.on_trace(0, rec_at(100, 1, 0, TraceMilestone::kPersist));
+    return exp.to_json();
   };
   EXPECT_EQ(build(), build());
 }

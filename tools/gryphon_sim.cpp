@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <string>
 
 #include "harness/sampler.hpp"
@@ -39,6 +40,8 @@ struct Flags {
   int imprecise_batch = 1;
   int trace_sample = 64;
   std::string metrics_json;  // empty = no snapshot file
+  double metrics_interval_s = 0.0;  // 0 = one end-of-run snapshot
+  std::string trace_out;  // empty = no Chrome trace export
   std::string wire = "struct";
   int wire_verify = 0;  // 0 = SystemConfig default (sampled 1-in-64)
   double segment_kib = 0.0;     // 0 = StorageOptions default
@@ -65,6 +68,11 @@ void usage() {
       "  --imprecise-batch N  PFS precision (1 = precise)         [1]\n"
       "  --trace-sample N     trace 1-in-N ticks (power of two)   [64]\n"
       "  --metrics-json PATH  write per-node registry snapshots\n"
+      "  --metrics-interval S scrape every S sim-seconds: --metrics-json\n"
+      "                       becomes NDJSON (one snapshot per line; feed\n"
+      "                       it to gryphon_report)\n"
+      "  --trace-out PATH     write a Chrome trace-event (Perfetto) JSON of\n"
+      "                       all sampled tick milestones + fault windows\n"
       "  --wire MODE          link transport: struct | codec       [struct]\n"
       "  --wire-verify N      re-encode-check 1-in-N decodes; N=1 or\n"
       "                       'always' checks every frame           [64]\n"
@@ -84,7 +92,14 @@ bool parse_flags(int argc, char** argv, Flags& flags) {
     };
     double v = 0;
     if (arg == "--help" || arg == "-h") return false;
-    if (arg == "--quiet") {
+    // The observability flags also accept the --flag=value spelling.
+    if (arg.rfind("--trace-out=", 0) == 0) {
+      flags.trace_out = arg.substr(12);
+    } else if (arg.rfind("--metrics-json=", 0) == 0) {
+      flags.metrics_json = arg.substr(15);
+    } else if (arg.rfind("--metrics-interval=", 0) == 0) {
+      flags.metrics_interval_s = std::atof(arg.c_str() + 19);
+    } else if (arg == "--quiet") {
       flags.quiet = true;
     } else if (arg == "--pubends" && next_value(v)) {
       flags.pubends = static_cast<int>(v);
@@ -116,6 +131,10 @@ bool parse_flags(int argc, char** argv, Flags& flags) {
       flags.trace_sample = static_cast<int>(v);
     } else if (arg == "--metrics-json" && i + 1 < argc) {
       flags.metrics_json = argv[++i];
+    } else if (arg == "--metrics-interval" && next_value(v)) {
+      flags.metrics_interval_s = v;
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      flags.trace_out = argv[++i];
     } else if (arg == "--wire" && i + 1 < argc) {
       flags.wire = argv[++i];
       if (flags.wire != "struct" && flags.wire != "codec") {
@@ -179,7 +198,34 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(flags.db_compact_kib * 1024);
   }
   config.storage.file_dir = flags.wal_dir;
+  config.trace_export = !flags.trace_out.empty();
+  if (flags.metrics_interval_s > 0 && flags.metrics_json.empty()) {
+    std::fprintf(stderr, "--metrics-interval needs --metrics-json PATH for the scrape\n");
+    return 2;
+  }
   harness::System system(config);
+
+  // Periodic NDJSON scrape: one deterministic snapshot line per interval,
+  // plus a final line at exit (written in the report section below).
+  std::FILE* scrape_file = nullptr;
+  if (flags.metrics_interval_s > 0) {
+    scrape_file = std::fopen(flags.metrics_json.c_str(), "w");
+    if (scrape_file == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", flags.metrics_json.c_str());
+      return 1;
+    }
+    const auto interval = static_cast<SimDuration>(flags.metrics_interval_s * 1e6);
+    // Self-rescheduling tick; static so the reschedule lambda needs no
+    // capture of a local that would go out of scope (main outlives the run,
+    // but the function object must be addressable from inside itself).
+    static std::function<void()> scrape_tick;
+    scrape_tick = [&system, scrape_file, interval] {
+      const std::string line = system.metrics_scrape_line();
+      std::fwrite(line.data(), 1, line.size(), scrape_file);
+      system.simulator().schedule_after(interval, [] { scrape_tick(); });
+    };
+    system.simulator().schedule_after(interval, [] { scrape_tick(); });
+  }
 
   harness::PaperWorkloadConfig wl;
   wl.input_rate_eps = flags.rate;
@@ -213,12 +259,13 @@ int main(int argc, char** argv) {
         static_cast<SimDuration>(flags.churn_down_s * 1e6));
   }
   if (flags.crash_shb_at_s > 0) {
-    system.simulator().schedule_after(
-        static_cast<SimDuration>(flags.crash_shb_at_s * 1e6),
-        [&system] { system.crash_shb(0); });
-    system.simulator().schedule_after(
-        static_cast<SimDuration>((flags.crash_shb_at_s + flags.crash_down_s) * 1e6),
-        [&system] { system.restart_shb(0); });
+    const SimTime crash_at =
+        system.simulator().now() + static_cast<SimDuration>(flags.crash_shb_at_s * 1e6);
+    const SimTime back_at =
+        crash_at + static_cast<SimDuration>(flags.crash_down_s * 1e6);
+    system.simulator().schedule_at(crash_at, [&system] { system.crash_shb(0); });
+    system.simulator().schedule_at(back_at, [&system] { system.restart_shb(0); });
+    system.note_fault_span(crash_at, back_at, "crash shb0");
   }
 
   const SimTime measure_from = system.simulator().now();
@@ -254,6 +301,19 @@ int main(int argc, char** argv) {
   }
   std::printf("end-to-end latency (steady deliveries): mean %.1f ms\n",
               system.oracle().e2e_latency().mean());
+  {
+    const Histogram& e2e = system.latency().stage(LatencyStage::kEndToEnd);
+    const Histogram& wait = system.latency().stage(LatencyStage::kCatchupWait);
+    std::printf("sampled per-stage latency (1-in-%d ticks): e2e n=%llu "
+                "p50=%.2fms p99=%.2fms",
+                flags.trace_sample, (unsigned long long)e2e.count(),
+                e2e.percentile(50.0), e2e.percentile(99.0));
+    if (wait.count() > 0) {
+      std::printf("; catchup wait n=%llu p99=%.2fms",
+                  (unsigned long long)wait.count(), wait.percentile(99.0));
+    }
+    std::printf("\n");
+  }
   std::printf("PHB idle %.0f%%", 100 * system.phb_cpu().idle_fraction(
                                            measure_from, measure_to));
   for (int i = 0; i < flags.shbs; ++i) {
@@ -269,12 +329,29 @@ int main(int argc, char** argv) {
       std::printf("  t=%-5.0f %8.0f ev/s\n", to_seconds(w.start), w.per_second);
     }
   }
-  if (!flags.metrics_json.empty()) {
+  if (scrape_file != nullptr) {
+    // Final scrape line so the file always covers the full run.
+    const std::string line = system.metrics_scrape_line();
+    std::fwrite(line.data(), 1, line.size(), scrape_file);
+    std::fclose(scrape_file);
+    std::printf("wrote NDJSON metrics scrape to %s (interval %.1fs)\n",
+                flags.metrics_json.c_str(), flags.metrics_interval_s);
+  } else if (!flags.metrics_json.empty()) {
     if (system.write_metrics_json(flags.metrics_json)) {
       std::printf("wrote per-node metrics snapshot to %s\n",
                   flags.metrics_json.c_str());
     } else {
       std::fprintf(stderr, "cannot write %s\n", flags.metrics_json.c_str());
+      return 1;
+    }
+  }
+  if (!flags.trace_out.empty()) {
+    if (system.write_trace_json(flags.trace_out)) {
+      std::printf("wrote Chrome trace (%zu records, %zu faults) to %s\n",
+                  system.trace_exporter()->record_count(),
+                  system.trace_exporter()->fault_count(), flags.trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", flags.trace_out.c_str());
       return 1;
     }
   }

@@ -41,3 +41,15 @@ if ! grep -qF '"metrics": {' BENCH_substrate.json.new; then
   echo "ERROR: BENCH_substrate.json.new has no registry metrics block" >&2
   exit 1
 fi
+
+# Same for the per-stage latency percentiles: a fresh run with no "latency"
+# block means the LatencyRecorder pipeline went dark, and the committed
+# churn-storm artifact must keep carrying its catchup-wait histogram.
+if ! grep -qF '"latency": {' BENCH_substrate.json.new; then
+  echo "ERROR: BENCH_substrate.json.new has no latency percentile block" >&2
+  exit 1
+fi
+if ! grep -qF '"latency": {' BENCH_churn_storm.json; then
+  echo "ERROR: committed BENCH_churn_storm.json has no latency block" >&2
+  exit 1
+fi

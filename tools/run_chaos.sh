@@ -14,7 +14,7 @@ FIRST_SEED="${2:-1}"
 HORIZON_S="${3:-10}"
 
 cmake --preset asan-ubsan
-cmake --build --preset asan-ubsan -j "$(nproc)" --target test_chaos bench_chaos_soak bench_wallclock bench_recovery_fuzz bench_churn_storm
+cmake --build --preset asan-ubsan -j "$(nproc)" --target test_chaos bench_chaos_soak bench_wallclock bench_recovery_fuzz bench_churn_storm gryphon_report
 
 echo "== chaos test suite (asan-ubsan) =="
 ./build-asan/tests/test_chaos
@@ -53,6 +53,17 @@ for marker in "=== flight recorder: merged tick trace" \
 done
 rm -f "${INJECT_LOG}"
 echo "ok: injected violation produced the focused flight-recorder dump"
+
+echo "== chaos trace export: fault windows on a Perfetto-loadable track =="
+# One seeded schedule exported as a Chrome trace-event JSON, then validated:
+# well-formed JSON, monotonically non-decreasing timestamps, and at least one
+# chaos fault window on the dedicated "faults" track.
+CHAOS_TRACE="$(mktemp --suffix=.trace.json)"
+./build-asan/bench/bench_chaos_soak 1 "${FIRST_SEED}" 5 \
+    --trace-out="${CHAOS_TRACE}"
+./build-asan/tools/gryphon_report --validate-trace "${CHAOS_TRACE}" \
+    --expect-fault-track
+rm -f "${CHAOS_TRACE}"
 
 echo "== chaos soak: ${NUM_SEEDS} seeds from ${FIRST_SEED}, ${HORIZON_S}s horizon =="
 ./build-asan/bench/bench_chaos_soak "${NUM_SEEDS}" "${FIRST_SEED}" "${HORIZON_S}"
