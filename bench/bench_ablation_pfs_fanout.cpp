@@ -3,6 +3,7 @@
 // subscriber event logging costs n full event copies; this sweep shows the
 // byte and time advantage across fan-outs (the paper reports the n = 25
 // point: 25x data, >5x time).
+#include "sim/simulator.hpp"
 #include "bench/bench_common.hpp"
 
 #include "core/baseline_event_log.hpp"

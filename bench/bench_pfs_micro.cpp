@@ -6,6 +6,7 @@
 //   retention of the last 1000 events per subscriber, 100s of workload
 //   (80,000 events total), replayed as fast as the storage allows.
 // Paper: the PFS logged 25x less data and finished >5x faster.
+#include "sim/simulator.hpp"
 #include "bench/bench_common.hpp"
 
 #include <functional>

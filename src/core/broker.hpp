@@ -66,7 +66,7 @@ class Broker {
     res_.network.send(res_.endpoint, to, std::move(msg));
   }
 
-  sim::Simulator& sim() { return res_.sim; }
+  sim::Scheduler& sim() { return res_.sim; }
   [[nodiscard]] SimTime now() const { return res_.sim.now(); }
 
   NodeResources& res_;

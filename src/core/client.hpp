@@ -13,14 +13,14 @@
 
 #include "core/messages.hpp"
 #include "sim/network.hpp"
-#include "sim/simulator.hpp"
+#include "sim/scheduler.hpp"
 
 namespace gryphon::core {
 
 class Client {
  public:
-  Client(sim::Simulator& simulator, sim::Network& network, std::string name)
-      : sim_(simulator), network_(network), alive_(std::make_shared<std::monostate>()) {
+  Client(sim::Scheduler& scheduler, sim::Network& network, std::string name)
+      : sim_(scheduler), network_(network), alive_(std::make_shared<std::monostate>()) {
     endpoint_ = network_.add_endpoint(
         std::move(name), [this](sim::EndpointId from, sim::MessagePtr msg) {
           handle(from, static_cast<const Msg&>(*msg));
@@ -57,7 +57,7 @@ class Client {
 
   [[nodiscard]] SimTime now() const { return sim_.now(); }
 
-  sim::Simulator& sim_;
+  sim::Scheduler& sim_;
   sim::Network& network_;
 
  private:

@@ -11,9 +11,9 @@ namespace {
 std::uint32_t next_producer_id = 1'000'000;
 }  // namespace
 
-Session::Session(sim::Simulator& simulator, sim::Network& network, sim::EndpointId phb,
+Session::Session(sim::Scheduler& scheduler, sim::Network& network, sim::EndpointId phb,
                  sim::EndpointId shb, AcknowledgeMode mode)
-    : sim_(simulator), net_(network), phb_(phb), shb_(shb), mode_(mode) {}
+    : sim_(scheduler), net_(network), phb_(phb), shb_(shb), mode_(mode) {}
 
 // ----------------------------------------------------------- MessageProducer
 
@@ -24,7 +24,7 @@ MessageProducer::MessageProducer(Session& session, Topic topic)
   options.pubend = topic.pubend;
   options.interval = Publisher::Options::kManualOnly;
   publisher_ = std::make_unique<Publisher>(
-      session_.simulator(), session_.network(), options, session_.phb(),
+      session_.scheduler(), session_.network(), options, session_.phb(),
       [](std::uint64_t) -> matching::EventDataPtr {
         GRYPHON_CHECK_MSG(false, "JMS producers publish explicitly");
         return nullptr;
@@ -64,7 +64,7 @@ TopicSubscriber::TopicSubscriber(Session& session, SubscriberId id,
   options.id = id;
   options.predicate = std::move(selector);
   options.jms_auto_ack = (mode == AcknowledgeMode::kAutoAcknowledge);
-  client_ = std::make_unique<DurableSubscriber>(session.simulator(), session.network(),
+  client_ = std::make_unique<DurableSubscriber>(session.scheduler(), session.network(),
                                                 options, session.shb(), adapter_.get());
   session.network().connect(client_->endpoint(), session.shb());
 }

@@ -4,7 +4,7 @@
 //
 // Thin sugar over the native clients, shaped like the JMS 1.x object model:
 //
-//   ConnectionFactory factory(simulator, network, phb, shb);
+//   ConnectionFactory factory(scheduler, network, phb, shb);
 //   auto connection = factory.create_connection();
 //   auto session    = connection->create_session(AcknowledgeMode::kAutoAcknowledge);
 //   auto producer   = session->create_producer(Topic{PubendId{1}});
@@ -109,7 +109,7 @@ class TopicSubscriber {
 
 class Session {
  public:
-  Session(sim::Simulator& simulator, sim::Network& network, sim::EndpointId phb,
+  Session(sim::Scheduler& scheduler, sim::Network& network, sim::EndpointId phb,
           sim::EndpointId shb, AcknowledgeMode mode);
 
   [[nodiscard]] std::unique_ptr<MessageProducer> create_producer(Topic topic) {
@@ -121,14 +121,14 @@ class Session {
   [[nodiscard]] std::unique_ptr<TopicSubscriber> create_durable_subscriber(
       SubscriberId id, const std::string& selector, MessageListener listener);
 
-  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] sim::Scheduler& scheduler() { return sim_; }
   [[nodiscard]] sim::Network& network() { return net_; }
   [[nodiscard]] sim::EndpointId phb() const { return phb_; }
   [[nodiscard]] sim::EndpointId shb() const { return shb_; }
   [[nodiscard]] AcknowledgeMode mode() const { return mode_; }
 
  private:
-  sim::Simulator& sim_;
+  sim::Scheduler& sim_;
   sim::Network& net_;
   sim::EndpointId phb_;
   sim::EndpointId shb_;
@@ -137,16 +137,16 @@ class Session {
 
 class Connection {
  public:
-  Connection(sim::Simulator& simulator, sim::Network& network, sim::EndpointId phb,
+  Connection(sim::Scheduler& scheduler, sim::Network& network, sim::EndpointId phb,
              sim::EndpointId shb)
-      : sim_(simulator), net_(network), phb_(phb), shb_(shb) {}
+      : sim_(scheduler), net_(network), phb_(phb), shb_(shb) {}
 
   [[nodiscard]] std::unique_ptr<Session> create_session(AcknowledgeMode mode) {
     return std::make_unique<Session>(sim_, net_, phb_, shb_, mode);
   }
 
  private:
-  sim::Simulator& sim_;
+  sim::Scheduler& sim_;
   sim::Network& net_;
   sim::EndpointId phb_;
   sim::EndpointId shb_;
@@ -154,16 +154,16 @@ class Connection {
 
 class ConnectionFactory {
  public:
-  ConnectionFactory(sim::Simulator& simulator, sim::Network& network,
+  ConnectionFactory(sim::Scheduler& scheduler, sim::Network& network,
                     sim::EndpointId phb, sim::EndpointId shb)
-      : sim_(simulator), net_(network), phb_(phb), shb_(shb) {}
+      : sim_(scheduler), net_(network), phb_(phb), shb_(shb) {}
 
   [[nodiscard]] std::unique_ptr<Connection> create_connection() {
     return std::make_unique<Connection>(sim_, net_, phb_, shb_);
   }
 
  private:
-  sim::Simulator& sim_;
+  sim::Scheduler& sim_;
   sim::Network& net_;
   sim::EndpointId phb_;
   sim::EndpointId shb_;

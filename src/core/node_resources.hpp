@@ -12,7 +12,7 @@
 #include "core/config.hpp"
 #include "sim/cpu.hpp"
 #include "sim/network.hpp"
-#include "sim/simulator.hpp"
+#include "sim/scheduler.hpp"
 #include "storage/database.hpp"
 #include "storage/log_volume.hpp"
 #include "storage/sim_disk.hpp"
@@ -26,16 +26,16 @@ class Broker;
 
 class NodeResources {
  public:
-  NodeResources(sim::Simulator& simulator, sim::Network& network, std::string name,
+  NodeResources(sim::Scheduler& scheduler, sim::Network& network, std::string name,
                 const BrokerConfig& broker_config, storage::DiskConfig disk_config,
                 int db_connections = 1, storage::StorageOptions storage_options = {})
-      : sim(simulator),
+      : sim(scheduler),
         network(network),
         name(std::move(name)),
         metrics(this->name),
         tracer(this->name),
-        cpu(simulator, this->name + ".cpu", broker_config.cores),
-        disk(simulator, this->name + ".disk", disk_config),
+        cpu(scheduler, this->name + ".cpu", broker_config.cores),
+        disk(scheduler, this->name + ".disk", disk_config),
         log_volume(disk, storage_options, "log"),
         database(disk, db_connections, storage_options, "db") {
     // wal.* torn-tail totals are *counters* (not probes) so they land in the
@@ -165,7 +165,7 @@ class NodeResources {
     database.on_torn_sync();
   }
 
-  sim::Simulator& sim;
+  sim::Scheduler& sim;
   sim::Network& network;
   std::string name;
   /// Cumulative per-node instruments + recent-milestone ring; both survive

@@ -2,10 +2,10 @@
 
 namespace gryphon::core {
 
-Publisher::Publisher(sim::Simulator& simulator, sim::Network& network, Options options,
+Publisher::Publisher(sim::Scheduler& scheduler, sim::Network& network, Options options,
                      sim::EndpointId phb, EventFactory factory,
                      PublisherObserver* observer)
-    : Client(simulator, network, "pub-" + std::to_string(options.id.value())),
+    : Client(scheduler, network, "pub-" + std::to_string(options.id.value())),
       options_(std::move(options)),
       phb_(phb),
       factory_(std::move(factory)),

@@ -28,7 +28,7 @@ class Publisher final : public Client {
     static constexpr SimDuration kManualOnly = 0;
   };
 
-  Publisher(sim::Simulator& simulator, sim::Network& network, Options options,
+  Publisher(sim::Scheduler& scheduler, sim::Network& network, Options options,
             sim::EndpointId phb, EventFactory factory,
             PublisherObserver* observer = nullptr);
 

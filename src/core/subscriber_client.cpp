@@ -5,10 +5,10 @@
 
 namespace gryphon::core {
 
-DurableSubscriber::DurableSubscriber(sim::Simulator& simulator, sim::Network& network,
+DurableSubscriber::DurableSubscriber(sim::Scheduler& scheduler, sim::Network& network,
                                      Options options, sim::EndpointId shb,
                                      SubscriberObserver* observer)
-    : Client(simulator, network, "sub-" + std::to_string(options.id.value())),
+    : Client(scheduler, network, "sub-" + std::to_string(options.id.value())),
       options_(std::move(options)),
       shb_(shb),
       observer_(observer) {

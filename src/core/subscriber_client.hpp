@@ -35,7 +35,7 @@ class DurableSubscriber final : public Client {
     bool auto_reconnect = true;  // reconnect after a connection reset
   };
 
-  DurableSubscriber(sim::Simulator& simulator, sim::Network& network, Options options,
+  DurableSubscriber(sim::Scheduler& scheduler, sim::Network& network, Options options,
                     sim::EndpointId shb, SubscriberObserver* observer = nullptr);
 
   /// Initiates a (re)connection; retries until the SHB confirms.

@@ -30,6 +30,7 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::kDoubleFault: return "double-fault";
     case FaultKind::kFrameCorrupt: return "frame-corrupt";
     case FaultKind::kPowerLoss: return "power-loss";
+    case FaultKind::kCatchupReadFault: return "catchup-read-fault";
   }
   return "?";
 }
@@ -88,7 +89,7 @@ void ChaosSchedule::plan() {
   while (t < end) {
     // Candidate kinds: positive weight AND at least one target free at t.
     // Collected in enum order so the weighted draw is deterministic.
-    std::vector<std::size_t> free_links, free_brokers, free_double_links;
+    std::vector<std::size_t> free_links, free_brokers, free_double_links, free_shbs;
     for (std::size_t i = 0; i < links_.size(); ++i) {
       if (link_busy_until_[i] > t) continue;
       free_links.push_back(i);
@@ -98,7 +99,9 @@ void ChaosSchedule::plan() {
       }
     }
     for (std::size_t i = 0; i < brokers_.size(); ++i) {
-      if (broker_busy_until_[i] <= t) free_brokers.push_back(i);
+      if (broker_busy_until_[i] > t) continue;
+      free_brokers.push_back(i);
+      if (brokers_[i].type == BrokerTarget::Type::kShb) free_shbs.push_back(i);
     }
 
     struct Cand {
@@ -131,6 +134,8 @@ void ChaosSchedule::plan() {
     // only when no broker has an outstanding fault.
     if (w.power_loss > 0 && free_brokers.size() == brokers_.size())
       cands.push_back({FaultKind::kPowerLoss, w.power_loss, &free_brokers});
+    if (w.catchup_read_fault > 0 && !free_shbs.empty())
+      cands.push_back({FaultKind::kCatchupReadFault, w.catchup_read_fault, &free_shbs});
 
     if (cands.empty()) {
       // Everything is busy with an outstanding fault: skip forward.
@@ -157,6 +162,7 @@ void ChaosSchedule::plan() {
       case FaultKind::kDoubleFault: plan_double_fault(t, target); break;
       case FaultKind::kFrameCorrupt: plan_frame_corrupt(t, target); break;
       case FaultKind::kPowerLoss: plan_power_loss(t); break;  // target unused
+      case FaultKind::kCatchupReadFault: plan_catchup_read_fault(t, target); break;
     }
     t += draw_duration(config_.min_gap, config_.max_gap);
   }
@@ -457,6 +463,95 @@ void ChaosSchedule::plan_power_loss(SimTime t) {
                 to_seconds(static_cast<SimDuration>(brokers_.size() - 1) * msec(100)));
   record(t, FaultKind::kPowerLoss,
          fmt_line(t - armed_at_, fault_kind_name(FaultKind::kPowerLoss), d));
+
+  // Composition with frame corruption (codec runs): in-flight bytes around a
+  // power event are exactly where torn frames appear in practice, so up to
+  // two free links arm a seeded corruption window spanning the cluster-wide
+  // crash instant — from shortly before the blackout until every broker's
+  // staggered restart has completed. The receiving transports must reject
+  // every mangled frame (decode rejects are counted at the Network, which
+  // survives broker restarts) and the retransmission paths close the holes.
+  // All rng draws here are gated on the frame_corrupt weight so struct-mode
+  // power-loss schedules are byte-identical with and without this feature.
+  if (config_.weights.frame_corrupt > 0 && !links_.empty()) {
+    std::vector<std::size_t> free;
+    for (std::size_t i = 0; i < links_.size(); ++i) {
+      if (link_busy_until_[i] <= t) free.push_back(i);
+    }
+    // A link free at t was repaired no later than t - cooldown, so arming
+    // cooldown-early can never overlap the previous fault's own window.
+    const SimTime arm = std::max(armed_at_, t - kTargetCooldown);
+    const SimTime disarm = back + msec(300);
+    const std::size_t picks = std::min<std::size_t>(2, free.size());
+    for (std::size_t k = 0; k < picks; ++k) {
+      const auto pos = static_cast<std::size_t>(rng_.next_below(free.size()));
+      const std::size_t link = free[pos];
+      free.erase(free.begin() + static_cast<std::ptrdiff_t>(pos));
+      const LinkTarget& l = links_[link];
+      const bool downstream = rng_.next_below(2) == 0;
+      const int count = static_cast<int>(rng_.next_in(4, 16));
+      const std::uint64_t cseed = rng_.next_u64();
+      const sim::EndpointId from = downstream ? l.a : l.b;
+      const sim::EndpointId to = downstream ? l.b : l.a;
+      auto& sim = system_.simulator();
+      sim.schedule_at(arm, [this, from, to, count, cseed] {
+        system_.network().corrupt_frames(from, to, count, cseed);
+      });
+      sim.schedule_at(disarm, [this, from, to] {
+        system_.network().clear_corruption(from, to);
+      });
+      link_busy_until_[link] = disarm + kTargetCooldown;
+      note_repair(disarm);
+      system_.note_fault_span(arm, disarm, "frame-corrupt " + l.name);
+      char cd[160];
+      std::snprintf(cd, sizeof cd,
+                    "%s %s: %d frames mangled across the blackout (disarm %.3fs)",
+                    l.name.c_str(), downstream ? "downstream" : "upstream", count,
+                    to_seconds(disarm - arm));
+      record(arm, FaultKind::kFrameCorrupt,
+             fmt_line(arm - armed_at_, fault_kind_name(FaultKind::kFrameCorrupt), cd));
+    }
+  }
+}
+
+void ChaosSchedule::plan_catchup_read_fault(SimTime t, std::size_t broker) {
+  const BrokerTarget& b = brokers_[broker];
+  GRYPHON_CHECK(b.type == BrokerTarget::Type::kShb);
+  // Crash the SHB, then mine its recovery: when it comes back every durable
+  // subscriber reconnects at once and the catchup streams all walk PFS
+  // back-pointer chains on its disk. A stall plus a budget of seeded read
+  // faults (per-read latency spikes) armed just as recovery completes lands
+  // squarely on those reads — the catchup path must absorb slow, bursty PFS
+  // IO without reordering or double-delivering.
+  const SimDuration outage = draw_duration(msec(400), sec(2));
+  const int count = static_cast<int>(rng_.next_in(15, 60));
+  const std::uint64_t seed = rng_.next_u64();
+  const SimDuration stall = draw_duration(msec(20), msec(120));
+  crash_broker_at(t, b, rng_.next_u64());
+  restart_broker_at(t + outage, b);
+  // +5ms: after the restart task but before the first catchup read (the PFS
+  // metadata/DB reload alone costs a >= 6ms seek).
+  const SimTime armed = t + outage + msec(5);
+  const SimTime window_end = armed + sec(4);
+  system_.simulator().schedule_at(armed, [this, broker, stall, count, seed] {
+    auto& disk = disk_of(brokers_[broker]);
+    disk.inject_stall(stall);
+    disk.arm_read_faults(count, seed, msec(1), msec(20));
+  });
+  // Any unspent budget is disarmed so a quiet disk cannot carry read faults
+  // into the settle phase (mirrors the frame-corrupt window bound).
+  system_.simulator().schedule_at(window_end, [this, broker] {
+    disk_of(brokers_[broker]).clear_read_faults();
+  });
+  broker_busy_until_[broker] = window_end + kTargetCooldown;
+  note_repair(window_end);
+  system_.note_fault_span(t, window_end, "catchup-read-fault " + b.name);
+  char d[160];
+  std::snprintf(d, sizeof d,
+                "%s down %.3fs; %d PFS read faults + %.3fs stall armed at restart",
+                b.name.c_str(), to_seconds(outage), count, to_seconds(stall));
+  record(t, FaultKind::kCatchupReadFault,
+         fmt_line(t - armed_at_, fault_kind_name(FaultKind::kCatchupReadFault), d));
 }
 
 void ChaosSchedule::run() {

@@ -51,6 +51,7 @@ enum class FaultKind {
   kDoubleFault,          // SHB uplink partitioned, then the SHB crashes
   kFrameCorrupt,         // seeded byte flips / truncations on a link's frames
   kPowerLoss,            // correlated full-cluster crash, staggered restarts
+  kCatchupReadFault,     // SHB crash, then faulty PFS reads during catchup
 };
 
 [[nodiscard]] const char* fault_kind_name(FaultKind kind);
@@ -76,7 +77,21 @@ struct ChaosWeights {
   /// staggered root-first so each recovering broker finds a live parent.
   /// Off by default — it needs the whole cluster free at once and existing
   /// schedules must not shift. Enable in correlated-failure runs.
+  ///
+  /// When frame_corrupt is also positive, each power loss additionally arms
+  /// seeded corruption windows on up to two free links spanning the
+  /// cluster-wide crash instant (armed shortly before the blackout, cleared
+  /// after the last restart) — in-flight bytes around a power event are
+  /// exactly where torn frames appear in practice. The extra rng draws are
+  /// gated on frame_corrupt > 0 so struct-mode power-loss schedules do not
+  /// shift.
   int power_loss = 0;
+  /// SHB crash + restart with seeded read faults (latency spikes) and a
+  /// stall armed on its disk just as recovery completes — every durable
+  /// subscriber reconnects at once and the catchup streams walk PFS
+  /// back-pointer chains through exactly that faulty IO window. Off by
+  /// default so existing schedules don't shift.
+  int catchup_read_fault = 0;
 };
 
 struct ChaosConfig {
@@ -155,6 +170,7 @@ class ChaosSchedule {
   void plan_double_fault(SimTime t, std::size_t link);
   void plan_frame_corrupt(SimTime t, std::size_t link);
   void plan_power_loss(SimTime t);
+  void plan_catchup_read_fault(SimTime t, std::size_t broker);
 
   // `entropy` is drawn at PLAN time (the rng must not be touched while the
   // simulation runs) and seeds where the WAL tail tears on the byte store.

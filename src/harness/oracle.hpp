@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/client_observer.hpp"
+#include "sim/simulator.hpp"
 #include "core/subscriber_client.hpp"
 #include "matching/predicate.hpp"
 #include "util/stats.hpp"

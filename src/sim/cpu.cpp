@@ -4,9 +4,9 @@
 
 namespace gryphon::sim {
 
-Cpu::Cpu(Simulator& simulator, std::string name, int cores,
+Cpu::Cpu(Scheduler& scheduler, std::string name, int cores,
          SimDuration accounting_window)
-    : sim_(simulator), name_(std::move(name)), cores_(cores), window_(accounting_window) {
+    : sim_(scheduler), name_(std::move(name)), cores_(cores), window_(accounting_window) {
   GRYPHON_CHECK(cores_ >= 1);
   GRYPHON_CHECK(window_ > 0);
 }

@@ -18,7 +18,7 @@
 #include <string>
 #include <vector>
 
-#include "sim/simulator.hpp"
+#include "sim/scheduler.hpp"
 #include "util/assert.hpp"
 #include "util/time.hpp"
 
@@ -28,7 +28,7 @@ class Cpu {
  public:
   using Task = SmallTask;
 
-  Cpu(Simulator& simulator, std::string name, int cores = 1,
+  Cpu(Scheduler& scheduler, std::string name, int cores = 1,
       SimDuration accounting_window = msec(500));
 
   /// Queues a work item. `fn` runs (at the earliest) when all previously
@@ -79,7 +79,7 @@ class Cpu {
   /// accounting windows it overlaps.
   void account_busy(SimTime start, SimTime end);
 
-  Simulator& sim_;
+  Scheduler& sim_;
   std::string name_;
   int cores_;
   SimDuration window_;

@@ -40,7 +40,7 @@
 #include <vector>
 
 #include "sim/message.hpp"
-#include "sim/simulator.hpp"
+#include "sim/scheduler.hpp"
 #include "sim/transport.hpp"
 #include "util/assert.hpp"
 
@@ -56,7 +56,7 @@ class Network {
   /// Receives (source endpoint, message).
   using Handler = std::function<void(EndpointId, MessagePtr)>;
 
-  explicit Network(Simulator& simulator) : sim_(simulator) {}
+  explicit Network(Scheduler& scheduler) : sim_(scheduler) {}
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
@@ -203,7 +203,7 @@ class Network {
   /// nullptr when the message must be dropped instead (no bytes to flip).
   [[nodiscard]] MessagePtr mangle(Link& l, const MessagePtr& msg);
 
-  Simulator& sim_;
+  Scheduler& sim_;
   Transport* transport_ = nullptr;
   std::vector<Endpoint> endpoints_;
   std::unordered_map<std::uint64_t, Link> links_;

@@ -1,0 +1,63 @@
+// The timer/scheduler seam between broker logic and whatever drives it.
+//
+// Everything below the harness — brokers, clients, the network model, CPU
+// and disk models — schedules work against this interface instead of the
+// concrete Simulator, so the same state machines run in two worlds:
+//
+//  * `sim::Simulator` (simulator.hpp): deterministic discrete-event time.
+//    The harness owns the clock and the (time, sequence) ordering contract.
+//  * `net::EventLoop` (net/event_loop.hpp): real wall-clock time over
+//    nonblocking sockets. now() is microseconds since the loop started, and
+//    timers fire from poll(2) timeouts.
+//
+// now() is non-virtual on purpose: it is called on every hot path, and both
+// implementations maintain `now_` as plain state (the simulator when a task
+// runs, the event loop when poll returns). Only schedule/cancel dispatch
+// virtually, and those already do slab + heap work that dwarfs the call.
+#pragma once
+
+#include <cstdint>
+
+#include "util/assert.hpp"
+#include "util/small_task.hpp"
+#include "util/time.hpp"
+
+namespace gryphon::sim {
+
+/// Handle for cancelling a scheduled task: (generation << 32) | slot.
+/// Generations start at 1, so 0 never names a task.
+using TaskId = std::uint64_t;
+constexpr TaskId kInvalidTask = 0;
+
+class Scheduler {
+ public:
+  using Task = SmallTask;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Current time in microseconds. Simulated time under the Simulator,
+  /// elapsed wall-clock time under the EventLoop.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `t` (>= now).
+  virtual TaskId schedule_at(SimTime t, Task fn) = 0;
+
+  /// Schedules `fn` to run `d` microseconds from now (d >= 0).
+  TaskId schedule_after(SimDuration d, Task fn) {
+    GRYPHON_CHECK_MSG(d >= 0, "negative delay " << d);
+    return schedule_at(now_ + d, std::move(fn));
+  }
+
+  /// Cancels a pending task. Cancelling an already-run or invalid id is a
+  /// no-op (timers race with the events that obsolete them).
+  virtual void cancel(TaskId id) = 0;
+
+ protected:
+  ~Scheduler() = default;  // never deleted through the interface
+
+  SimTime now_ = 0;
+};
+
+}  // namespace gryphon::sim

@@ -67,4 +67,16 @@ void Simulator::run_until_idle() {
   }
 }
 
+SimTime Simulator::next_due() {
+  while (!queue_.empty()) {
+    const Entry& e = queue_.top();
+    if (slots_[e.slot].gen != e.gen) {
+      queue_.pop();  // cancelled: lazily dropped
+      continue;
+    }
+    return e.time;
+  }
+  return kNoTaskDue;
+}
+
 }  // namespace gryphon::sim

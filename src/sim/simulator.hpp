@@ -20,40 +20,26 @@
 #include <tuple>
 #include <vector>
 
+#include "sim/scheduler.hpp"
 #include "util/assert.hpp"
 #include "util/small_task.hpp"
 #include "util/time.hpp"
 
 namespace gryphon::sim {
 
-/// Handle for cancelling a scheduled task: (generation << 32) | slot.
-/// Generations start at 1, so 0 never names a task.
-using TaskId = std::uint64_t;
-constexpr TaskId kInvalidTask = 0;
-
-class Simulator {
+class Simulator : public Scheduler {
  public:
   using Task = SmallTask;
 
   Simulator() = default;
-  Simulator(const Simulator&) = delete;
-  Simulator& operator=(const Simulator&) = delete;
-
-  [[nodiscard]] SimTime now() const { return now_; }
 
   /// Schedules `fn` to run at absolute sim time `t` (>= now).
-  TaskId schedule_at(SimTime t, Task fn);
-
-  /// Schedules `fn` to run `d` microseconds from now (d >= 0).
-  TaskId schedule_after(SimDuration d, Task fn) {
-    GRYPHON_CHECK_MSG(d >= 0, "negative delay " << d);
-    return schedule_at(now_ + d, std::move(fn));
-  }
+  TaskId schedule_at(SimTime t, Task fn) override;
 
   /// Cancels a pending task. Cancelling an already-run or invalid id is a
   /// no-op (timers race with the events that obsolete them); a reused slot is
   /// protected by the generation tag.
-  void cancel(TaskId id);
+  void cancel(TaskId id) override;
 
   /// Runs the next pending task, if any. Returns false when the queue is
   /// empty.
@@ -64,6 +50,12 @@ class Simulator {
 
   /// Runs until no tasks remain.
   void run_until_idle();
+
+  /// Due time of the earliest pending task, or kNoTaskDue when the queue is
+  /// empty. Pops stale (cancelled) heap heads as a side effect. The event
+  /// loop uses this to size its poll timeout.
+  static constexpr SimTime kNoTaskDue = -1;
+  [[nodiscard]] SimTime next_due();
 
   /// Exact count of scheduled-but-not-run tasks (cancelled ones excluded,
   /// however many stale heap entries remain).
@@ -102,7 +94,6 @@ class Simulator {
     free_head_ = index;
   }
 
-  SimTime now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;

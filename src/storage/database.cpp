@@ -218,7 +218,11 @@ class Database::Rebuild final : public Wal::Delegate {
   Database& db_;
 };
 
-void Database::crash() {
+void Database::crash() { rebuild_from_wal(/*adopt=*/false); }
+
+void Database::adopt() { rebuild_from_wal(/*adopt=*/true); }
+
+void Database::rebuild_from_wal(bool adopt) {
   ++generation_;
   for (Connection& conn : conns_) {
     conn.queue.clear();
@@ -229,7 +233,10 @@ void Database::crash() {
   tables_.clear();
 
   Rebuild rebuild(*this);
-  const Wal::RecoveryStats stats = wal_.crash_and_recover(rebuild);
+  // Adoption rescans the backend's bytes as-is (no watermark truncation —
+  // the previous process's watermarks are gone); see LogVolume::adopt.
+  const Wal::RecoveryStats stats =
+      adopt ? wal_.replay(rebuild) : wal_.crash_and_recover(rebuild);
 
   if (instruments_.recoveries != nullptr) instruments_.recoveries->inc();
   if (stats.truncated_bytes > 0) {

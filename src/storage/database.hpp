@@ -91,6 +91,11 @@ class Database {
   /// are wiped and rebuilt from the WAL's surviving bytes.
   void crash();
 
+  /// Fresh-process adoption of pre-existing WAL files: rebuilds the tables
+  /// from whatever bytes the backend holds, with no watermark truncation
+  /// (see LogVolume::adopt).
+  void adopt();
+
   /// Seeds the surviving slice of the in-flight commit barrier for the next
   /// crash (see LogVolume::set_crash_entropy).
   void set_crash_entropy(std::uint64_t entropy) { wal_.set_crash_entropy(entropy); }
@@ -121,7 +126,10 @@ class Database {
     bool busy = false;
   };
 
-  class Rebuild;  // Wal::Delegate rebuilding tables_ during crash()
+  class Rebuild;  // Wal::Delegate rebuilding tables_ during crash()/adopt()
+
+  /// Shared body of crash()/adopt(): wipe volatile state, rescan the Wal.
+  void rebuild_from_wal(bool adopt);
 
   void maybe_start_commit(int connection);
   /// Writes a full-table kDbSnapshot frame when the WAL outgrew its budget

@@ -214,7 +214,11 @@ class LogVolume::Rebuild final : public Wal::Delegate {
   LogVolume& v_;
 };
 
-void LogVolume::crash() {
+void LogVolume::crash() { rebuild_from_wal(/*adopt=*/false); }
+
+void LogVolume::adopt() { rebuild_from_wal(/*adopt=*/true); }
+
+void LogVolume::rebuild_from_wal(bool adopt) {
   ++generation_;
   barrier_in_flight_ = false;
   pending_bytes_ = 0;
@@ -235,7 +239,11 @@ void LogVolume::crash() {
   retained_bytes_ = 0;
 
   Rebuild rebuild(*this);
-  const Wal::RecoveryStats stats = wal_.crash_and_recover(rebuild);
+  // A crash truncates to this process's watermarks; adoption has no
+  // watermarks to truncate to (they died with the previous process) and
+  // rescans whatever bytes the backend holds.
+  const Wal::RecoveryStats stats =
+      adopt ? wal_.replay(rebuild) : wal_.crash_and_recover(rebuild);
 
   // Every surviving record is durable (it was just read back from "disk").
   for (Stream& s : streams_) {

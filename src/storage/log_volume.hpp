@@ -104,6 +104,14 @@ class LogVolume {
   /// from the surviving frames alone.
   void crash();
 
+  /// Fresh-process adoption of pre-existing WAL files: rebuilds every stream
+  /// from whatever bytes the backend holds, with NO watermark truncation
+  /// (this object's in-memory watermarks are all zero — crash() here would
+  /// wipe the inherited bytes). The scan still truncates at the first
+  /// torn/corrupt frame. This is the real-restart path: a new gryphon_broker
+  /// process constructing over a --wal-dir its predecessor wrote.
+  void adopt();
+
   /// Seeds how much of the submitted-but-unacked WAL region the next crash
   /// preserves (0 = durable prefix only). Chaos schedules and the recovery
   /// fuzzer use this to land crash points mid-frame.
@@ -139,7 +147,10 @@ class LogVolume {
     std::function<void()> callback;
   };
 
-  class Rebuild;  // Wal::Delegate rebuilding streams_ during crash()
+  class Rebuild;  // Wal::Delegate rebuilding streams_ during crash()/adopt()
+
+  /// Shared body of crash()/adopt(): wipe volatile state, rescan the Wal.
+  void rebuild_from_wal(bool adopt);
 
   Stream& stream(LogStreamId id) {
     GRYPHON_CHECK_MSG(id < streams_.size(), "unknown log stream " << id);

@@ -5,8 +5,8 @@
 
 namespace gryphon::storage {
 
-SimDisk::SimDisk(sim::Simulator& simulator, std::string name, DiskConfig config)
-    : sim_(simulator), name_(std::move(name)), config_(config) {
+SimDisk::SimDisk(sim::Scheduler& scheduler, std::string name, DiskConfig config)
+    : sim_(scheduler), name_(std::move(name)), config_(config) {
   GRYPHON_CHECK(config_.sync_latency >= 0);
   GRYPHON_CHECK(config_.write_bandwidth_bytes_per_sec > 0);
 }
@@ -49,7 +49,12 @@ void SimDisk::read(std::size_t bytes, std::function<void()> done) {
       std::ceil(static_cast<double>(bytes) /
                 config_.read_bandwidth_bytes_per_sec * 1e6));
   const SimTime start = std::max(sim_.now(), free_at_);
-  const SimTime end = start + config_.read_seek_latency + transfer;
+  SimTime end = start + config_.read_seek_latency + transfer;
+  if (read_fault_remaining_ > 0) {
+    --read_fault_remaining_;
+    ++read_faults_;
+    end += draw_read_fault_penalty();
+  }
   free_at_ = end;
   busy_ += end - start;
   bytes_read_ += bytes;
@@ -80,6 +85,35 @@ void SimDisk::inject_stall(SimDuration duration) {
   free_at_ = std::max(free_at_, sim_.now()) + duration;
   ++stalls_;
   stall_time_ += duration;
+}
+
+namespace {
+/// splitmix64 — same deterministic mixer the network uses for frame mangling.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+void SimDisk::arm_read_faults(int count, std::uint64_t seed,
+                              SimDuration penalty_lo, SimDuration penalty_hi) {
+  GRYPHON_CHECK(count > 0);
+  GRYPHON_CHECK(penalty_lo >= 0 && penalty_hi >= penalty_lo);
+  read_fault_remaining_ = count;
+  read_fault_seed_ = seed;
+  read_fault_drawn_ = 0;
+  read_fault_lo_ = penalty_lo;
+  read_fault_hi_ = penalty_hi;
+}
+
+void SimDisk::clear_read_faults() { read_fault_remaining_ = 0; }
+
+SimDuration SimDisk::draw_read_fault_penalty() {
+  const std::uint64_t draw = mix64(read_fault_seed_ + read_fault_drawn_++);
+  const auto span = static_cast<std::uint64_t>(read_fault_hi_ - read_fault_lo_) + 1;
+  return read_fault_lo_ + static_cast<SimDuration>(draw % span);
 }
 
 void SimDisk::drop_unsynced() {

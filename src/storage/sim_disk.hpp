@@ -32,7 +32,7 @@
 #include <functional>
 #include <string>
 
-#include "sim/simulator.hpp"
+#include "sim/scheduler.hpp"
 #include "util/assert.hpp"
 #include "util/time.hpp"
 
@@ -47,7 +47,7 @@ struct DiskConfig {
 
 class SimDisk {
  public:
-  SimDisk(sim::Simulator& simulator, std::string name, DiskConfig config = {});
+  SimDisk(sim::Scheduler& scheduler, std::string name, DiskConfig config = {});
   SimDisk(const SimDisk&) = delete;
   SimDisk& operator=(const SimDisk&) = delete;
 
@@ -72,6 +72,21 @@ class SimDisk {
   /// requests complete at least `duration` later. Legal while crashed (the
   /// device is simply still cold when it comes back).
   void inject_stall(SimDuration duration);
+
+  /// Arms a seeded read-fault window: each of the next `count` read() calls
+  /// eats a deterministic extra penalty drawn from [penalty_lo, penalty_hi]
+  /// (a retried-sector / media-error stall on the read path — the data still
+  /// arrives, late). Deterministic in (seed, read order); re-arming replaces
+  /// any remaining budget. Chaos arms these across catchup windows, where
+  /// PFS batch reads are the disk's hot read path.
+  void arm_read_faults(int count, std::uint64_t seed, SimDuration penalty_lo,
+                       SimDuration penalty_hi);
+
+  /// Disarms any remaining read-fault budget.
+  void clear_read_faults();
+
+  /// Reads that actually drew a fault penalty (fired-at-least-once guards).
+  [[nodiscard]] std::uint64_t read_faults_injected() const { return read_faults_; }
 
   /// Torn sync: every outstanding *write* completion is silently lost, but
   /// the device stays up (in-flight reads still complete). The client-side
@@ -99,7 +114,10 @@ class SimDisk {
   [[nodiscard]] const DiskConfig& config() const { return config_; }
 
  private:
-  sim::Simulator& sim_;
+  /// Seeded penalty for the read fault just consumed from the window.
+  [[nodiscard]] SimDuration draw_read_fault_penalty();
+
+  sim::Scheduler& sim_;
   std::string name_;
   DiskConfig config_;
   SimTime free_at_ = 0;
@@ -108,6 +126,12 @@ class SimDisk {
   std::uint64_t sync_epoch_ = 0;   // bumped by drop_unsynced(): writes only
   std::uint64_t stalls_ = 0;
   SimDuration stall_time_ = 0;
+  int read_fault_remaining_ = 0;
+  std::uint64_t read_fault_seed_ = 0;
+  std::uint64_t read_fault_drawn_ = 0;
+  SimDuration read_fault_lo_ = 0;
+  SimDuration read_fault_hi_ = 0;
+  std::uint64_t read_faults_ = 0;
   std::uint64_t dropped_syncs_ = 0;
   std::uint64_t bytes_written_ = 0;
   std::uint64_t bytes_synced_ = 0;

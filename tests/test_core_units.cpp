@@ -3,6 +3,7 @@
 // ladder + release protocol, and the baseline per-subscriber event log.
 #include <gtest/gtest.h>
 
+#include "sim/simulator.hpp"
 #include "core/baseline_event_log.hpp"
 #include "core/checkpoint_token.hpp"
 #include "core/child_stream.hpp"

@@ -7,6 +7,7 @@
 
 #include <functional>
 
+#include "sim/simulator.hpp"
 #include "harness/system.hpp"
 #include "harness/workload.hpp"
 #include "util/logging.hpp"

@@ -2,6 +2,7 @@
 // and the sampler — the instruments the evidence is collected with.
 #include <gtest/gtest.h>
 
+#include "sim/simulator.hpp"
 #include "harness/sampler.hpp"
 #include "harness/system.hpp"
 #include "harness/workload.hpp"

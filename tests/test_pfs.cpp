@@ -3,6 +3,7 @@
 // metadata durability and crash recovery.
 #include <gtest/gtest.h>
 
+#include "sim/simulator.hpp"
 #include "core/pfs.hpp"
 
 namespace gryphon::core {

@@ -3,6 +3,7 @@
 // not affect correctness of the delivery protocols".
 #include <gtest/gtest.h>
 
+#include "sim/simulator.hpp"
 #include "core/pfs.hpp"
 #include "harness/system.hpp"
 #include "harness/workload.hpp"

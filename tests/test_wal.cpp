@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/simulator.hpp"
 #include "harness/system.hpp"
 #include "harness/workload.hpp"
 #include "storage/crc32c.hpp"

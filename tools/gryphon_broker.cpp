@@ -1,0 +1,208 @@
+// gryphon_broker — stand-alone process hosting one broker or client role
+// over real TCP sockets (src/net runtime).
+//
+// A topology is a set of these processes wired parent-to-child:
+//
+//   gryphon_broker --role phb --name phb --listen 7700 --children 2 \
+//       --wal-dir /tmp/demo/phb &
+//   gryphon_broker --role imb --name imb0 --listen 7701 --children 2 \
+//       --parent 127.0.0.1:7700 --wal-dir /tmp/demo/imb0 &
+//   gryphon_broker --role shb --name shb0 --listen 7710 \
+//       --parent 127.0.0.1:7701 --wal-dir /tmp/demo/shb0 &
+//   gryphon_broker --role pub --name pub1 --client-id 1 \
+//       --parent 127.0.0.1:7700 --events 2000 &
+//   gryphon_broker --role sub --name sub1 --client-id 1 \
+//       --parent 127.0.0.1:7710 --expect 8000 --result-file sub1.json
+//
+// Brokers run until SIGTERM (graceful: write the result file and exit 0) or
+// SIGKILL (the crash the WAL recovery path exists for — restart with the
+// same --wal-dir and --listen to recover). Client processes exit on their
+// own once the configured workload completes. A subscriber that observes a
+// non-monotonic delivery aborts the process — every run doubles as an
+// exactly-once oracle.
+//
+// See tools/run_broker_demo.sh for the scripted 7-process demo.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "net/broker_process.hpp"
+#include "net/event_loop.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int /*sig*/) { g_stop = 1; }
+
+struct Flags {
+  gryphon::net::ProcessOptions process;
+  std::string port_file;
+  std::string started_file;
+  std::string result_file;
+  double run_for_sec = 0;  // 0 = unbounded (clients stop on completion)
+  std::string log_level = "warn";
+};
+
+void usage() {
+  std::cerr <<
+      "usage: gryphon_broker --role {phb|imb|shb|pub|sub} --name NAME [options]\n"
+      "  --listen PORT        broker listen port (0 = ephemeral)\n"
+      "  --port-file PATH     write the bound port here after listen\n"
+      "  --started-file PATH  write '1' once the role has started\n"
+      "  --parent HOST:PORT   upstream broker (everyone except the PHB)\n"
+      "  --children N         broker children to await before starting\n"
+      "  --wal-dir DIR        FileBackend WAL directory (restart recovers)\n"
+      "  --pubends N          pubend count, must match across the topology (4)\n"
+      "  --client-id N        publisher/subscriber id (1)\n"
+      "  --events N           pub: publish N events then exit when acked\n"
+      "  --interval-usec N    pub: inter-publish gap (2000)\n"
+      "  --burst N            pub: events per publish tick (1)\n"
+      "  --payload N          pub: event payload bytes (64)\n"
+      "  --groups N           pub: event group modulus (4)\n"
+      "  --predicate EXPR     sub: selector ('g >= 0' matches all)\n"
+      "  --expect N           sub: exit once N events consumed\n"
+      "  --run-for-sec S      hard runtime bound (safety net for scripts)\n"
+      "  --result-file PATH   write a one-line JSON summary on exit\n"
+      "  --disk-sync-usec N   disk sync latency (4000)\n"
+      "  --log-level L        off|debug|info|warn|error (warn)\n";
+}
+
+bool parse_flags(int argc, char** argv, Flags& flags) {
+  auto& p = flags.process;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](std::string& out) {
+      if (i + 1 >= argc) return false;
+      out = argv[++i];
+      return true;
+    };
+    std::string v;
+    if (arg == "--role" && value(v)) {
+      p.role = v;
+    } else if (arg == "--name" && value(v)) {
+      p.name = v;
+    } else if (arg == "--listen" && value(v)) {
+      p.listen_port = static_cast<std::uint16_t>(std::atoi(v.c_str()));
+    } else if (arg == "--port-file" && value(v)) {
+      flags.port_file = v;
+    } else if (arg == "--started-file" && value(v)) {
+      flags.started_file = v;
+    } else if (arg == "--parent" && value(v)) {
+      const auto colon = v.rfind(':');
+      if (colon == std::string::npos) return false;
+      p.parent_host = v.substr(0, colon);
+      p.parent_port = static_cast<std::uint16_t>(std::atoi(v.c_str() + colon + 1));
+    } else if (arg == "--children" && value(v)) {
+      p.expected_children = std::atoi(v.c_str());
+    } else if (arg == "--wal-dir" && value(v)) {
+      p.storage.file_dir = v;
+    } else if (arg == "--pubends" && value(v)) {
+      p.num_pubends = std::atoi(v.c_str());
+    } else if (arg == "--client-id" && value(v)) {
+      p.client_id = static_cast<std::uint32_t>(std::atoi(v.c_str()));
+    } else if (arg == "--events" && value(v)) {
+      p.publish_count = static_cast<std::uint64_t>(std::atoll(v.c_str()));
+    } else if (arg == "--interval-usec" && value(v)) {
+      p.publish_interval = std::atoll(v.c_str());
+    } else if (arg == "--burst" && value(v)) {
+      p.publish_burst = std::atoi(v.c_str());
+    } else if (arg == "--payload" && value(v)) {
+      p.payload_bytes = static_cast<std::size_t>(std::atoll(v.c_str()));
+    } else if (arg == "--groups" && value(v)) {
+      p.groups = std::atoi(v.c_str());
+    } else if (arg == "--predicate" && value(v)) {
+      p.predicate = v;
+    } else if (arg == "--expect" && value(v)) {
+      p.expect_events = static_cast<std::uint64_t>(std::atoll(v.c_str()));
+    } else if (arg == "--run-for-sec" && value(v)) {
+      flags.run_for_sec = std::atof(v.c_str());
+    } else if (arg == "--result-file" && value(v)) {
+      flags.result_file = v;
+    } else if (arg == "--disk-sync-usec" && value(v)) {
+      p.disk.sync_latency = std::atoll(v.c_str());
+    } else if (arg == "--log-level" && value(v)) {
+      flags.log_level = v;
+    } else {
+      std::cerr << "unknown or incomplete flag: " << arg << "\n";
+      return false;
+    }
+  }
+  return !p.role.empty() && !p.name.empty();
+}
+
+gryphon::LogLevel parse_level(const std::string& name) {
+  using gryphon::LogLevel;
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path + ".tmp", std::ios::trunc);
+  out << content << "\n";
+  out.close();
+  std::rename((path + ".tmp").c_str(), path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (!parse_flags(argc, argv, flags)) {
+    usage();
+    return 2;
+  }
+  gryphon::Logger::instance().set_level(parse_level(flags.log_level));
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  gryphon::net::EventLoop loop;
+  gryphon::net::BrokerProcess process(loop, flags.process);
+  if (!flags.port_file.empty() && process.port() != 0) {
+    write_file(flags.port_file, std::to_string(process.port()));
+  }
+
+  // Started beacon for scripts: a durable subscription covers ticks from its
+  // establishment onward, so a launcher must not start publishing until the
+  // subscribers are up — this file is the wait target.
+  std::function<void()> announce_started = [&] {
+    if (process.started()) {
+      write_file(flags.started_file, "1");
+      return;
+    }
+    loop.schedule_after(gryphon::msec(10), [&] { announce_started(); });
+  };
+  if (!flags.started_file.empty()) announce_started();
+
+  // Signal poll: SIGTERM interrupts poll(2); this timer turns the flag into
+  // a loop exit so the process can write its result file and leave cleanly.
+  std::function<void()> watch = [&] {
+    if (g_stop != 0) {
+      loop.stop();
+      return;
+    }
+    loop.schedule_after(gryphon::msec(50), [&] { watch(); });
+  };
+  watch();
+
+  if (flags.run_for_sec > 0) {
+    loop.run_for(static_cast<gryphon::SimDuration>(flags.run_for_sec * 1e6));
+  } else {
+    loop.run();
+  }
+
+  const std::string result = process.result_json();
+  if (!flags.result_file.empty()) write_file(flags.result_file, result);
+  std::cout << result << "\n";
+  return 0;
+}
