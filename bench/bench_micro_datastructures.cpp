@@ -170,6 +170,32 @@ void BM_SubscriptionMatchScanList(benchmark::State& state) {
 }
 BENCHMARK(BM_SubscriptionMatchScanList)->Arg(400)->Arg(4000);
 
+// The broker's hot loop uses match_into() with a long-lived scratch vector
+// (SubscriptionIndex keeps no blind reserve and skips the re-sort on
+// single-bucket hits), so a steady-state match should allocate nothing.
+// allocs_per_op == 0 is the target this case guards.
+void BM_SubscriptionMatchIntoReuse(benchmark::State& state) {
+  matching::SubscriptionIndex index;
+  const auto n = state.range(0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    index.add(SubscriberId{static_cast<std::uint32_t>(i)},
+              matching::parse_predicate("g == " + std::to_string(i % 4)));
+  }
+  const auto e = make_event(1);
+  std::vector<SubscriberId> scratch;
+  index.match_into(*e, scratch);  // warm the scratch to steady-state capacity
+  const std::uint64_t allocs0 = g_alloc_count.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    index.match_into(*e, scratch);
+    benchmark::DoNotOptimize(scratch.data());
+  }
+  const auto allocs = g_alloc_count.load(std::memory_order_relaxed) - allocs0;
+  state.counters["allocs_per_op"] = benchmark::Counter(
+      static_cast<double>(allocs), benchmark::Counter::kAvgIterations);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SubscriptionMatchIntoReuse)->Arg(400)->Arg(4000);
+
 void BM_PredicateParse(benchmark::State& state) {
   const std::string text =
       "(symbol == 'IBM' && price > 100.5) || (side = 'SELL' and quantity >= "

@@ -126,6 +126,10 @@ struct ReconnectBackoff {
 struct BrokerConfig {
   int cores = 6;  // RS/6000 F80
   CostModel costs{};
+  /// Shards for the SHB session table and the PFS log streams, keyed by
+  /// subscriber-id hash (core/sharding.hpp). 1 = the unsharded layout,
+  /// bit-identical with pre-sharding deployments (DESIGN.md §4.8).
+  std::size_t pfs_shards = 1;
 };
 
 }  // namespace gryphon::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/sharding.hpp"
 #include "util/assert.hpp"
 #include "util/byte_buffer.hpp"
 
@@ -12,8 +13,19 @@ namespace {
 constexpr const char* kMetaTable = "pfs_meta";
 constexpr const char* kSubTable = "pfs_sub";
 
-std::string meta_key(PubendId p, const char* what) {
-  return std::to_string(p.value()) + ':' + what;
+// Shard 0 keeps the unsharded spellings ("pfs:<p>", "<p>:last_ts"), so a
+// single-shard PFS is bit-identical with the pre-sharding layout and its
+// WALs recover either way.
+std::string stream_name(PubendId p, std::size_t shard) {
+  std::string name = "pfs:" + std::to_string(p.value());
+  if (shard > 0) name += ":s" + std::to_string(shard);
+  return name;
+}
+
+std::string meta_key(PubendId p, std::size_t shard, const char* what) {
+  std::string key = std::to_string(p.value()) + ':';
+  if (shard > 0) key += 's' + std::to_string(shard) + ':';
+  return key + what;
 }
 
 std::string sub_key(PubendId p, SubscriberId s) {
@@ -34,12 +46,15 @@ std::int64_t decode_i64(const std::vector<std::byte>& bytes) {
 }  // namespace
 
 PersistentFilteringSubsystem::PersistentFilteringSubsystem(NodeResources& resources,
-                                                           const CostModel& costs)
-    : res_(resources), costs_(costs) {
+                                                           const CostModel& costs,
+                                                           std::size_t shards)
+    : res_(resources), costs_(costs), shards_(shards) {
   GRYPHON_CHECK(costs_.pfs_imprecise_batch >= 1);
+  GRYPHON_CHECK(shards_ >= 1);
   m_records_written_ = res_.metrics.counter("pfs.records_written");
   m_bytes_written_ = res_.metrics.counter("pfs.record_bytes_written");
   m_reads_ = res_.metrics.counter("pfs.reads_issued");
+  split_scratch_.resize(shards_);
 }
 
 // Format-drift guards for the paper's "8 + 16·n bytes" accounting: each
@@ -108,81 +123,92 @@ void PersistentFilteringSubsystem::open(const std::vector<PubendId>& pubends) {
   for (PubendId p : pubends) {
     PerPubend state;
     state.id = p;
-    state.stream = volume.open_stream("pfs:" + std::to_string(p.value()));
-
-    // Last committed metadata snapshot (may lag the durable log).
-    if (auto v = db.get(kMetaTable, meta_key(p, "last_ts"))) {
-      state.durable_timestamp = decode_i64(*v);
-    }
-    if (auto v = db.get(kMetaTable, meta_key(p, "scan"))) {
-      state.durable_scan_index = static_cast<storage::LogIndex>(decode_i64(*v));
-    }
-    if (auto v = db.get(kMetaTable, meta_key(p, "chopped"))) {
-      state.chopped_upto = decode_i64(*v);
+    state.shards.resize(shards_);
+    for (std::size_t k = 0; k < shards_; ++k) {
+      Shard& shard = state.shards[k];
+      shard.stream = volume.open_stream(stream_name(p, k));
+      // Last committed metadata snapshot (may lag the durable log).
+      if (auto v = db.get(kMetaTable, meta_key(p, k, "last_ts"))) {
+        shard.durable_timestamp = decode_i64(*v);
+      }
+      if (auto v = db.get(kMetaTable, meta_key(p, k, "scan"))) {
+        shard.durable_scan_index = static_cast<storage::LogIndex>(decode_i64(*v));
+      }
+      if (auto v = db.get(kMetaTable, meta_key(p, k, "chopped"))) {
+        shard.chopped_upto = decode_i64(*v);
+      }
     }
     pubends_.emplace(p, std::move(state));
   }
 
-  // Per-subscriber lastIndex rows.
-  for (const auto& [key, value] : db.scan(kSubTable)) {
-    const auto colon = key.find(':');
-    GRYPHON_CHECK(colon != std::string::npos);
-    const PubendId p{static_cast<std::uint32_t>(std::stoul(key.substr(0, colon)))};
-    const SubscriberId s{static_cast<std::uint32_t>(std::stoul(key.substr(colon + 1)))};
-    auto it = pubends_.find(p);
-    if (it == pubends_.end()) continue;  // pubend no longer configured
-    it->second.durable_last_index[s] = static_cast<storage::LogIndex>(decode_i64(value));
+  // Per-subscriber lastIndex rows: an ordered-index range scan per pubend
+  // prefix, not a full-table pass — recovery cost follows the configured
+  // pubends' rows, routed to each subscriber's shard.
+  for (auto& [p, state] : pubends_) {
+    const std::string prefix = std::to_string(p.value()) + ':';
+    for (const auto& [key, value] : db.scan_prefix(kSubTable, prefix)) {
+      const SubscriberId s{
+          static_cast<std::uint32_t>(std::stoul(key.substr(prefix.size())))};
+      state.shards[subscriber_shard(s, shards_)].durable_last_index[s] =
+          static_cast<storage::LogIndex>(decode_i64(value));
+    }
   }
 
-  // Repair: forward-scan the durable log suffix that postdates the metadata
-  // snapshot, rebuilding lastTimestamp and lastIndex(s).
+  // Repair: forward-scan each shard's durable log suffix that postdates the
+  // metadata snapshot, rebuilding lastTimestamp and lastIndex(s).
   for (auto& [p, state] : pubends_) {
-    state.last_index = state.durable_last_index;
-    state.last_timestamp = state.durable_timestamp;
-    const storage::LogIndex durable = volume.durable_index(state.stream);
-    storage::LogIndex from = std::max<storage::LogIndex>(state.durable_scan_index + 1,
-                                                         volume.first_index(state.stream));
-    for (storage::LogIndex i = from; i <= durable; ++i) {
-      const auto* bytes = volume.read(state.stream, i);
-      if (bytes == nullptr) continue;  // chopped
-      Record rec = decode(*bytes);
-      GRYPHON_CHECK(rec.range.to > state.last_timestamp);
-      state.last_timestamp = rec.range.to;
-      for (const auto& [sub, prev] : rec.entries) state.last_index[sub] = i;
-    }
-    state.durable_scan_index = std::max(state.durable_scan_index, durable);
-    state.durable_timestamp = state.last_timestamp;
-    state.durable_last_index = state.last_index;
-    state.last_accepted = state.last_timestamp;
-    state.meta_dirty = true;
+    for (Shard& shard : state.shards) {
+      shard.last_index = shard.durable_last_index;
+      shard.last_timestamp = shard.durable_timestamp;
+      const storage::LogIndex durable = volume.durable_index(shard.stream);
+      storage::LogIndex from = std::max<storage::LogIndex>(
+          shard.durable_scan_index + 1, volume.first_index(shard.stream));
+      for (storage::LogIndex i = from; i <= durable; ++i) {
+        const auto* bytes = volume.read(shard.stream, i);
+        if (bytes == nullptr) continue;  // chopped
+        Record rec = decode(*bytes);
+        GRYPHON_CHECK(rec.range.to > shard.last_timestamp);
+        shard.last_timestamp = rec.range.to;
+        for (const auto& [sub, prev] : rec.entries) shard.last_index[sub] = i;
+      }
+      shard.durable_scan_index = std::max(shard.durable_scan_index, durable);
+      shard.durable_timestamp = shard.last_timestamp;
+      shard.durable_last_index = shard.last_index;
+      shard.meta_dirty = true;
 
-    // Re-chop records resurrected below the committed chop boundary: the
-    // byte-level recovery can bring back records whose chop frame was still
-    // in the page cache when the crash hit, while the DB commit of
-    // `chopped` was already durable.
-    while (volume.first_index(state.stream) < volume.next_index(state.stream)) {
-      const storage::LogIndex first = volume.first_index(state.stream);
-      const auto* bytes = volume.read(state.stream, first);
-      if (bytes == nullptr || decode(*bytes).range.to > state.chopped_upto) break;
-      volume.chop(state.stream, first);
+      // Re-chop records resurrected below the committed chop boundary: the
+      // byte-level recovery can bring back records whose chop frame was
+      // still in the page cache when the crash hit, while the DB commit of
+      // `chopped` was already durable.
+      while (volume.first_index(shard.stream) < volume.next_index(shard.stream)) {
+        const storage::LogIndex first = volume.first_index(shard.stream);
+        const auto* bytes = volume.read(shard.stream, first);
+        if (bytes == nullptr || decode(*bytes).range.to > shard.chopped_upto) break;
+        volume.chop(shard.stream, first);
+      }
+      state.last_timestamp = std::max(state.last_timestamp, shard.last_timestamp);
     }
+    state.durable_timestamp = state.last_timestamp;
+    state.last_accepted = state.last_timestamp;
   }
 }
 
-void PersistentFilteringSubsystem::write_record(PerPubend& state, TickRange range,
-                                                const std::vector<SubscriberId>& matching) {
+void PersistentFilteringSubsystem::write_record(
+    PerPubend& state, Shard& shard, TickRange range,
+    const std::vector<SubscriberId>& matching) {
   Record rec;
   rec.range = range;
   rec.entries.reserve(matching.size());
   for (SubscriberId s : matching) {
-    auto it = state.last_index.find(s);
-    rec.entries.emplace_back(s, it == state.last_index.end() ? storage::kNoIndex
+    auto it = shard.last_index.find(s);
+    rec.entries.emplace_back(s, it == shard.last_index.end() ? storage::kNoIndex
                                                              : it->second);
   }
   const storage::LogIndex idx = res_.log_volume.append(
-      state.stream, encode(rec, res_.log_volume.acquire_buffer()));
-  for (SubscriberId s : matching) state.last_index[s] = idx;
-  state.last_timestamp = range.to;
+      shard.stream, encode(rec, res_.log_volume.acquire_buffer()));
+  for (SubscriberId s : matching) shard.last_index[s] = idx;
+  shard.last_timestamp = range.to;
+  state.last_timestamp = std::max(state.last_timestamp, range.to);
   ++records_written_;
   const std::size_t bytes = range_record_bytes(matching.size(), range.from != range.to);
   bytes_written_ += bytes;
@@ -192,10 +218,26 @@ void PersistentFilteringSubsystem::write_record(PerPubend& state, TickRange rang
                            TraceMilestone::kPfsLog);
 }
 
+void PersistentFilteringSubsystem::write_sharded(
+    PerPubend& state, TickRange range, const std::vector<SubscriberId>& matching) {
+  if (shards_ == 1) {
+    write_record(state, state.shards[0], range, matching);
+    return;
+  }
+  for (auto& bucket : split_scratch_) bucket.clear();
+  for (SubscriberId s : matching) {
+    split_scratch_[subscriber_shard(s, shards_)].push_back(s);
+  }
+  for (std::size_t k = 0; k < shards_; ++k) {
+    if (split_scratch_[k].empty()) continue;
+    write_record(state, state.shards[k], range, split_scratch_[k]);
+  }
+}
+
 void PersistentFilteringSubsystem::flush_batch(PerPubend& state) {
   if (state.batch_count == 0) return;
   std::vector<SubscriberId> matching(state.batch_union.begin(), state.batch_union.end());
-  write_record(state, {state.batch_first, state.batch_last}, matching);
+  write_sharded(state, {state.batch_first, state.batch_last}, matching);
   state.batch_count = 0;
   state.batch_union.clear();
 }
@@ -210,7 +252,7 @@ void PersistentFilteringSubsystem::append(PubendId pubend, Tick tick,
   state.last_accepted = tick;
 
   if (costs_.pfs_imprecise_batch <= 1) {
-    write_record(state, {tick, tick}, matching);
+    write_sharded(state, {tick, tick}, matching);
     return;
   }
 
@@ -226,28 +268,48 @@ void PersistentFilteringSubsystem::sync(std::function<void()> on_durable) {
   for (auto& [p, state] : pubends_) flush_batch(state);
 
   // Capture the state the barrier will cover; it becomes the durable
-  // snapshot (and thus DB-committable metadata) at completion.
-  struct Snapshot {
-    PubendId pubend;
+  // snapshot (and thus DB-committable metadata) at completion. All shards
+  // share every barrier, so the pubend-level durable timestamp stays the
+  // pubend-level lastTimestamp at capture time.
+  struct ShardSnapshot {
     Tick last_timestamp;
     storage::LogIndex scan_index;
     std::unordered_map<SubscriberId, storage::LogIndex> last_index;
   };
+  struct Snapshot {
+    PubendId pubend;
+    Tick last_timestamp;
+    std::vector<ShardSnapshot> shards;
+  };
   std::vector<Snapshot> snaps;
   snaps.reserve(pubends_.size());
   for (auto& [p, state] : pubends_) {
-    snaps.push_back({p, state.last_timestamp,
-                     res_.log_volume.next_index(state.stream) - 1, state.last_index});
+    Snapshot snap;
+    snap.pubend = p;
+    snap.last_timestamp = state.last_timestamp;
+    snap.shards.reserve(state.shards.size());
+    for (Shard& shard : state.shards) {
+      snap.shards.push_back({shard.last_timestamp,
+                             res_.log_volume.next_index(shard.stream) - 1,
+                             shard.last_index});
+    }
+    snaps.push_back(std::move(snap));
   }
   res_.log_volume.sync(
       [this, snaps = std::move(snaps), on_durable = std::move(on_durable)] {
         for (const auto& snap : snaps) {
           PerPubend& state = per(snap.pubend);
-          if (snap.last_timestamp > state.durable_timestamp) {
-            state.durable_timestamp = snap.last_timestamp;
-            state.durable_scan_index = snap.scan_index;
-            state.durable_last_index = snap.last_index;
-            state.meta_dirty = true;
+          state.durable_timestamp =
+              std::max(state.durable_timestamp, snap.last_timestamp);
+          for (std::size_t k = 0; k < snap.shards.size(); ++k) {
+            Shard& shard = state.shards[k];
+            const ShardSnapshot& ss = snap.shards[k];
+            if (ss.last_timestamp > shard.durable_timestamp) {
+              shard.durable_timestamp = ss.last_timestamp;
+              shard.durable_scan_index = ss.scan_index;
+              shard.durable_last_index = ss.last_index;
+              shard.meta_dirty = true;
+            }
           }
         }
         if (on_durable) on_durable();
@@ -276,6 +338,10 @@ void PersistentFilteringSubsystem::read(PubendId pubend, SubscriberId subscriber
                                         std::function<void(ReadResult)> done) {
   GRYPHON_CHECK(max_positions > 0);
   PerPubend& state = per(pubend);
+  // The subscriber's whole chain lives in its shard; records in other
+  // shards never name it, so silence inference against the pubend-level
+  // lastTimestamp stays sound.
+  Shard& shard = state.shards[subscriber_shard(subscriber, shards_)];
   ReadResult result;
   result.covered_upto = state.last_timestamp;
   result.complete_from = from;
@@ -285,12 +351,12 @@ void PersistentFilteringSubsystem::read(PubendId pubend, SubscriberId subscriber
   // Walk the subscriber's back-pointer chain, newest to oldest.
   bool truncated_by_chop = false;
   storage::LogIndex cur = storage::kNoIndex;
-  if (auto it = state.last_index.find(subscriber); it != state.last_index.end()) {
+  if (auto it = shard.last_index.find(subscriber); it != shard.last_index.end()) {
     cur = it->second;
   }
   std::vector<TickRange> descending;
   while (cur != storage::kNoIndex) {
-    const auto* bytes = res_.log_volume.read(state.stream, cur);
+    const auto* bytes = res_.log_volume.read(shard.stream, cur);
     if (bytes == nullptr) {
       truncated_by_chop = true;
       break;
@@ -317,7 +383,7 @@ void PersistentFilteringSubsystem::read(PubendId pubend, SubscriberId subscriber
     // Records below the chop are gone; the region (from, chopped_upto] is
     // unknown to the PFS (the caller leaves it Q and lets the network — and
     // ultimately the pubend's L ladder — resolve it).
-    result.complete_from = std::max(from, state.chopped_upto);
+    result.complete_from = std::max(from, shard.chopped_upto);
   }
 
   std::reverse(descending.begin(), descending.end());
@@ -357,33 +423,39 @@ void PersistentFilteringSubsystem::read(PubendId pubend, SubscriberId subscriber
 
 void PersistentFilteringSubsystem::chop_upto(PubendId pubend, Tick upto) {
   PerPubend& state = per(pubend);
-  if (upto <= state.chopped_upto) return;
   auto& volume = res_.log_volume;
-  while (volume.first_index(state.stream) < volume.next_index(state.stream)) {
-    const storage::LogIndex first = volume.first_index(state.stream);
-    const auto* bytes = volume.read(state.stream, first);
-    GRYPHON_CHECK(bytes != nullptr);
-    if (decode(*bytes).range.to > upto) break;
-    volume.chop(state.stream, first);
+  for (Shard& shard : state.shards) {
+    if (upto <= shard.chopped_upto) continue;
+    while (volume.first_index(shard.stream) < volume.next_index(shard.stream)) {
+      const storage::LogIndex first = volume.first_index(shard.stream);
+      const auto* bytes = volume.read(shard.stream, first);
+      GRYPHON_CHECK(bytes != nullptr);
+      if (decode(*bytes).range.to > upto) break;
+      volume.chop(shard.stream, first);
+    }
+    shard.chopped_upto = upto;
+    shard.meta_dirty = true;
   }
-  state.chopped_upto = upto;
-  state.meta_dirty = true;
 }
 
 std::vector<storage::Database::Put> PersistentFilteringSubsystem::dirty_metadata() {
   std::vector<storage::Database::Put> puts;
   for (auto& [p, state] : pubends_) {
-    if (!state.meta_dirty) continue;
-    puts.push_back({kMetaTable, meta_key(p, "last_ts"),
-                    encode_i64(state.durable_timestamp)});
-    puts.push_back({kMetaTable, meta_key(p, "scan"),
-                    encode_i64(static_cast<std::int64_t>(state.durable_scan_index))});
-    puts.push_back({kMetaTable, meta_key(p, "chopped"), encode_i64(state.chopped_upto)});
-    for (const auto& [s, idx] : state.durable_last_index) {
+    for (std::size_t k = 0; k < state.shards.size(); ++k) {
+      Shard& shard = state.shards[k];
+      if (!shard.meta_dirty) continue;
+      puts.push_back({kMetaTable, meta_key(p, k, "last_ts"),
+                      encode_i64(shard.durable_timestamp)});
+      puts.push_back({kMetaTable, meta_key(p, k, "scan"),
+                      encode_i64(static_cast<std::int64_t>(shard.durable_scan_index))});
       puts.push_back(
-          {kSubTable, sub_key(p, s), encode_i64(static_cast<std::int64_t>(idx))});
+          {kMetaTable, meta_key(p, k, "chopped"), encode_i64(shard.chopped_upto)});
+      for (const auto& [s, idx] : shard.durable_last_index) {
+        puts.push_back(
+            {kSubTable, sub_key(p, s), encode_i64(static_cast<std::int64_t>(idx))});
+      }
+      shard.meta_dirty = false;
     }
-    state.meta_dirty = false;
   }
   return puts;
 }

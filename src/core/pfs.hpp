@@ -28,6 +28,15 @@
 // ranges are implicit. Metadata (lastTimestamp, lastIndex(s), durable scan
 // position) lives in database tables and is re-synchronized on recovery by a
 // forward scan of the durable log suffix.
+//
+// SHARDING (DESIGN.md §4.8): with `shards` > 1 each pubend keeps one log
+// stream *per subscriber-id-hash shard* and an append splits its matching
+// list into one record per non-empty shard. A subscriber's whole chain —
+// records, back-pointers, lastIndex rows — lives in its shard, so reads,
+// recovery scans and fan-out accounting touch one shard's state only, and
+// no per-subscriber map scales with the full population. Shard 0 keeps the
+// unsharded stream name and metadata keys, so `shards == 1` (the default)
+// is bit-identical with the pre-sharding layout.
 #pragma once
 
 #include <cstdint>
@@ -49,7 +58,8 @@ namespace gryphon::core {
 
 class PersistentFilteringSubsystem {
  public:
-  PersistentFilteringSubsystem(NodeResources& resources, const CostModel& costs);
+  PersistentFilteringSubsystem(NodeResources& resources, const CostModel& costs,
+                               std::size_t shards = 1);
 
   /// Opens (or reopens) the per-pubend log streams and loads + repairs
   /// metadata from the database (recovery = forward scan of the durable
@@ -137,24 +147,35 @@ class PersistentFilteringSubsystem {
            kPerSubscriberBytes * n_subscribers;
   }
 
+  [[nodiscard]] std::size_t shards() const { return shards_; }
+
  private:
-  struct PerPubend {
-    PubendId id{};
+  /// Per-(pubend, shard) log stream + chain state: everything keyed by a
+  /// subscriber lives here, in the shard its id hashes to.
+  struct Shard {
     storage::LogStreamId stream = 0;
-    Tick last_accepted = kTickZero;   // newest fact handed to append()
-    Tick last_timestamp = kTickZero;  // newest tick covered by a record
+    Tick last_timestamp = kTickZero;  // newest tick covered by a record here
     Tick chopped_upto = kTickZero;    // everything at or below was chopped
     std::unordered_map<SubscriberId, storage::LogIndex> last_index;
-    // Imprecise write batch (empty in precise mode).
-    Tick batch_first = kTickZero;
-    Tick batch_last = kTickZero;
-    std::size_t batch_count = 0;
-    std::set<SubscriberId> batch_union;
     // Durable snapshot (advanced at sync completion) + DB dirty tracking.
     Tick durable_timestamp = kTickZero;
     storage::LogIndex durable_scan_index = storage::kNoIndex;
     std::unordered_map<SubscriberId, storage::LogIndex> durable_last_index;
     bool meta_dirty = false;
+  };
+
+  struct PerPubend {
+    PubendId id{};
+    Tick last_accepted = kTickZero;   // newest fact handed to append()
+    Tick last_timestamp = kTickZero;  // max over shards
+    Tick durable_timestamp = kTickZero;
+    std::vector<Shard> shards;
+    // Imprecise write batch (empty in precise mode), pubend-level: a flush
+    // emits one record per shard with members in that shard.
+    Tick batch_first = kTickZero;
+    Tick batch_last = kTickZero;
+    std::size_t batch_count = 0;
+    std::set<SubscriberId> batch_union;
   };
 
   struct Record {
@@ -168,15 +189,21 @@ class PersistentFilteringSubsystem {
   [[nodiscard]] static Record decode(const std::vector<std::byte>& bytes);
 
   void flush_batch(PerPubend& state);
-  void write_record(PerPubend& state, TickRange range,
+  void write_record(PerPubend& state, Shard& shard, TickRange range,
                     const std::vector<SubscriberId>& matching);
+  /// Splits `matching` by shard into split_scratch_ and writes one record
+  /// per non-empty shard (the single-shard path bypasses the split).
+  void write_sharded(PerPubend& state, TickRange range,
+                     const std::vector<SubscriberId>& matching);
 
   PerPubend& per(PubendId p);
   [[nodiscard]] const PerPubend& per(PubendId p) const;
 
   NodeResources& res_;
   const CostModel& costs_;
+  std::size_t shards_;
   std::map<PubendId, PerPubend> pubends_;
+  std::vector<std::vector<SubscriberId>> split_scratch_;
 
   std::uint64_t records_written_ = 0;
   std::uint64_t bytes_written_ = 0;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "core/sharding.hpp"
 #include "util/byte_buffer.hpp"
 #include "util/logging.hpp"
 
@@ -42,11 +43,16 @@ std::vector<std::byte> encode_sub_row(bool jms, const std::string& predicate) {
 SubscriberHostingBroker::SubscriberHostingBroker(NodeResources& resources,
                                                  BrokerConfig config,
                                                  const std::vector<PubendId>& pubends)
-    : Broker(resources, config), pubend_ids_(pubends), pfs_(resources, config_.costs) {
+    : Broker(resources, config),
+      pubend_ids_(pubends),
+      sub_shards_(std::max<std::size_t>(1, config_.pfs_shards)),
+      pfs_(resources, config_.costs, std::max<std::size_t>(1, config_.pfs_shards)) {
   auto& m = res_.metrics;
   for (PubendId p : pubend_ids_) {
     PerPubend state;
     state.id = p;
+    state.shard_released_min.assign(sub_shards_.size(), kTickZero);
+    state.shard_released_dirty.assign(sub_shards_.size(), 1);
     state.g_latest_delivered =
         m.gauge("shb.p" + std::to_string(p.value()) + ".latest_delivered");
     pubends_.emplace(p, std::move(state));
@@ -91,6 +97,18 @@ SubscriberHostingBroker::SubscriberHostingBroker(NodeResources& resources,
   probes_.push_back(m.probe("shb.connected_subscribers", [this] {
     return static_cast<double>(connected_subscribers());
   }));
+  // Covering-index health (DESIGN.md §4.8): hosted population, how far the
+  // subsumption grouping compresses it, and the cumulative number of
+  // predicate evaluations the matcher actually performed.
+  probes_.push_back(m.probe("matching.subscriptions", [this] {
+    return static_cast<double>(hosted_.size());
+  }));
+  probes_.push_back(m.probe("matching.covering_groups", [this] {
+    return static_cast<double>(hosted_.group_count());
+  }));
+  probes_.push_back(m.probe("matching.match_candidates", [this] {
+    return static_cast<double>(hosted_.candidates_evaluated());
+  }));
 }
 
 SubscriberHostingBroker::PerPubend& SubscriberHostingBroker::per(PubendId p) {
@@ -105,10 +123,30 @@ const SubscriberHostingBroker::PerPubend& SubscriberHostingBroker::per(PubendId 
   return it->second;
 }
 
+std::map<SubscriberId, SubscriberHostingBroker::SubscriberState>&
+SubscriberHostingBroker::shard_map(SubscriberId s) {
+  return sub_shards_[subscriber_shard(s, sub_shards_.size())];
+}
+
+SubscriberHostingBroker::SubscriberState* SubscriberHostingBroker::try_sub(SubscriberId s) {
+  auto& shard = shard_map(s);
+  auto it = shard.find(s);
+  return it == shard.end() ? nullptr : &it->second;
+}
+
 SubscriberHostingBroker::SubscriberState& SubscriberHostingBroker::sub(SubscriberId s) {
-  auto it = subs_.find(s);
-  GRYPHON_CHECK_MSG(it != subs_.end(), "unknown subscriber " << s);
-  return it->second;
+  SubscriberState* found = try_sub(s);
+  GRYPHON_CHECK_MSG(found != nullptr, "unknown subscriber " << s);
+  return *found;
+}
+
+void SubscriberHostingBroker::mark_released_dirty(SubscriberId s, PubendId p) {
+  per(p).shard_released_dirty[subscriber_shard(s, sub_shards_.size())] = 1;
+}
+
+void SubscriberHostingBroker::mark_released_dirty_all(SubscriberId s) {
+  const std::size_t k = subscriber_shard(s, sub_shards_.size());
+  for (auto& [p, state] : pubends_) state.shard_released_dirty[k] = 1;
 }
 
 // --------------------------------------------------------------- lifecycle
@@ -148,23 +186,23 @@ void SubscriberHostingBroker::recover() {
     s.predicate = matching::parse_predicate(s.predicate_text);
     for (PubendId p : pubend_ids_) s.released[p] = kTickZero;
     hosted_.add(s.id, s.predicate);
-    subs_.emplace(s.id, std::move(s));
+    shard_map(s.id).emplace(s.id, std::move(s));
   }
   for (const auto& [key, value] : res_.database.scan(kReleasedTable)) {
     const auto colon = key.find(':');
     GRYPHON_CHECK(colon != std::string::npos);
     const SubscriberId sid{static_cast<std::uint32_t>(std::stoul(key.substr(0, colon)))};
     const PubendId p{static_cast<std::uint32_t>(std::stoul(key.substr(colon + 1)))};
-    auto it = subs_.find(sid);
-    if (it == subs_.end()) continue;
-    it->second.released[p] = decode_i64(value);
+    SubscriberState* found = try_sub(sid);
+    if (found == nullptr) continue;
+    found->released[p] = decode_i64(value);
   }
 
   // Re-announce subscriptions upstream (idempotent) and resume the streams
   // from latestDelivered — everything after it is re-nacked (Fig. 7).
-  for (const auto& [sid, s] : subs_) {
-    send(parent_, std::make_shared<SubscribeMsg>(sid, s.predicate_text));
-  }
+  for_each_sub([this](const SubscriberState& s) {
+    send(parent_, std::make_shared<SubscribeMsg>(s.id, s.predicate_text));
+  });
   std::vector<std::pair<PubendId, Tick>> resume;
   resume.reserve(pubend_ids_.size());
   for (PubendId p : pubend_ids_) resume.emplace_back(p, per(p).latest_delivered);
@@ -197,23 +235,29 @@ Tick SubscriberHostingBroker::released(PubendId p) const { return computed_relea
 
 std::size_t SubscriberHostingBroker::catchup_stream_count() const {
   std::size_t n = 0;
-  for (const auto& [sid, s] : subs_) n += s.catchup.size();
+  for (const auto& [p, state] : pubends_) n += state.catchup_subs.size();
   return n;
 }
 
 std::size_t SubscriberHostingBroker::connected_subscribers() const {
-  std::size_t n = 0;
-  for (const auto& [sid, s] : subs_) n += s.connected ? 1 : 0;
-  return n;
+  return connected_.size();
 }
 
 Tick SubscriberHostingBroker::computed_released(PubendId p) const {
   const PerPubend& state = per(p);
   Tick rel = state.latest_delivered;
-  for (const auto& [sid, s] : subs_) {
-    auto it = s.released.find(p);
-    GRYPHON_CHECK(it != s.released.end());
-    rel = std::min(rel, it->second);
+  for (std::size_t k = 0; k < sub_shards_.size(); ++k) {
+    if (state.shard_released_dirty[k] != 0) {
+      Tick shard_min = kTickInfinity;
+      for (const auto& [sid, s] : sub_shards_[k]) {
+        auto it = s.released.find(p);
+        GRYPHON_CHECK(it != s.released.end());
+        shard_min = std::min(shard_min, it->second);
+      }
+      state.shard_released_min[k] = shard_min;
+      state.shard_released_dirty[k] = 0;
+    }
+    rel = std::min(rel, state.shard_released_min[k]);
   }
   return rel;
 }
@@ -308,7 +352,11 @@ void SubscriberHostingBroker::advance_constream(PubendId p) {
   state.istream.for_each_data(
       state.processed_upto + 1, dh,
       [&](Tick t, const matching::EventDataPtr& event) {
-        const auto matches = hosted_.match(*event);
+        // Reuses the broker-owned scratch vector: the constream match is the
+        // hottest allocation site at scale, and the result is consumed before
+        // the next callback fires.
+        hosted_.match_into(*event, match_scratch_);
+        const auto& matches = match_scratch_;
         if (!matches.empty()) {
           m_matched_->inc();
           res_.tracer.record(now(), p.value(), t, TraceMilestone::kMatch);
@@ -339,9 +387,9 @@ void SubscriberHostingBroker::advance_constream(PubendId p) {
                       config_.costs.per_delivery;
     cpu_then(cost, [this, p, sends = std::move(sends)] {
       for (const auto& d : sends) {
-        auto it = subs_.find(d.sid);
-        if (it == subs_.end()) continue;
-        SubscriberState& s = it->second;
+        SubscriberState* found = try_sub(d.sid);
+        if (found == nullptr) continue;
+        SubscriberState& s = *found;
         if (!s.connected || s.session != d.session) continue;
         deliver_to_subscriber(s, p, d.tick, d.event, /*catchup=*/false);
         ++stats_.constream_deliveries;
@@ -356,10 +404,8 @@ void SubscriberHostingBroker::advance_constream(PubendId p) {
   // needed for ordering, and only cache_span_ticks of history is kept for
   // serving catchup locally.
   Tick min_keep = state.processed_upto;
-  for (const auto& [sid, s] : subs_) {
-    if (auto it = s.catchup.find(p); it != s.catchup.end()) {
-      min_keep = std::min(min_keep, it->second->delivered_upto);
-    }
+  for (SubscriberId sid : state.catchup_subs) {
+    min_keep = std::min(min_keep, sub(sid).catchup.at(p)->delivered_upto);
   }
   const Tick evict =
       std::min(min_keep, state.processed_upto - config_.costs.cache_span_ticks);
@@ -418,18 +464,18 @@ void SubscriberHostingBroker::pump_jms(SubscriberState& s) {
   s.jms_commit_inflight = true;  // covers send -> consume -> CT commit
   cpu_then(config_.costs.per_delivery,
            [this, sid = s.id, session = s.session] {
-             auto it = subs_.find(sid);
-             if (it == subs_.end()) return;
-             SubscriberState& s2 = it->second;
+             SubscriberState* found = try_sub(sid);
+             if (found == nullptr) return;
+             SubscriberState& s2 = *found;
              if (!s2.connected || s2.session != session || s2.jms_queue.empty()) return;
              send(s2.client, s2.jms_queue.front().second);
            });
 }
 
 void SubscriberHostingBroker::on_jms_consumed(const JmsConsumedMsg& msg) {
-  auto it = subs_.find(msg.subscriber);
-  if (it == subs_.end()) return;
-  SubscriberState& s = it->second;
+  SubscriberState* found = try_sub(msg.subscriber);
+  if (found == nullptr) return;
+  SubscriberState& s = *found;
   if (s.jms_queue.empty()) return;  // stale ack from a previous session
   const auto& [p, front] = s.jms_queue.front();
   if (front->pubend != msg.pubend || front->tick != msg.tick) return;  // stale
@@ -443,11 +489,14 @@ void SubscriberHostingBroker::on_jms_consumed(const JmsConsumedMsg& msg) {
       conn,
       {{kReleasedTable, rel_key(msg.subscriber, msg.pubend), encode_i64(msg.tick)}},
       guarded([this, sid = msg.subscriber, p = msg.pubend, t = msg.tick, session] {
-        auto it2 = subs_.find(sid);
-        if (it2 == subs_.end()) return;
-        SubscriberState& s2 = it2->second;
+        SubscriberState* found2 = try_sub(sid);
+        if (found2 == nullptr) return;
+        SubscriberState& s2 = *found2;
         auto r = s2.released.find(p);
-        if (r != s2.released.end() && t > r->second) r->second = t;
+        if (r != s2.released.end() && t > r->second) {
+          r->second = t;
+          mark_released_dirty(sid, p);
+        }
         if (s2.session != session) return;  // reconnected meanwhile
         GRYPHON_CHECK(!s2.jms_queue.empty());
         s2.jms_queue.pop_front();
@@ -459,8 +508,8 @@ void SubscriberHostingBroker::on_jms_consumed(const JmsConsumedMsg& msg) {
 // ------------------------------------------------------------------ clients
 
 void SubscriberHostingBroker::on_connect(sim::EndpointId from, const ConnectMsg& msg) {
-  auto it = subs_.find(msg.subscriber);
-  if (it == subs_.end()) {
+  SubscriberState* found = try_sub(msg.subscriber);
+  if (found == nullptr) {
     GRYPHON_CHECK_MSG(!msg.predicate_text.empty(),
                       "cannot create subscription " << msg.subscriber
                                                     << " without a predicate");
@@ -481,7 +530,9 @@ void SubscriberHostingBroker::on_connect(sim::EndpointId from, const ConnectMsg&
       s.released[p] = migration ? msg.ct.of(p) : per(p).processed_upto;
     }
     hosted_.add(s.id, s.predicate);
-    subs_.emplace(s.id, std::move(s));
+    SubscriberState& stored =
+        shard_map(s.id).emplace(s.id, std::move(s)).first->second;
+    mark_released_dirty_all(msg.subscriber);
     send(parent_, std::make_shared<SubscribeMsg>(msg.subscriber, msg.predicate_text));
 
     // The subscription must be durable before the client is told it exists.
@@ -490,7 +541,7 @@ void SubscriberHostingBroker::on_connect(sim::EndpointId from, const ConnectMsg&
                     encode_sub_row(msg.jms_auto_ack, msg.predicate_text)});
     for (PubendId p : pubend_ids_) {
       puts.push_back({kReleasedTable, rel_key(msg.subscriber, p),
-                      encode_i64(subs_.at(msg.subscriber).released.at(p))});
+                      encode_i64(stored.released.at(p))});
     }
     // The session starts only when both the durable rows are committed and
     // the pubend acknowledged the subscription filter (maybe_finish_setup).
@@ -517,7 +568,7 @@ void SubscriberHostingBroker::on_connect(sim::EndpointId from, const ConnectMsg&
     return;
   }
 
-  SubscriberState& s = it->second;
+  SubscriberState& s = *found;
   CheckpointToken ct;
   if (msg.first_connect || msg.use_stored_ct) {
     // Duplicate first-connect (lost ConnectedMsg) or JMS-style SHB-held CT.
@@ -534,8 +585,8 @@ void SubscriberHostingBroker::maybe_finish_setup(SubscriberId sid) {
   PendingSetup& pending = pit->second;
   if (!pending.db_done || !pending.ack_done) return;
 
-  auto it = subs_.find(sid);
-  if (it == subs_.end()) {  // unsubscribed while the handshake was in flight
+  SubscriberState* found = try_sub(sid);
+  if (found == nullptr) {  // unsubscribed while the handshake was in flight
     pending_setups_.erase(pit);
     return;
   }
@@ -560,7 +611,7 @@ void SubscriberHostingBroker::maybe_finish_setup(SubscriberId sid) {
   const sim::EndpointId from = pending.from;
   const bool migration = pending.migration;
   pending_setups_.erase(pit);
-  create_or_resume_session(it->second, from, ct, /*send_initial_ct=*/!migration,
+  create_or_resume_session(*found, from, ct, /*send_initial_ct=*/!migration,
                            /*refilter_catchup=*/migration,
                            migration ? &distrust : nullptr);
 }
@@ -575,6 +626,7 @@ void SubscriberHostingBroker::create_or_resume_session(SubscriberState& s,
               "subscriber " << s.id << " session starts"
                             << (refilter_catchup ? " (migrated: refiltering)" : ""));
   s.connected = true;
+  connected_.insert(s.id);
   ++s.session;
   s.client = from;
   s.reconnect_time = now();
@@ -598,6 +650,7 @@ void SubscriberHostingBroker::create_or_resume_session(SubscriberState& s,
     if (base > rel->second) {
       rel->second = base;
       dirty_released_.emplace(s.id, p);
+      mark_released_dirty(s.id, p);
     }
     if (base >= state.processed_upto) {
       s.suppress_upto[p] = base;  // nothing missed: non-catchup from birth
@@ -611,6 +664,7 @@ void SubscriberHostingBroker::create_or_resume_session(SubscriberState& s,
         }
       }
       s.catchup.emplace(p, std::move(cs));
+      state.catchup_subs.insert(s.id);
       m_catchup_opened_->inc();
       any_catchup = true;
     }
@@ -679,7 +733,10 @@ void SubscriberHostingBroker::release_catchup_slot(CatchupStream& cs) {
 }
 
 void SubscriberHostingBroker::release_all_catchup(SubscriberState& s) {
-  for (auto& [p, cs] : s.catchup) release_catchup_slot(*cs);
+  for (auto& [p, cs] : s.catchup) {
+    release_catchup_slot(*cs);
+    per(p).catchup_subs.erase(s.id);
+  }
 }
 
 void SubscriberHostingBroker::drain_admission_queue() {
@@ -692,10 +749,10 @@ void SubscriberHostingBroker::drain_admission_queue() {
   while (!admission_queue_.empty() && (limit == 0 || catchup_active_ < limit)) {
     const QueuedAdmission next = admission_queue_.front();
     admission_queue_.pop_front();
-    auto it = subs_.find(next.sid);
-    if (it == subs_.end() || it->second.session != next.session) continue;
-    auto cit = it->second.catchup.find(next.p);
-    if (cit == it->second.catchup.end() || cit->second->admitted) continue;
+    SubscriberState* found = try_sub(next.sid);
+    if (found == nullptr || found->session != next.session) continue;
+    auto cit = found->catchup.find(next.p);
+    if (cit == found->catchup.end() || cit->second->admitted) continue;
     CatchupStream& cs = *cit->second;
     cs.admitted = true;
     --catchup_queued_;
@@ -703,16 +760,17 @@ void SubscriberHostingBroker::drain_admission_queue() {
     m_catchup_admitted_->inc();
     res_.tracer.record(now(), next.p.value(), cs.delivered_upto,
                        TraceMilestone::kCatchupAdmitted, next.sid.value());
-    activate_catchup(it->second, next.p);
+    activate_catchup(*found, next.p);
   }
   admission_draining_ = false;
 }
 
 void SubscriberHostingBroker::on_disconnect(const DisconnectMsg& msg) {
-  auto it = subs_.find(msg.subscriber);
-  if (it == subs_.end()) return;
-  SubscriberState& s = it->second;
+  SubscriberState* found = try_sub(msg.subscriber);
+  if (found == nullptr) return;
+  SubscriberState& s = *found;
   s.connected = false;
+  connected_.erase(s.id);
   ++s.session;
   m_catchup_closed_->inc(s.catchup.size());
   release_all_catchup(s);
@@ -722,9 +780,9 @@ void SubscriberHostingBroker::on_disconnect(const DisconnectMsg& msg) {
 }
 
 void SubscriberHostingBroker::on_ack(const AckMsg& msg) {
-  auto it = subs_.find(msg.subscriber);
-  if (it == subs_.end()) return;
-  SubscriberState& s = it->second;
+  SubscriberState* found = try_sub(msg.subscriber);
+  if (found == nullptr) return;
+  SubscriberState& s = *found;
   for (const auto& [p, t] : msg.ct.entries()) {
     if (!pubends_.contains(p)) continue;
     auto r = s.released.find(p);
@@ -734,13 +792,14 @@ void SubscriberHostingBroker::on_ack(const AckMsg& msg) {
                                TraceMilestone::kAck, s.id.value());
       r->second = t;
       dirty_released_.emplace(s.id, p);
+      mark_released_dirty(s.id, p);
     }
   }
 }
 
 void SubscriberHostingBroker::on_unsubscribe_req(const UnsubscribeReqMsg& msg) {
-  auto it = subs_.find(msg.subscriber);
-  if (it == subs_.end()) return;
+  SubscriberState* found = try_sub(msg.subscriber);
+  if (found == nullptr) return;
   hosted_.remove(msg.subscriber);
   pending_setups_.erase(msg.subscriber);
   std::vector<storage::Database::Put> puts;
@@ -749,8 +808,10 @@ void SubscriberHostingBroker::on_unsubscribe_req(const UnsubscribeReqMsg& msg) {
     puts.push_back({kReleasedTable, rel_key(msg.subscriber, p), {}});
   }
   res_.database.commit(0, std::move(puts));
-  release_all_catchup(it->second);
-  subs_.erase(it);
+  release_all_catchup(*found);
+  connected_.erase(msg.subscriber);
+  shard_map(msg.subscriber).erase(msg.subscriber);
+  mark_released_dirty_all(msg.subscriber);
   send(parent_, std::make_shared<UnsubscribeMsg>(msg.subscriber));
 }
 
@@ -772,9 +833,9 @@ void SubscriberHostingBroker::issue_pfs_read(SubscriberState& s, PubendId p) {
       p, s.id, cs.pfs_read_from, config_.costs.pfs_read_buffer_q_ticks,
       guarded_fn([this, sid = s.id, p, session, processed_at_issue, from_at_issue](
                   PersistentFilteringSubsystem::ReadResult result) {
-        auto it = subs_.find(sid);
-        if (it == subs_.end() || it->second.session != session) return;
-        SubscriberState& s2 = it->second;
+        SubscriberState* found = try_sub(sid);
+        if (found == nullptr || found->session != session) return;
+        SubscriberState& s2 = *found;
         auto cit2 = s2.catchup.find(p);
         if (cit2 == s2.catchup.end()) return;
         CatchupStream& cs2 = *cit2->second;
@@ -930,10 +991,10 @@ void SubscriberHostingBroker::schedule_catchup_nack_retry(SubscriberState& s,
                              (static_cast<std::uint64_t>(p.value()) << 8) | 1;
   defer(nack_backoff_delay(salt, cs.nack_attempt),
         [this, sid = s.id, session = s.session, p, progress = cs.nack_progress] {
-          auto it = subs_.find(sid);
-          if (it == subs_.end() || it->second.session != session) return;
-          auto cit2 = it->second.catchup.find(p);
-          if (cit2 == it->second.catchup.end()) return;
+          SubscriberState* found = try_sub(sid);
+          if (found == nullptr || found->session != session) return;
+          auto cit2 = found->catchup.find(p);
+          if (cit2 == found->catchup.end()) return;
           CatchupStream& cs2 = *cit2->second;
           cs2.nack_retry_scheduled = false;
           if (cs2.outstanding.empty()) {
@@ -953,7 +1014,7 @@ void SubscriberHostingBroker::schedule_catchup_nack_retry(SubscriberState& s,
             send(parent_, std::make_shared<NackMsg>(p, cs2.outstanding.ranges(),
                                                     /*authoritative=*/cs2.refilter));
           }
-          schedule_catchup_nack_retry(it->second, p);
+          schedule_catchup_nack_retry(*found, p);
         });
 }
 
@@ -995,12 +1056,12 @@ void SubscriberHostingBroker::schedule_setup_retry(SubscriberId sid) {
     if (pit2 == pending_setups_.end()) return;
     pit2->second.announce_retry_scheduled = false;
     if (pit2->second.ack_done) return;
-    auto it = subs_.find(sid);
-    if (it == subs_.end()) return;
+    SubscriberState* found = try_sub(sid);
+    if (found == nullptr) return;
     // Re-announce the creation handshake (covers a PHB crash between
     // subscribe and acknowledgment).
     ++pit2->second.announce_attempt;
-    send(parent_, std::make_shared<SubscribeMsg>(sid, it->second.predicate_text));
+    send(parent_, std::make_shared<SubscribeMsg>(sid, found->predicate_text));
     schedule_setup_retry(sid);
   });
 }
@@ -1069,12 +1130,12 @@ void SubscriberHostingBroker::pump_catchup_nacks(SubscriberState& s, PubendId p)
       cit2->second->repump_scheduled = true;
       defer(config_.costs.catchup_pump_interval,
             [this, sid = s.id, session = s.session, p] {
-              auto it = subs_.find(sid);
-              if (it == subs_.end() || it->second.session != session) return;
-              auto cit3 = it->second.catchup.find(p);
-              if (cit3 == it->second.catchup.end()) return;
+              SubscriberState* found = try_sub(sid);
+              if (found == nullptr || found->session != session) return;
+              auto cit3 = found->catchup.find(p);
+              if (cit3 == found->catchup.end()) return;
               cit3->second->repump_scheduled = false;
-              pump_catchup_nacks(it->second, p);
+              pump_catchup_nacks(*found, p);
             });
     }
     return;
@@ -1131,28 +1192,28 @@ void SubscriberHostingBroker::pump_catchup_nacks(SubscriberState& s, PubendId p)
     cit2->second->repump_scheduled = true;
     defer(config_.costs.catchup_pump_interval,
           [this, sid = s.id, session = s.session, p] {
-            auto it = subs_.find(sid);
-            if (it == subs_.end() || it->second.session != session) return;
-            auto cit3 = it->second.catchup.find(p);
-            if (cit3 == it->second.catchup.end()) return;
+            SubscriberState* found = try_sub(sid);
+            if (found == nullptr || found->session != session) return;
+            auto cit3 = found->catchup.find(p);
+            if (cit3 == found->catchup.end()) return;
             cit3->second->repump_scheduled = false;
-            pump_catchup_nacks(it->second, p);
-            advance_catchup(it->second, p);
+            pump_catchup_nacks(*found, p);
+            advance_catchup(*found, p);
           });
   }
 }
 
 void SubscriberHostingBroker::route_to_catchup_streams(
     PubendId p, const std::vector<routing::KnowledgeItem>& items) {
-  // Collect ids first: advance_catchup can erase streams (switchover).
-  std::vector<SubscriberId> with_catchup;
-  for (const auto& [sid, s] : subs_) {
-    if (s.catchup.contains(p)) with_catchup.push_back(sid);
-  }
+  // Copy the registry first: advance_catchup can erase streams (switchover),
+  // which mutates catchup_subs under us.
+  const PerPubend& state = per(p);
+  const std::vector<SubscriberId> with_catchup(state.catchup_subs.begin(),
+                                               state.catchup_subs.end());
   for (SubscriberId sid : with_catchup) {
-    auto it = subs_.find(sid);
-    if (it == subs_.end()) continue;
-    SubscriberState& s = it->second;
+    SubscriberState* found = try_sub(sid);
+    if (found == nullptr) continue;
+    SubscriberState& s = *found;
     auto cit = s.catchup.find(p);
     if (cit == s.catchup.end()) continue;
     CatchupStream& cs = *cit->second;
@@ -1241,9 +1302,9 @@ void SubscriberHostingBroker::advance_catchup(SubscriberState& s, PubendId p) {
                         config_.costs.per_catchup_delivery;
       cpu_then(cost, [this, sid = s.id, session = s.session, p,
                       batch = std::move(batch)] {
-        auto it = subs_.find(sid);
-        if (it == subs_.end()) return;
-        SubscriberState& s2 = it->second;
+        SubscriberState* found = try_sub(sid);
+        if (found == nullptr) return;
+        SubscriberState& s2 = *found;
         if (!s2.connected || s2.session != session) return;
         for (const auto& m : batch) {
           switch (m.kind) {
@@ -1320,6 +1381,7 @@ void SubscriberHostingBroker::maybe_switchover(SubscriberState& s, PubendId p) {
   s.suppress_upto[p] = state.processed_upto;
   release_catchup_slot(cs);
   s.catchup.erase(cit);
+  state.catchup_subs.erase(s.id);
   m_catchup_closed_->inc();
   m_switchovers_->inc();
 
@@ -1328,9 +1390,9 @@ void SubscriberHostingBroker::maybe_switchover(SubscriberState& s, PubendId p) {
                       config_.costs.per_catchup_delivery;
     cpu_then(cost, [this, sid = s.id, session = s.session, p,
                     bridge = std::move(bridge)] {
-      auto it = subs_.find(sid);
-      if (it == subs_.end()) return;
-      SubscriberState& s2 = it->second;
+      SubscriberState* found = try_sub(sid);
+      if (found == nullptr) return;
+      SubscriberState& s2 = *found;
       if (!s2.connected || s2.session != session) return;
       for (const auto& d : bridge) {
         deliver_to_subscriber(s2, p, d.tick, d.event, /*catchup=*/true);
@@ -1394,9 +1456,9 @@ void SubscriberHostingBroker::commit_dirty_state() {
     }
   }
   for (const auto& [sid, p] : dirty_released_) {
-    auto it = subs_.find(sid);
-    if (it == subs_.end()) continue;
-    puts.push_back({kReleasedTable, rel_key(sid, p), encode_i64(it->second.released.at(p))});
+    const SubscriberState* found = try_sub(sid);
+    if (found == nullptr) continue;
+    puts.push_back({kReleasedTable, rel_key(sid, p), encode_i64(found->released.at(p))});
   }
   dirty_released_.clear();
   for (auto& put : pfs_.dirty_metadata()) puts.push_back(std::move(put));
@@ -1404,8 +1466,11 @@ void SubscriberHostingBroker::commit_dirty_state() {
 }
 
 void SubscriberHostingBroker::silence_sweep() {
-  for (auto& [sid, s] : subs_) {
-    if (!s.connected) continue;
+  // Only live sessions can be owed a silence: the sweep walks the connected
+  // set (id order, same visit order as the old full-population scan) instead
+  // of every durable subscription.
+  for (SubscriberId sid : connected_) {
+    SubscriberState& s = sub(sid);
     if (now() - s.last_delivery < config_.costs.subscriber_silence_after) continue;
     for (PubendId p : pubend_ids_) {
       if (s.catchup.contains(p)) continue;  // the catchup stream handles it
@@ -1421,6 +1486,7 @@ void SubscriberHostingBroker::silence_sweep() {
           if (r != s.released.end() && upto > r->second) {
             r->second = upto;
             dirty_released_.emplace(sid, p);
+            mark_released_dirty(sid, p);
           }
         }
         continue;
@@ -1429,9 +1495,9 @@ void SubscriberHostingBroker::silence_sweep() {
       // sends to the same subscriber.
       cpu_then(config_.costs.control_process,
                [this, sid2 = sid, session = s.session, p, upto] {
-                 auto it = subs_.find(sid2);
-                 if (it == subs_.end()) return;
-                 SubscriberState& s2 = it->second;
+                 SubscriberState* found = try_sub(sid2);
+                 if (found == nullptr) return;
+                 SubscriberState& s2 = *found;
                  if (!s2.connected || s2.session != session) return;
                  if (s2.catchup.contains(p)) return;
                  send(s2.client, std::make_shared<SilenceDeliveryMsg>(sid2, p, upto));

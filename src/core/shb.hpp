@@ -150,7 +150,15 @@ class SubscriberHostingBroker final : public Broker {
     Tick processed_upto = kTickZero;    // constream has matched/PFS'd/enqueued
     Tick latest_delivered = kTickZero;  // min(processed, PFS-durable); persisted
     std::deque<Tick> pending_pfs;       // PFS'd ticks awaiting durability
-    bool released_dirty = true;
+    /// Subscribers with an open catchup stream for this pubend; lets the
+    /// constream trim / knowledge routing touch only catching-up sessions
+    /// instead of scanning the whole hosted population.
+    std::set<SubscriberId> catchup_subs;
+    /// Per-shard cached min released(s,p) (DESIGN.md §4.8): computed_released
+    /// recomputes only shards whose membership or released values changed, so
+    /// the periodic release sweep is O(dirty shard) not O(population).
+    mutable std::vector<Tick> shard_released_min;
+    mutable std::vector<std::uint8_t> shard_released_dirty;
     /// Istream nack-retry backoff (mirrors CatchupStream's trio).
     std::uint32_t nack_attempt = 0;
     std::uint64_t nack_progress = 0;
@@ -163,6 +171,19 @@ class SubscriberHostingBroker final : public Broker {
   PerPubend& per(PubendId p);
   [[nodiscard]] const PerPubend& per(PubendId p) const;
   SubscriberState& sub(SubscriberId s);
+  /// Shard-local lookup; nullptr when the subscriber is not hosted here.
+  SubscriberState* try_sub(SubscriberId s);
+  std::map<SubscriberId, SubscriberState>& shard_map(SubscriberId s);
+  /// Visits every hosted subscription, shard by shard (id order within a
+  /// shard; identical to the old flat-map order when pfs_shards == 1).
+  template <typename F>
+  void for_each_sub(F&& f) {
+    for (auto& shard : sub_shards_) {
+      for (auto& [sid, s] : shard) f(s);
+    }
+  }
+  void mark_released_dirty(SubscriberId s, PubendId p);
+  void mark_released_dirty_all(SubscriberId s);
 
   // message handlers
   void on_stream_data(const StreamDataMsg& msg);
@@ -243,8 +264,14 @@ class SubscriberHostingBroker final : public Broker {
   sim::EndpointId parent_ = 0;
   std::vector<PubendId> pubend_ids_;
   std::map<PubendId, PerPubend> pubends_;
-  std::map<SubscriberId, SubscriberState> subs_;
+  /// Session table, sharded by subscriber-id hash (core/sharding.hpp); one
+  /// shard with pfs_shards == 1, bit-identical with the old flat map.
+  std::vector<std::map<SubscriberId, SubscriberState>> sub_shards_;
+  /// Connected subscribers, id-ordered: the silence sweep walks only live
+  /// sessions instead of the whole durable population.
+  std::set<SubscriberId> connected_;
   matching::SubscriptionIndex hosted_;  // all durable subscriptions (for PFS)
+  std::vector<SubscriberId> match_scratch_;  // constream match() reuse buffer
   PersistentFilteringSubsystem pfs_;
   std::size_t pfs_unsynced_ = 0;
   bool pfs_sync_scheduled_ = false;

@@ -26,6 +26,7 @@ class MatchAll final : public Predicate {
  public:
   bool matches(const EventData&) const override { return true; }
   std::string to_string() const override { return "true"; }
+  bool is_match_all() const override { return true; }
 };
 
 class Compare final : public Predicate {
@@ -61,6 +62,11 @@ class Compare final : public Predicate {
     return true;
   }
 
+  bool compare_view(CompareView& out) const override {
+    out = {&attribute_, op_, &value_};
+    return true;
+  }
+
  private:
   std::string attribute_;
   CompareOp op_;
@@ -76,6 +82,8 @@ class Exists final : public Predicate {
   }
 
   std::string to_string() const override { return "exists(" + attribute_ + ")"; }
+
+  const std::string* exists_attribute() const override { return &attribute_; }
 
  private:
   std::string attribute_;
@@ -108,6 +116,8 @@ class And final : public Predicate {
     return false;
   }
 
+  const std::vector<PredicatePtr>* and_terms() const override { return &terms_; }
+
  private:
   std::vector<PredicatePtr> terms_;
 };
@@ -132,6 +142,8 @@ class Or final : public Predicate {
     return s + ")";
   }
 
+  const std::vector<PredicatePtr>* or_terms() const override { return &terms_; }
+
  private:
   std::vector<PredicatePtr> terms_;
 };
@@ -150,7 +162,114 @@ class Not final : public Predicate {
   PredicatePtr term_;
 };
 
+// Does "x <op> v" hold under Compare::matches semantics, with x playing the
+// event-attribute role?
+bool eval_compare(CompareOp op, const Value& x, const Value& v) {
+  switch (op) {
+    case CompareOp::kEq: return x == v;
+    case CompareOp::kNe: return !(x == v);
+    case CompareOp::kLt: return x.orderable_with(v) && x.less_than(v);
+    case CompareOp::kLe: return x.orderable_with(v) && !v.less_than(x);
+    case CompareOp::kGt: return x.orderable_with(v) && v.less_than(x);
+    case CompareOp::kGe: return x.orderable_with(v) && !x.less_than(v);
+  }
+  return false;
+}
+
+bool ordered_op(CompareOp op) {
+  return op == CompareOp::kLt || op == CompareOp::kLe || op == CompareOp::kGt ||
+         op == CompareOp::kGe;
+}
+
+bool lower_bound_op(CompareOp op) {
+  return op == CompareOp::kGt || op == CompareOp::kGe;
+}
+
+// q ⇒ p for two attribute comparisons. Sound rules only; anything outside
+// them is "unknown" (false).
+bool compare_covers(const Predicate::CompareView& p, const Predicate::CompareView& q) {
+  if (*p.attribute != *q.attribute) return false;
+  // Q is an equality: its match set is exactly the values Value-equal to
+  // q.value, and Value equality is substitutive under every op (equal
+  // numerics share as_double; strings/bools are identical), so testing
+  // q.value against P decides coverage.
+  if (q.op == CompareOp::kEq) return eval_compare(p.op, *q.value, *p.value);
+  if (p.op == CompareOp::kNe) {
+    if (q.op == CompareOp::kNe) return *p.value == *q.value;
+    // Q is ordered: covered unless p.value itself could satisfy Q.
+    return !eval_compare(q.op, *p.value, *q.value);
+  }
+  if (q.op == CompareOp::kNe || p.op == CompareOp::kEq) return false;
+  // Both ordered: interval containment over a shared ordered domain. Bounds
+  // in different directions or different domains never contain each other.
+  if (!p.value->orderable_with(*q.value)) return false;
+  if (lower_bound_op(p.op) != lower_bound_op(q.op)) return false;
+  if (lower_bound_op(p.op)) {
+    if (p.value->less_than(*q.value)) return true;
+    if (*p.value == *q.value) {
+      return !(p.op == CompareOp::kGt && q.op == CompareOp::kGe);
+    }
+    return false;
+  }
+  if (q.value->less_than(*p.value)) return true;
+  if (*p.value == *q.value) {
+    return !(p.op == CompareOp::kLt && q.op == CompareOp::kLe);
+  }
+  return false;
+}
+
 }  // namespace
+
+bool Predicate::covers(const Predicate& other) const {
+  if (is_match_all()) return true;
+  CompareView q;
+  const bool q_is_compare = other.compare_view(q);
+  // An ordered comparison against a non-orderable constant (e.g. "a < true")
+  // matches nothing, so anything covers it.
+  if (q_is_compare && ordered_op(q.op) && !q.value->orderable_with(*q.value)) {
+    return true;
+  }
+  // Q = Or(q1..qn): must cover every branch.
+  if (const auto* qor = other.or_terms()) {
+    for (const auto& t : *qor) {
+      if (!covers(*t)) return false;
+    }
+    return true;
+  }
+  // P = And(p1..pn): every conjunct must cover Q.
+  if (const auto* pand = and_terms()) {
+    for (const auto& t : *pand) {
+      if (!t->covers(other)) return false;
+    }
+    return true;
+  }
+  // P = Or(p1..pn): one covering branch suffices.
+  if (const auto* por = or_terms()) {
+    for (const auto& t : *por) {
+      if (t->covers(other)) return true;
+    }
+    return false;
+  }
+  // Q = And(q1..qn): Q implies each conjunct, so covering one suffices.
+  if (const auto* qand = other.and_terms()) {
+    for (const auto& t : *qand) {
+      if (covers(*t)) return true;
+    }
+    return false;
+  }
+  if (const auto* pe = exists_attribute()) {
+    if (const auto* qe = other.exists_attribute()) return *pe == *qe;
+    // Every comparison is false on a missing attribute, so any compare on
+    // the attribute implies exists(attribute).
+    if (q_is_compare) return *pe == *q.attribute;
+    return false;
+  }
+  CompareView p;
+  if (compare_view(p) && q_is_compare) return compare_covers(p, q);
+  // Conservative catch-all for shapes with no structural rule (Not vs Not,
+  // mixed leaves): identical text is identical semantics.
+  return to_string() == other.to_string();
+}
 
 PredicatePtr match_all() { return std::make_shared<MatchAll>(); }
 

@@ -39,6 +39,33 @@ class Predicate {
     Value value;
   };
   [[nodiscard]] virtual bool equality_key(EqualityKey& out) const;
+
+  /// Conservative subsumption test: true only when it is *provable* that
+  /// every event matched by `other` is also matched by this predicate
+  /// (other ⇒ this). False means "unknown", never "disjoint" — callers may
+  /// act only on a true result. Mutual coverage is equivalence. The
+  /// subscription index uses this to group covered subscriptions under one
+  /// representative (DESIGN.md §4.8); it is an add/remove-path operation,
+  /// never evaluated per event.
+  [[nodiscard]] bool covers(const Predicate& other) const;
+
+  /// Structural views backing covers(). A node that is not the named shape
+  /// keeps the default (false / nullptr); each concrete node overrides the
+  /// one describing it.
+  struct CompareView {
+    const std::string* attribute = nullptr;
+    CompareOp op = CompareOp::kEq;
+    const Value* value = nullptr;
+  };
+  [[nodiscard]] virtual bool compare_view(CompareView&) const { return false; }
+  [[nodiscard]] virtual const std::string* exists_attribute() const { return nullptr; }
+  [[nodiscard]] virtual bool is_match_all() const { return false; }
+  [[nodiscard]] virtual const std::vector<PredicatePtr>* and_terms() const {
+    return nullptr;
+  }
+  [[nodiscard]] virtual const std::vector<PredicatePtr>* or_terms() const {
+    return nullptr;
+  }
 };
 
 /// Always true ("subscribe to everything on this stream").

@@ -9,38 +9,211 @@ namespace gryphon::matching {
 void SubscriptionIndex::add(SubscriberId id, PredicatePtr predicate) {
   GRYPHON_CHECK(predicate != nullptr);
   remove(id);
+  insert_member(id, std::move(predicate));
+}
 
-  Entry entry{std::move(predicate), false, {}};
-  const Predicate* raw = entry.predicate.get();
-  Predicate::EqualityKey eq;
-  if (entry.predicate->equality_key(eq)) {
-    entry.bucketed = true;
-    entry.bucket = BucketKey{eq.attribute, eq.value};
-    buckets_[entry.bucket].push_back(Candidate{id, raw});
-  } else {
-    scan_list_.push_back(Candidate{id, raw});
+void SubscriptionIndex::join_exact(Group* group, SubscriberId id) {
+  if (!group->exact.empty() && id < group->exact.back()) {
+    group->exact_sorted = false;
   }
-  all_.emplace(id, std::move(entry));
+  group->exact.push_back(id);
+}
+
+std::vector<SubscriptionIndex::Group*>* SubscriptionIndex::home_of(
+    bool bucketed, const BucketKey& key) {
+  if (!bucketed) return &scan_groups_;
+  auto it = buckets_.find(BucketRef{key.attribute, key.value});
+  return it == buckets_.end() ? nullptr : &it->second;
+}
+
+SubscriptionIndex::CheckedSet* SubscriptionIndex::find_checked(
+    Group* group, const std::string& canon) {
+  for (CheckedSet& s : group->checked) {
+    if (s.canon == canon) return &s;
+  }
+  return nullptr;
+}
+
+void SubscriptionIndex::insert_member(SubscriberId id, PredicatePtr predicate) {
+  std::string canon = predicate->to_string();
+  // Tier 1: canonical-text join. Identical text is identical semantics, so
+  // the member lands next to its twins — exact when the text is the
+  // representative's, into that text's checked set otherwise. This is the
+  // O(1) path that absorbs the huge duplicate populations of a skewed
+  // workload.
+  if (auto it = by_canon_.find(canon); it != by_canon_.end()) {
+    Group* g = it->second;
+    if (canon == g->canon) {
+      join_exact(g, id);
+      all_.emplace(id, MemberInfo{std::move(predicate), g, true});
+    } else {
+      CheckedSet* set = find_checked(g, canon);
+      GRYPHON_CHECK(set != nullptr);
+      set->ids.push_back(id);
+      all_.emplace(id, MemberInfo{std::move(predicate), g, false});
+    }
+    return;
+  }
+
+  Predicate::EqualityKey eq;
+  const bool bucketed = predicate->equality_key(eq);
+  BucketKey key;
+  if (bucketed) key = BucketKey{std::move(eq.attribute), std::move(eq.value)};
+
+  // Tier 2: probe the groups this predicate would share a bucket (or the
+  // scan list) with for a representative that covers it. First covering
+  // group in insertion order wins — deterministic.
+  if (std::vector<Group*>* home = home_of(bucketed, key)) {
+    for (Group* g : *home) {
+      if (!g->rep->covers(*predicate)) continue;
+      const bool equivalent = predicate->covers(*g->rep);
+      if (equivalent) {
+        join_exact(g, id);
+      } else {
+        g->checked.push_back(CheckedSet{predicate, canon, {id}});
+        by_canon_.emplace(std::move(canon), g);
+      }
+      all_.emplace(id, MemberInfo{std::move(predicate), g, equivalent});
+      return;
+    }
+  }
+
+  // Fresh group: this predicate is its own representative.
+  auto owned = std::make_unique<Group>();
+  Group* g = owned.get();
+  g->rep = predicate;
+  g->canon = std::move(canon);
+  g->exact.push_back(id);
+  g->bucketed = bucketed;
+  g->bucket = std::move(key);
+  if (bucketed) {
+    buckets_[g->bucket].push_back(g);
+  } else {
+    scan_groups_.push_back(g);
+  }
+  by_canon_.emplace(g->canon, g);
+  groups_.emplace(g, std::move(owned));
+  all_.emplace(id, MemberInfo{std::move(predicate), g, true});
+}
+
+void SubscriptionIndex::destroy_group(Group* group) {
+  for (const CheckedSet& s : group->checked) {
+    if (auto it = by_canon_.find(s.canon);
+        it != by_canon_.end() && it->second == group) {
+      by_canon_.erase(it);
+    }
+  }
+  if (group->bucketed) {
+    auto it = buckets_.find(BucketRef{group->bucket.attribute, group->bucket.value});
+    GRYPHON_CHECK(it != buckets_.end());
+    auto& list = it->second;
+    list.erase(std::remove(list.begin(), list.end(), group), list.end());
+    if (list.empty()) buckets_.erase(it);
+  } else {
+    scan_groups_.erase(std::remove(scan_groups_.begin(), scan_groups_.end(), group),
+                       scan_groups_.end());
+  }
+  if (auto it = by_canon_.find(group->canon);
+      it != by_canon_.end() && it->second == group) {
+    by_canon_.erase(it);
+  }
+  groups_.erase(group);
+}
+
+void SubscriptionIndex::promote(Group* group) {
+  GRYPHON_CHECK(group->exact.empty() && !group->checked.empty());
+  // First checked set (insertion order) becomes the representative; its
+  // whole duplicate population turns exact in one move.
+  CheckedSet next = std::move(group->checked.front());
+  group->checked.erase(group->checked.begin());
+  if (auto it = by_canon_.find(group->canon);
+      it != by_canon_.end() && it->second == group) {
+    by_canon_.erase(it);
+  }
+  group->rep = next.predicate;
+  group->canon = std::move(next.canon);
+  group->exact = std::move(next.ids);
+  group->exact_sorted = group->exact.size() <= 1;
+  for (SubscriberId id : group->exact) all_.at(id).exact = true;
+  by_canon_.emplace(group->canon, group);  // already maps here (set canon)
+  // A member's bucket placement always equals its group's (see Group doc),
+  // so the promoted rep cannot move the group between buckets.
+  Predicate::EqualityKey eq;
+  GRYPHON_CHECK(group->rep->equality_key(eq) == group->bucketed);
+
+  // Reclassify the remaining checked sets against the new, narrower
+  // representative; any set it no longer covers re-enters through the
+  // normal insert path.
+  std::vector<CheckedSet> keep;
+  std::vector<CheckedSet> eject;
+  keep.reserve(group->checked.size());
+  for (CheckedSet& s : group->checked) {
+    if (!group->rep->covers(*s.predicate)) {
+      if (auto it = by_canon_.find(s.canon);
+          it != by_canon_.end() && it->second == group) {
+        by_canon_.erase(it);
+      }
+      eject.push_back(std::move(s));
+      continue;
+    }
+    if (s.predicate->covers(*group->rep)) {
+      // Equivalent to the new rep under a different spelling: exact-join
+      // the set. Drop its canon entry so a later insert of that spelling
+      // re-derives equivalence through tier 2 instead of expecting a
+      // checked set that no longer exists.
+      if (auto it = by_canon_.find(s.canon);
+          it != by_canon_.end() && it->second == group) {
+        by_canon_.erase(it);
+      }
+      for (SubscriberId id : s.ids) {
+        join_exact(group, id);
+        all_.at(id).exact = true;
+      }
+    } else {
+      keep.push_back(std::move(s));
+    }
+  }
+  group->checked = std::move(keep);
+  for (CheckedSet& s : eject) {
+    for (SubscriberId id : s.ids) {
+      PredicatePtr own = all_.at(id).predicate;
+      all_.erase(id);
+      insert_member(id, std::move(own));
+    }
+  }
 }
 
 void SubscriptionIndex::remove(SubscriberId id) {
   auto it = all_.find(id);
   if (it == all_.end()) return;
-  auto erase_from = [id](Bucket& v) {
-    v.erase(std::remove_if(v.begin(), v.end(),
-                           [id](const Candidate& c) { return c.id == id; }),
-            v.end());
-  };
-  if (it->second.bucketed) {
-    auto b = buckets_.find(
-        BucketRef{it->second.bucket.attribute, it->second.bucket.value});
-    GRYPHON_CHECK(b != buckets_.end());
-    erase_from(b->second);
-    if (b->second.empty()) buckets_.erase(b);
-  } else {
-    erase_from(scan_list_);
+  Group* g = it->second.group;
+  const bool was_exact = it->second.exact;
+  if (!was_exact) {
+    const std::string canon = it->second.predicate->to_string();
+    CheckedSet* set = find_checked(g, canon);
+    GRYPHON_CHECK(set != nullptr);
+    auto& ids = set->ids;
+    ids.erase(std::remove(ids.begin(), ids.end(), id), ids.end());
+    if (ids.empty()) {
+      if (auto ci = by_canon_.find(set->canon);
+          ci != by_canon_.end() && ci->second == g) {
+        by_canon_.erase(ci);
+      }
+      auto& list = g->checked;
+      list.erase(list.begin() + (set - list.data()));
+    }
+    all_.erase(it);
+    return;
   }
+  auto& exact = g->exact;
+  exact.erase(std::remove(exact.begin(), exact.end(), id), exact.end());
   all_.erase(it);
+  if (!exact.empty()) return;
+  if (g->checked.empty()) {
+    destroy_group(g);
+    return;
+  }
+  promote(g);
 }
 
 const PredicatePtr* SubscriptionIndex::predicate_of(SubscriberId id) const {
@@ -48,59 +221,110 @@ const PredicatePtr* SubscriptionIndex::predicate_of(SubscriberId id) const {
   return it == all_.end() ? nullptr : &it->second.predicate;
 }
 
-std::vector<SubscriberId> SubscriptionIndex::match(const EventData& event) const {
-  // First size the candidate set (scan list + every hit bucket), then
-  // evaluate: the output is reserved once and sorted in place, with no
-  // intermediate copy and no allocation beyond the result itself.
-  std::size_t candidates = scan_list_.size();
-  // A bucketed subscription can only match events carrying its equality
-  // attribute with its value, so probing per event attribute is exhaustive.
+void SubscriptionIndex::eval_group(const Group* g, const EventData& event,
+                                   std::vector<SubscriberId>& out,
+                                   std::size_t& contributing, bool& unsorted) const {
+  ++evals_;
+  if (!g->rep->matches(event)) return;  // covered members cannot match either
+  const std::size_t before = out.size();
+  if (!g->exact.empty()) {
+    if (!g->exact_sorted) {
+      std::sort(g->exact.begin(), g->exact.end());
+      g->exact_sorted = true;
+    }
+    out.insert(out.end(), g->exact.begin(), g->exact.end());
+  }
+  bool checked_hit = false;
+  for (const CheckedSet& s : g->checked) {
+    ++evals_;
+    if (s.predicate->matches(event)) {
+      out.insert(out.end(), s.ids.begin(), s.ids.end());
+      checked_hit = true;
+    }
+  }
+  if (out.size() > before) {
+    ++contributing;
+    if (checked_hit) unsorted = true;
+  }
+}
+
+void SubscriptionIndex::match_into(const EventData& event,
+                                   std::vector<SubscriberId>& out) const {
+  out.clear();
+  // Size the candidate set (scan groups + every hit bucket), then evaluate:
+  // the output is reserved once, with no allocation beyond the result
+  // itself — and none at all when the caller reuses a scratch vector.
+  const auto members_of = [](const Group* g) {
+    std::size_t n = g->exact.size();
+    for (const CheckedSet& s : g->checked) n += s.ids.size();
+    return n;
+  };
+  std::size_t candidates = 0;
+  for (const Group* g : scan_groups_) {
+    candidates += members_of(g);
+  }
+  // A bucketed group can only match events carrying its equality attribute
+  // with its value, so probing per event attribute is exhaustive.
   constexpr std::size_t kMaxInlineHits = 16;
-  const Bucket* hits[kMaxInlineHits];
+  const std::vector<Group*>* hits[kMaxInlineHits];
   std::size_t num_hits = 0;
   bool overflowed = false;  // more hit buckets than the inline array holds
   for (const auto& [attr, value] : event.attributes()) {
     auto b = buckets_.find(BucketRef{attr, value});
     if (b == buckets_.end()) continue;
-    candidates += b->second.size();
+    for (const Group* g : b->second) {
+      candidates += members_of(g);
+    }
     if (num_hits < kMaxInlineHits) {
       hits[num_hits++] = &b->second;
     } else {
       overflowed = true;
     }
   }
-
-  std::vector<SubscriberId> out;
   out.reserve(candidates);
-  auto eval = [&](const Candidate& c) {
-    if (c.predicate->matches(event)) out.push_back(c.id);
-  };
-  for (const Candidate& c : scan_list_) eval(c);
+
+  std::size_t contributing = 0;
+  bool unsorted = false;
+  for (const Group* g : scan_groups_) {
+    eval_group(g, event, out, contributing, unsorted);
+  }
   if (!overflowed) {
     for (std::size_t i = 0; i < num_hits; ++i) {
-      for (const Candidate& c : *hits[i]) eval(c);
+      for (const Group* g : *hits[i]) eval_group(g, event, out, contributing, unsorted);
     }
   } else {
     // Pathologically wide event: re-probe rather than cap the hit array.
     for (const auto& [attr, value] : event.attributes()) {
       auto b = buckets_.find(BucketRef{attr, value});
       if (b == buckets_.end()) continue;
-      for (const Candidate& c : b->second) eval(c);
+      for (const Group* g : b->second) eval_group(g, event, out, contributing, unsorted);
     }
   }
-  std::sort(out.begin(), out.end());
+  // A single contributing group's exact run is already sorted — the common
+  // single-bucket case skips the re-sort entirely.
+  if (contributing > 1 || unsorted) std::sort(out.begin(), out.end());
+}
+
+std::vector<SubscriberId> SubscriptionIndex::match(const EventData& event) const {
+  std::vector<SubscriberId> out;
+  match_into(event, out);
   return out;
 }
 
 bool SubscriptionIndex::matches_any(const EventData& event) const {
-  for (const Candidate& c : scan_list_) {
-    if (c.predicate->matches(event)) return true;
+  // Only representatives are evaluated: every group keeps an exact member,
+  // so a rep hit is a live subscription matching, and a rep miss rules out
+  // the whole group.
+  for (const Group* g : scan_groups_) {
+    ++evals_;
+    if (g->rep->matches(event)) return true;
   }
   for (const auto& [attr, value] : event.attributes()) {
     auto b = buckets_.find(BucketRef{attr, value});
     if (b == buckets_.end()) continue;
-    for (const Candidate& c : b->second) {
-      if (c.predicate->matches(event)) return true;
+    for (const Group* g : b->second) {
+      ++evals_;
+      if (g->rep->matches(event)) return true;
     }
   }
   return false;

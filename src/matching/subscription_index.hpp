@@ -9,15 +9,33 @@
 // *candidate* subscriptions, not all of them; the remainder fall back to a
 // scan list.
 //
+// On top of the buckets sits a *covering* tier (DESIGN.md §4.8): members
+// whose predicate is subsumed by another subscription's predicate
+// (Predicate::covers) are grouped under one canonical representative, so
+// match() evaluates one predicate per group and expands to member ids
+// lazily:
+//   * `exact` members are equivalent to the representative — a rep hit
+//     appends them without evaluating anything,
+//   * `checked` members are strictly covered — grouped by canonical text
+//     into sets, each set's predicate evaluated once per event when the rep
+//     hits (so a covered selector's duplicate population costs one
+//     evaluation, not one per subscriber); a rep miss skips the whole group
+//     soundly.
+// Every group keeps at least one exact member (removal of the last one
+// promotes a checked member to representative in place, without rebuilding
+// the index), which is what makes matches_any() O(groups): a rep hit *is* a
+// live subscription matching. At million-subscriber scale with skewed
+// predicates this collapses match cost from O(subscriptions) to
+// O(covering groups).
+//
 // The bucket table is keyed by the (attribute, value) pair directly and
 // probed with a borrowed-reference key type (C++20 heterogeneous lookup),
 // so match()/matches_any() never materialize a key: probing is hash +
-// compare over the event's own strings. Candidate lists carry the raw
-// predicate pointer next to the id, which keeps evaluation a linear walk
-// with no side lookup into the id map.
+// compare over the event's own strings.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -32,7 +50,9 @@ class SubscriptionIndex {
   /// Adds or replaces the subscription of `id`.
   void add(SubscriberId id, PredicatePtr predicate);
 
-  /// Removes a subscription; no-op if absent.
+  /// Removes a subscription; no-op if absent. Removing the last exact
+  /// member of a covering group promotes a checked member to representative
+  /// (local to that group; no index rebuild).
   void remove(SubscriberId id);
 
   [[nodiscard]] bool contains(SubscriberId id) const { return all_.contains(id); }
@@ -43,11 +63,26 @@ class SubscriptionIndex {
   /// relies on a deterministic order).
   [[nodiscard]] std::vector<SubscriberId> match(const EventData& event) const;
 
+  /// match() into a caller-owned scratch vector (cleared first): the hot
+  /// match loop reuses one buffer, so steady state allocates nothing.
+  void match_into(const EventData& event, std::vector<SubscriberId>& out) const;
+
   /// True iff at least one subscription matches (link-level filtering).
+  /// O(covering groups): only representatives are evaluated.
   [[nodiscard]] bool matches_any(const EventData& event) const;
 
   /// Ids of all subscriptions, sorted (diagnostics / iteration).
   [[nodiscard]] std::vector<SubscriberId> ids() const;
+
+  /// Covering groups currently live (== representative predicates actually
+  /// evaluated per event in the worst case). The compression ratio
+  /// group_count()/size() is the aggregation win.
+  [[nodiscard]] std::size_t group_count() const { return groups_.size(); }
+
+  /// Cumulative predicates evaluated by match()/match_into()/matches_any()
+  /// — representatives plus checked members. Feeds the
+  /// matching.match_candidates probe.
+  [[nodiscard]] std::uint64_t candidates_evaluated() const { return evals_; }
 
  private:
   struct BucketKey {
@@ -80,21 +115,61 @@ class SubscriptionIndex {
     }
   };
 
-  struct Candidate {
-    SubscriberId id;
-    const Predicate* predicate;
-  };
-  using Bucket = std::vector<Candidate>;
-
-  struct Entry {
+  /// Checked members sharing one canonical text. The set's predicate is
+  /// evaluated once per event for all of them — the same duplicate-
+  /// absorption exact members get, one tier down.
+  struct CheckedSet {
     PredicatePtr predicate;
+    std::string canon;  // predicate->to_string(), key in by_canon_
+    std::vector<SubscriberId> ids;
+  };
+
+  /// One covering group. Invariant outside remove(): exact is non-empty,
+  /// and every member's predicate is covered by rep (exact members
+  /// mutually). Bucketed groups and all their members share the group's
+  /// equality bucket; scan groups hold only members without one — so a
+  /// promotion never moves a group between buckets.
+  struct Group {
+    PredicatePtr rep;
+    std::string canon;  // rep->to_string(), key in by_canon_
+    /// Sorted lazily: appends just clear the flag, the first rep hit sorts
+    /// once, and a hit then splices a pre-sorted run into the output.
+    mutable std::vector<SubscriberId> exact;
+    mutable bool exact_sorted = true;
+    std::vector<CheckedSet> checked;
     bool bucketed = false;
     BucketKey bucket;  // key in buckets_ when bucketed
   };
 
-  std::unordered_map<SubscriberId, Entry> all_;
-  std::unordered_map<BucketKey, Bucket, KeyHash, KeyEq> buckets_;
-  Bucket scan_list_;  // no usable equality conjunct
+  struct MemberInfo {
+    PredicatePtr predicate;
+    Group* group = nullptr;
+    bool exact = false;
+  };
+
+  /// Places a member that is not currently in the index (canonical-text
+  /// join, covering-group probe, or a fresh group).
+  void insert_member(SubscriberId id, PredicatePtr predicate);
+  /// Group list a predicate with `bucketed`/`key` placement probes/joins.
+  std::vector<Group*>* home_of(bool bucketed, const BucketKey& key);
+  void destroy_group(Group* group);
+  /// Rebuilds the group around its first checked member after the last
+  /// exact member left. Members no longer covered are re-inserted.
+  void promote(Group* group);
+  void join_exact(Group* group, SubscriberId id);
+  static CheckedSet* find_checked(Group* group, const std::string& canon);
+  void eval_group(const Group* group, const EventData& event,
+                  std::vector<SubscriberId>& out, std::size_t& contributing,
+                  bool& unsorted) const;
+
+  std::unordered_map<SubscriberId, MemberInfo> all_;
+  std::unordered_map<BucketKey, std::vector<Group*>, KeyHash, KeyEq> buckets_;
+  std::vector<Group*> scan_groups_;  // reps without a usable equality conjunct
+  /// Canonical text -> owning group, for representative AND checked-set
+  /// canons: the O(1) join path that absorbs duplicate populations.
+  std::unordered_map<std::string, Group*> by_canon_;
+  std::unordered_map<const Group*, std::unique_ptr<Group>> groups_;
+  mutable std::uint64_t evals_ = 0;
 };
 
 }  // namespace gryphon::matching

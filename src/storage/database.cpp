@@ -159,6 +159,21 @@ std::vector<std::pair<std::string, std::vector<std::byte>>> Database::scan(
   return out;
 }
 
+std::vector<std::pair<std::string, std::vector<std::byte>>> Database::scan_prefix(
+    const std::string& table, const std::string& prefix) const {
+  std::vector<std::pair<std::string, std::vector<std::byte>>> out;
+  auto t = tables_.find(table);
+  if (t == tables_.end()) return out;
+  // The table is an ordered index: seek to the first candidate key and walk
+  // forward until a key leaves the prefix. Cost is O(log n + hits), never a
+  // full-table pass.
+  for (auto r = t->second.lower_bound(prefix); r != t->second.end(); ++r) {
+    if (r->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.emplace_back(r->first, r->second);
+  }
+  return out;
+}
+
 /// Rebuilds tables_ from surviving frames: the latest surviving snapshot
 /// resets the image, each batch after it applies last-write-wins puts.
 /// Frames before a snapshot re-apply harmlessly (the snapshot supersedes

@@ -87,6 +87,14 @@ class Database {
   [[nodiscard]] std::vector<std::pair<std::string, std::vector<std::byte>>>
   scan(const std::string& table) const;
 
+  /// Committed rows whose key starts with `prefix`, in key order: an
+  /// ordered-index range scan (lower_bound seek + forward walk), so a
+  /// recovery that only needs one (pubend, shard)'s rows never pays for the
+  /// whole table. Use a terminated prefix (e.g. "7:") so "7" does not also
+  /// capture "70:...".
+  [[nodiscard]] std::vector<std::pair<std::string, std::vector<std::byte>>>
+  scan_prefix(const std::string& table, const std::string& prefix) const;
+
   /// Broker crash: queued and in-flight transactions are lost; the tables
   /// are wiped and rebuilt from the WAL's surviving bytes.
   void crash();

@@ -5,6 +5,7 @@
 #include "matching/parser.hpp"
 #include "matching/predicate.hpp"
 #include "matching/subscription_index.hpp"
+#include "util/rng.hpp"
 
 namespace gryphon::matching {
 namespace {
@@ -197,6 +198,89 @@ TEST(SubscriptionIndex, IndexAgreesWithLinearScan) {
       EXPECT_EQ(index.match(e), expected) << "g=" << g << " price=" << price;
     }
   }
+}
+
+// Covering-index property test (DESIGN.md §4.8): under seeded random
+// predicate populations with add/remove churn — removals deliberately biased
+// toward low ids, the likely group representatives, so promotion paths are
+// exercised — the two-tier index must stay byte-identical to the naive
+// every-predicate scan at every step.
+TEST(SubscriptionIndex, CoveringIndexAgreesUnderChurn) {
+  Rng rng(20260809);
+  auto random_predicate = [&](std::uint32_t i) {
+    const std::uint64_t shape = rng.next_below(10);
+    const std::int64_t g = rng.next_in(0, 9);
+    const std::int64_t v = rng.next_in(0, 20);
+    std::string text;
+    if (shape < 4) {
+      text = "g == " + std::to_string(g);
+    } else if (shape < 6) {
+      text = "g == " + std::to_string(g) + " && price > " + std::to_string(v);
+    } else if (shape < 8) {
+      text = "price >= " + std::to_string(v);
+    } else if (shape < 9) {
+      text = "g == " + std::to_string(g) + " && g == " + std::to_string(g);
+    } else {
+      text = "exists(flag) || g == " + std::to_string(g);
+    }
+    (void)i;
+    return parse_predicate(text);
+  };
+
+  SubscriptionIndex index;
+  std::vector<std::pair<SubscriberId, PredicatePtr>> naive;
+  std::uint32_t next_id = 1;
+
+  auto check_equivalence = [&] {
+    for (int trial = 0; trial < 12; ++trial) {
+      const auto g = rng.next_in(0, 9);
+      const auto price = rng.next_in(0, 20);
+      EventData e = rng.next_bool(0.2)
+                        ? make_event({{"g", Value(g)}, {"flag", Value(true)}})
+                        : make_event({{"g", Value(g)}, {"price", Value(price)}});
+      std::vector<SubscriberId> expected;
+      for (const auto& [id, p] : naive) {
+        if (p->matches(e)) expected.push_back(id);
+      }
+      std::sort(expected.begin(), expected.end());
+      ASSERT_EQ(index.match(e), expected)
+          << "population " << naive.size() << " event g=" << g
+          << " price=" << price;
+      ASSERT_EQ(index.matches_any(e), !expected.empty());
+    }
+  };
+
+  for (int round = 0; round < 40; ++round) {
+    const std::uint64_t adds = 1 + rng.next_below(12);
+    for (std::uint64_t a = 0; a < adds; ++a) {
+      const SubscriberId id{next_id++};
+      auto p = random_predicate(id.value());
+      index.add(id, p);
+      naive.emplace_back(id, std::move(p));
+    }
+    // Remove a few, biased to the oldest ids: group representatives are the
+    // first member added, so this forces representative promotion.
+    const std::uint64_t removes = rng.next_below(std::min<std::uint64_t>(6, naive.size()));
+    for (std::uint64_t r = 0; r < removes && !naive.empty(); ++r) {
+      const std::size_t pick =
+          rng.next_bool(0.7) ? rng.next_below(std::max<std::size_t>(1, naive.size() / 3))
+                             : rng.next_below(naive.size());
+      const SubscriberId victim = naive[pick].first;
+      index.remove(victim);
+      naive.erase(naive.begin() + static_cast<std::ptrdiff_t>(pick));
+      EXPECT_FALSE(index.contains(victim));
+    }
+    ASSERT_EQ(index.size(), naive.size());
+    check_equivalence();
+  }
+
+  // Equality-heavy populations must compress: far fewer groups than members.
+  SubscriptionIndex dense;
+  for (std::uint32_t i = 0; i < 400; ++i) {
+    dense.add(SubscriberId{i}, parse_predicate("g == " + std::to_string(i % 8)));
+  }
+  EXPECT_LE(dense.group_count(), 8u);
+  EXPECT_EQ(dense.size(), 400u);
 }
 
 // ------------------------------------------------------------- EventData

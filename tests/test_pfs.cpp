@@ -3,8 +3,11 @@
 // metadata durability and crash recovery.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "sim/simulator.hpp"
 #include "core/pfs.hpp"
+#include "core/sharding.hpp"
 
 namespace gryphon::core {
 namespace {
@@ -222,6 +225,121 @@ TEST_F(PfsFixture, ReadsReachedLastStatistic) {
   (void)read_sync(p1, SubscriberId{1}, 0, 3);    // truncated by buffer
   EXPECT_EQ(pfs.reads_issued(), 2u);
   EXPECT_EQ(pfs.reads_reached_last(), 1u);
+}
+
+// ------------------------------------------------- sharding (DESIGN.md §4.8)
+
+struct ShardedPfsFixture : ::testing::Test {
+  static constexpr std::size_t kShards = 4;
+
+  sim::Simulator sim;
+  sim::Network net{sim};
+  BrokerConfig config{};
+  NodeResources node{sim, net, "shb", config,
+                     storage::DiskConfig{msec(2), 1e9, 1e9, msec(1)}};
+  CostModel costs{};
+  PersistentFilteringSubsystem pfs{node, costs, kShards};
+  const PubendId p1{1};
+
+  void SetUp() override { pfs.open({p1}); }
+
+  /// First subscriber id >= lo that hashes to `shard`.
+  static SubscriberId id_in_shard(std::uint32_t lo, std::size_t shard) {
+    for (std::uint32_t v = lo;; ++v) {
+      if (subscriber_shard(SubscriberId{v}, kShards) == shard) return SubscriberId{v};
+    }
+  }
+
+  static std::vector<Tick> ticks(const PersistentFilteringSubsystem::ReadResult& r) {
+    std::vector<Tick> out;
+    for (const TickRange& range : r.q_ranges) {
+      for (Tick t = range.from; t <= range.to; ++t) out.push_back(t);
+    }
+    return out;
+  }
+
+  PersistentFilteringSubsystem::ReadResult read_sync(PersistentFilteringSubsystem& p,
+                                                     SubscriberId s, Tick from,
+                                                     std::size_t max_q) {
+    PersistentFilteringSubsystem::ReadResult out;
+    bool done = false;
+    p.read(p1, s, from, max_q, [&](PersistentFilteringSubsystem::ReadResult r) {
+      out = std::move(r);
+      done = true;
+    });
+    sim.run_until_idle();
+    EXPECT_TRUE(done);
+    return out;
+  }
+};
+
+TEST_F(ShardedPfsFixture, AppendSplitsOneRecordPerNonEmptyShard) {
+  const SubscriberId a = id_in_shard(1, 0);
+  const SubscriberId b = id_in_shard(a.value() + 1, 1);
+  const SubscriberId c = id_in_shard(b.value() + 1, 1);  // same shard as b
+  std::vector<SubscriberId> matching{a, b, c};
+  std::sort(matching.begin(), matching.end());
+  pfs.append(p1, 10, matching);
+  // Two non-empty shards => two records; entry bytes unchanged by the split.
+  EXPECT_EQ(pfs.records_written(), 2u);
+  EXPECT_EQ(pfs.payload_bytes_written(),
+            2 * PersistentFilteringSubsystem::kRecordFixedBytes +
+                3 * PersistentFilteringSubsystem::kPerSubscriberBytes);
+  EXPECT_EQ(pfs.last_timestamp(p1), 10);
+}
+
+TEST_F(ShardedPfsFixture, ReadWalksOnlyTheOwningShardChain) {
+  const SubscriberId a = id_in_shard(1, 0);
+  const SubscriberId b = id_in_shard(a.value() + 1, 3);
+  for (Tick t = 10; t <= 100; t += 10) {
+    std::vector<SubscriberId> matching =
+        (t % 20 == 0) ? std::vector<SubscriberId>{a, b} : std::vector<SubscriberId>{b};
+    std::sort(matching.begin(), matching.end());
+    pfs.append(p1, t, matching);
+  }
+  const auto ra = read_sync(pfs, a, 0, 100);
+  EXPECT_EQ(ticks(ra), (std::vector<Tick>{20, 40, 60, 80, 100}));
+  EXPECT_TRUE(ra.reached_last);
+  const auto rb = read_sync(pfs, b, 0, 100);
+  EXPECT_EQ(ticks(rb).size(), 10u);
+  // a's walk must only traverse records in a's shard (5 records, not 10).
+  EXPECT_EQ(ra.records_traversed, 5u);
+}
+
+TEST_F(ShardedPfsFixture, RecoveryRepairsEveryShardByForwardScan) {
+  const SubscriberId a = id_in_shard(1, 0);
+  const SubscriberId b = id_in_shard(a.value() + 1, 2);
+  std::vector<SubscriberId> both{a, b};
+  std::sort(both.begin(), both.end());
+  pfs.append(p1, 10, both);
+  pfs.append(p1, 20, {b});
+  pfs.sync([] {});
+  sim.run_until_idle();
+  pfs.append(p1, 30, {a});  // never synced: lost in the crash
+
+  node.crash();
+  node.restart();
+  PersistentFilteringSubsystem pfs2(node, costs, kShards);
+  pfs2.open({p1});
+  EXPECT_EQ(pfs2.last_timestamp(p1), 20);
+  EXPECT_EQ(ticks(read_sync(pfs2, a, 0, 10)), (std::vector<Tick>{10}));
+  EXPECT_EQ(ticks(read_sync(pfs2, b, 0, 10)), (std::vector<Tick>{10, 20}));
+  pfs2.append(p1, 25, both);
+  EXPECT_EQ(pfs2.last_timestamp(p1), 25);
+}
+
+TEST_F(ShardedPfsFixture, ChopAppliesAcrossShards) {
+  const SubscriberId a = id_in_shard(1, 1);
+  const SubscriberId b = id_in_shard(a.value() + 1, 2);
+  std::vector<SubscriberId> both{a, b};
+  std::sort(both.begin(), both.end());
+  for (Tick t = 10; t <= 100; t += 10) pfs.append(p1, t, both);
+  pfs.chop_upto(p1, 50);
+  const auto ra = read_sync(pfs, a, 0, 100);
+  EXPECT_EQ(ticks(ra), (std::vector<Tick>{60, 70, 80, 90, 100}));
+  EXPECT_EQ(ra.complete_from, 50);
+  const auto rb = read_sync(pfs, b, 0, 100);
+  EXPECT_EQ(ticks(rb), (std::vector<Tick>{60, 70, 80, 90, 100}));
 }
 
 }  // namespace

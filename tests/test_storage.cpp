@@ -359,6 +359,25 @@ TEST_F(DbFixture, ScanReturnsRowsInKeyOrder) {
   EXPECT_TRUE(db.scan("missing").empty());
 }
 
+TEST_F(DbFixture, ScanPrefixSelectsContiguousKeyRange) {
+  db.commit(0, {{"t", "7:a", payload("1")},
+                {"t", "7:b", payload("2")},
+                {"t", "70:a", payload("3")},
+                {"t", "8:a", payload("4")},
+                {"t", "6:z", payload("5")}});
+  sim.run_until_idle();
+  // A terminated prefix ("7:") must not capture "70:..." or neighbours.
+  const auto rows = db.scan_prefix("t", "7:");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].first, "7:a");
+  EXPECT_EQ(rows[1].first, "7:b");
+  EXPECT_EQ(db.scan_prefix("t", "70:").size(), 1u);
+  EXPECT_TRUE(db.scan_prefix("t", "9:").empty());
+  EXPECT_TRUE(db.scan_prefix("missing", "7:").empty());
+  // Empty prefix degenerates to the full ordered scan.
+  EXPECT_EQ(db.scan_prefix("t", "").size(), db.scan("t").size());
+}
+
 TEST_F(DbFixture, LastWriteInBatchWins) {
   db.commit(0, {{"t", "k", payload("first")}});
   db.commit(0, {{"t", "k", payload("second")}});

@@ -27,13 +27,28 @@ TOLERANCE="${1:-0.15}"
 REPS="${2:-3}"
 
 cmake --preset release
-cmake --build --preset release -j "$(nproc)" --target bench_wallclock
+cmake --build --preset release -j "$(nproc)" --target bench_wallclock bench_scale_1m
 
 ./build-release/bench/bench_wallclock \
   --out BENCH_substrate.json.new \
   --check BENCH_substrate.json \
   --tolerance "${TOLERANCE}" \
   --reps "${REPS}"
+
+# Million-subscriber scale gates (DESIGN.md §4.8): the smoke tier self-asserts
+# covering compression, sublinear match cost and shard parity, exiting
+# non-zero on any gate failure.
+./build-release/bench/bench_scale_1m --smoke --out BENCH_scale_1m.json.smoke
+rm -f BENCH_scale_1m.json.smoke
+
+# The committed full-scale artifact must carry passing gates — catches a
+# re-recorded BENCH_scale_1m.json that silently shipped a failing gate.
+for gate in gate_covering_compression gate_sublinear_match gate_shard_parity; do
+  if ! grep -qE "\"${gate}\": 1" BENCH_scale_1m.json; then
+    echo "ERROR: committed BENCH_scale_1m.json missing passing ${gate}" >&2
+    exit 1
+  fi
+done
 
 # The metrics block must have been recorded for the steady workload —
 # guards against the registry silently going dark.

@@ -14,7 +14,7 @@ FIRST_SEED="${2:-1}"
 HORIZON_S="${3:-10}"
 
 cmake --preset asan-ubsan
-cmake --build --preset asan-ubsan -j "$(nproc)" --target test_chaos bench_chaos_soak bench_wallclock bench_recovery_fuzz bench_churn_storm gryphon_report
+cmake --build --preset asan-ubsan -j "$(nproc)" --target test_chaos bench_chaos_soak bench_wallclock bench_recovery_fuzz bench_churn_storm bench_scale_1m gryphon_report
 
 echo "== chaos test suite (asan-ubsan) =="
 ./build-asan/tests/test_chaos
@@ -27,6 +27,11 @@ echo "== recovery fuzz smoke (asan-ubsan): seeded crash points =="
 
 echo "== churn storm smoke (asan-ubsan): reconnect herd under admission control =="
 ./build-asan/bench/bench_churn_storm --smoke
+
+echo "== scale smoke (asan-ubsan): covering index + sharded PFS gates =="
+SCALE_SMOKE_JSON="$(mktemp)"
+./build-asan/bench/bench_scale_1m --smoke --out "${SCALE_SMOKE_JSON}"
+rm -f "${SCALE_SMOKE_JSON}"
 
 echo "== flight recorder negative test: injected violation must dump =="
 # A fabricated exactly-once violation must (a) fail the run and (b) produce
